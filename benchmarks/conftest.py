@@ -1,0 +1,21 @@
+"""Shared fixtures for the figure benches.
+
+One session-scoped :class:`ExperimentRunner` caches the accurate baselines
+across figures, matching how the paper's harness reuses its non-approximated
+reference runs.
+"""
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure block so `pytest -s` / tee'd runs show paper-style rows."""
+    bar = "=" * len(title)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,31 @@
+"""Fig 3 — global memory needed by per-thread memoization tables.
+
+Paper: with a 5-entry, 36-byte-entry table per thread, a V100's 16 GB of
+global memory is exhausted at ~2^27 threads, far below the ~2^72 threads a
+grid can express — the motivation for keeping AC state in shared memory.
+"""
+
+from conftest import emit
+
+from repro.harness.figures import fig3_memory_scaling
+
+
+def reproduce():
+    return fig3_memory_scaling()
+
+
+def test_fig3_memory_scaling(benchmark):
+    result = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    rows = "\n".join(
+        f"2^{n.bit_length() - 1:>2} threads: {100 * frac:12.6f}% of 16 GB"
+        for n, frac in result.rows
+        if n >= 2**20
+    )
+    emit("Fig 3 — per-thread memo tables vs V100 global memory", rows)
+
+    # Paper claim: exhaustion at ~2^27 threads.
+    assert result.exhaust_threads == 2**27
+    # And the scaling is linear in the thread count.
+    fracs = dict(result.rows)
+    assert abs(fracs[2**26] * 2 - fracs[2**27]) < 1e-12

@@ -1,0 +1,35 @@
+"""Fig 4 — the three TAF algorithm adaptations.
+
+Paper: the semantically equivalent GPU port (c) serializes threads waiting
+on activation criteria; HPAC-Offload's grid-stride algorithm (d) relaxes
+the spatial-locality assumption and restores parallelism at a small
+accuracy cost.
+"""
+
+from conftest import emit
+
+from repro.harness.figures import fig4_taf_variants
+
+
+def reproduce():
+    return fig4_taf_variants(n=4096, num_threads=64)
+
+
+def test_fig4_taf_variants(benchmark):
+    r = benchmark.pedantic(reproduce, rounds=1, iterations=1)
+
+    rows = "\n".join(
+        f"{name:>16}: makespan={v.makespan:10.1f}  total_work={v.total_work:10.1f}"
+        f"  approx={100 * v.approx_fraction:5.1f}%  err={r.errors[name]:.5f}"
+        for name, v in r.variants.items()
+    )
+    emit("Fig 4 — TAF variants (hSize=pSize=2, as in the figure)", rows)
+
+    # (c) serializes: makespan ≈ num_threads × the parallel variant's.
+    assert r.serialized_slowdown > 30
+    # (b) and (c) produce identical outputs (same semantics).
+    assert r.errors["cpu"] == r.errors["gpu_serialized"]
+    # (d) trades accuracy for that parallelism.
+    assert r.errors["gpu_grid_stride"] >= r.errors["cpu"]
+    # All variants actually approximate on a temporally local signal.
+    assert all(v.approx_fraction > 0.2 for v in r.variants.values())

@@ -1,0 +1,65 @@
+"""Fig 9 — Leukocyte TAF/iACT and the MiniFE error blow-up.
+
+Paper: Leukocyte TAF reaches 1.99× at 1.12% error; iACT lowers error but
+always slows the application down (9a,b).  MiniFE's approximated SpMV
+corrupts the CG recurrences and the final-residual error lands between
+593% and 3.43e22% — MiniFE never appears in Fig 6 (9c).  iACT is
+structurally inapplicable to MiniFE (ragged CSR rows).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.errors import UnsupportedApproximationError
+from repro.harness.figures import fig9_leukocyte_minife
+from repro.harness.reporting import format_records_table
+
+
+@pytest.fixture(scope="module")
+def fig9(runner):
+    return fig9_leukocyte_minife(runner=runner)
+
+
+def test_fig9_leukocyte(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig9_leukocyte_minife(runner=runner), rounds=1, iterations=1
+    )
+    for (dkey, tech), recs in result.leukocyte.records.items():
+        emit(f"Fig 9 — Leukocyte {tech} on {dkey}", format_records_table(recs))
+
+    for dkey in ("nvidia", "amd"):
+        taf = result.leukocyte.best_under(dkey, "taf")
+        assert taf is not None, dkey
+        assert taf.reported_speedup > 1.3  # paper: 1.99×
+        assert taf.error < 0.05  # paper: 1.12%
+
+        # 9b: iACT never yields a meaningful speedup, and larger tables
+        # are outright slowdowns (at our scale the smallest tables land
+        # within ~7% of break-even; see EXPERIMENTS.md).
+        iacts = [
+            r for r in result.leukocyte.records[(dkey, "iact")] if r.feasible
+        ]
+        assert iacts, dkey
+        assert all(r.reported_speedup <= 1.10 for r in iacts), dkey
+        assert any(r.reported_speedup < 1.0 for r in iacts), dkey
+        assert min(r.error for r in iacts) < 0.05
+
+
+def test_fig9c_minife_error_blowup(benchmark, fig9):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
+    emit("Fig 9c — MiniFE TAF (final-residual error)",
+         format_records_table(fig9.minife_records))
+    feasible = [r for r in fig9.minife_records if r.feasible]
+    assert feasible
+    # Paper: error between 593% and 3.43e22% — always over the 10% budget.
+    for r in feasible:
+        if r.approx_fraction > 0:
+            assert r.error > 5.93, r.params
+
+
+def test_minife_iact_structurally_impossible(benchmark, runner):
+    """§4.1: 'iACT is not suitable since input sizes vary across threads'."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
+    app = runner.app("minife")
+    with pytest.raises(UnsupportedApproximationError):
+        app.build_regions("iact", tsize=4, threshold=0.5)

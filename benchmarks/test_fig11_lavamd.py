@@ -1,0 +1,60 @@
+"""Fig 11 — LavaMD: TAF/iACT results and the hierarchy comparison.
+
+Paper: TAF reaches 2.98× at 0.133% error (11a); iACT has lower error but
+slows the application down (11b); warp-level decision making removes
+approximation-induced divergence and raises the speedup at a given
+threshold (11c).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.harness.figures import fig11_lavamd
+from repro.harness.reporting import format_records_table
+
+
+@pytest.fixture(scope="module")
+def fig11(runner):
+    return fig11_lavamd(runner=runner)
+
+
+def test_fig11_scatter(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig11_lavamd(runner=runner), rounds=1, iterations=1
+    )
+    for (dkey, tech), recs in result.scatter.records.items():
+        emit(f"Fig 11 — LavaMD {tech} on {dkey}", format_records_table(recs))
+
+    for dkey in ("nvidia", "amd"):
+        taf = result.scatter.best_under(dkey, "taf")
+        assert taf is not None, dkey
+        assert taf.reported_speedup > 2.0  # paper: 2.98×
+        assert taf.error < 0.10
+
+        # 11b: iACT is a slowdown, but low-error.
+        iacts = [r for r in result.scatter.records[(dkey, "iact")] if r.feasible]
+        assert iacts
+        assert all(r.reported_speedup < 1.1 for r in iacts), dkey
+
+        # TAF errors can be tiny (paper: 0.133%).
+        taf_errs = [
+            r.error for r in result.scatter.records[(dkey, "taf")] if r.feasible
+        ]
+        assert min(taf_errs) < 0.02
+
+
+def test_fig11c_warp_vs_thread(benchmark, fig11):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
+    rows = "\n".join(
+        f"T={p['threshold']:6.3f} h={p['hsize']} p={p['psize']}: "
+        f"thread={p['thread_speedup']:6.3f}x  warp={p['warp_speedup']:6.3f}x  "
+        f"gain={p['warp_speedup'] / p['thread_speedup']:5.3f}x"
+        for p in fig11.hierarchy_pairs
+    )
+    emit("Fig 11c — thread vs warp decision speedups (AMD)", rows)
+
+    gains = [p["warp_speedup"] / p["thread_speedup"] for p in fig11.hierarchy_pairs]
+    # Warp-level never loses materially, and wins somewhere in the
+    # transition band (paper: up to 2.27× median gain).
+    assert max(gains) > 1.05
+    assert min(gains) > 0.9

@@ -1,0 +1,55 @@
+"""Fig 12 — K-Means: TAF/iACT results and the convergence correlation.
+
+Paper: approximation herds observations into clusters, freezing
+assignments and triggering the convergence criterion early; time speedup
+correlates linearly with convergence speedup (R² = 0.95, Fig 12c).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.harness.figures import fig12_kmeans
+from repro.harness.reporting import format_records_table, format_series
+
+
+@pytest.fixture(scope="module")
+def fig12(runner):
+    return fig12_kmeans(runner=runner)
+
+
+def test_fig12_scatter(benchmark, runner):
+    result = benchmark.pedantic(
+        lambda: fig12_kmeans(runner=runner), rounds=1, iterations=1
+    )
+    for (dkey, tech), recs in result.scatter.records.items():
+        emit(f"Fig 12 — K-Means {tech} on {dkey}", format_records_table(recs))
+
+    for dkey in ("nvidia", "amd"):
+        taf = result.scatter.best_under(dkey, "taf")
+        assert taf is not None, dkey
+        assert taf.reported_speedup > 1.0
+
+        # iACT: low MCR (insight 6), little-to-no speedup.
+        iacts = [r for r in result.scatter.records[(dkey, "iact")] if r.feasible]
+        assert min(r.error for r in iacts) < 0.05
+
+
+def test_fig12c_convergence_correlation(benchmark, fig12):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
+    emit("Fig 12c — convergence speedup vs time speedup",
+         format_series(
+             [(round(c, 3), round(t, 3)) for c, t in fig12.correlation_points],
+             header="conv_speedup  time_speedup",
+         ) + f"\nR² = {fig12.r2:.3f}")
+
+    assert len(fig12.correlation_points) >= 6
+    # Paper: strong linear correlation (R² = 0.95).
+    assert fig12.r2 > 0.6
+
+    # Early convergence exists: some config converged in fewer iterations.
+    assert any(c > 1.0 for c, _t in fig12.correlation_points)
+
+    # And the mechanism: time speedup tracks convergence speedup.
+    fast = [(c, t) for c, t in fig12.correlation_points if c > 1.0]
+    for c, t in fast:
+        assert t == pytest.approx(c, rel=0.6)

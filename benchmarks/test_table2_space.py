@@ -1,0 +1,76 @@
+"""Table 2 — the DSE parameter space.
+
+Regenerates the Table-2 grids and checks their size against the paper's
+57,288-configuration exploration (per-app products × 7 benchmarks × 2
+platforms, with per-app technique applicability).
+"""
+
+from conftest import emit
+
+from repro.harness.sweep import (
+    IACT_THRESH,
+    IACT_TPERWARP,
+    IACT_TPERWARP_AMD,
+    IACT_TSIZE,
+    MEMO_HIERARCHY,
+    MEMO_ITEMS_PER_THREAD,
+    PERFO_SKIP,
+    PERFO_SKIP_PERCENT,
+    TAF_HSIZE,
+    TAF_PSIZE,
+    TAF_THRESH,
+    full_space_size,
+    table2_space,
+)
+
+
+def build_table():
+    return {
+        "TAF hSize": TAF_HSIZE,
+        "TAF pSize": TAF_PSIZE,
+        "TAF thresh": TAF_THRESH,
+        "iACT tPerWarp (NVIDIA)": IACT_TPERWARP,
+        "iACT tPerWarp (AMD)": IACT_TPERWARP_AMD,
+        "iACT tSize": IACT_TSIZE,
+        "iACT thresh": IACT_THRESH,
+        "perfo skip": PERFO_SKIP,
+        "perfo skipPercent": PERFO_SKIP_PERCENT,
+        "Memo hierarchy": MEMO_HIERARCHY,
+        "Memo items/thread": MEMO_ITEMS_PER_THREAD,
+    }
+
+
+def test_table2_parameters(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    body = "\n".join(f"{k:<24} {v}" for k, v in table.items())
+    emit("Table 2 — DSE parameter grids", body)
+
+    # The axes are Table 2 verbatim.
+    assert table["TAF hSize"] == [1, 2, 3, 4, 5]
+    assert table["TAF pSize"][0] == 2 and table["TAF pSize"][-1] == 512
+    assert table["perfo skip"] == [2, 4, 8, 16, 32, 64]
+    assert table["perfo skipPercent"] == list(range(10, 100, 10))
+    assert table["Memo hierarchy"] == ["thread", "warp"]
+    assert 64 in table["iACT tPerWarp (AMD)"]
+    assert 64 not in table["iACT tPerWarp (NVIDIA)"]
+
+
+def test_full_space_magnitude(benchmark):
+    """The paper explored 57,288 configurations across the suite; our full
+    per-app grids multiply out to the same order of magnitude."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
+    nvidia = full_space_size("v100")
+    amd = full_space_size("amd")
+    emit("Table 2 — full Cartesian product",
+         f"per app (NVIDIA): {nvidia}\nper app (AMD):    {amd}\n"
+         f"suite upper bound (7 apps, 2 platforms): {7 * (nvidia + amd)}")
+    total_upper = 7 * (nvidia + amd)
+    # Same order of magnitude as 57,288 (applicability prunes per app).
+    assert 30_000 < total_upper < 300_000
+
+
+def test_thinned_grids_are_tractable(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
+    for tech in ("taf", "iact", "perfo"):
+        pts = table2_space(tech)
+        assert len(pts) < 400, tech

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Binomial Options: parallelism vs approximation (Fig 8c).
+
+Sweeps *items per thread* for block-level TAF on both platforms and prints
+the speedup curve together with the fraction of price calculations that
+were approximated.  The curve rises while TAF state reuse grows, then
+falls when too few thread blocks remain to hide latency — and the AMD
+device (more SMs to feed) turns over earlier than the NVIDIA one
+(insight 2 of the paper).
+
+Run:  python examples/binomial_tradeoff.py
+"""
+
+from repro import get_benchmark
+from repro.harness.metrics import mape
+
+
+def main() -> None:
+    app = get_benchmark("binomial", problem={"num_options": 4096, "steps": 64})
+
+    for device in ("v100_small", "amd_small"):
+        baseline = app.run(device, items_per_thread=2)
+        print(f"\n[{device}]")
+        print(f"{'items/thread':>12} {'speedup':>9} {'% approx':>9} {'MAPE %':>9}")
+        peak = (0, 0.0)
+        for ipt in (2, 4, 8, 16, 32, 64, 128, 256, 512):
+            regions = app.build_regions(
+                "taf", level="team", hsize=2, psize=32, threshold=0.3
+            )
+            res = app.run(device, regions, items_per_thread=ipt)
+            speedup = baseline.seconds / res.seconds
+            frac = res.region_stats["option_price"]["approx_fraction"]
+            err = mape(baseline.qoi, res.qoi)
+            marker = ""
+            if speedup > peak[1]:
+                peak = (ipt, speedup)
+                marker = "  <- best so far"
+            print(f"{ipt:>12} {speedup:8.2f}x {100 * frac:8.1f}% "
+                  f"{100 * err:9.3f}{marker}")
+        print(f"peak at {peak[0]} items/thread: {peak[1]:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""LULESH perforation study — the paper's headline result (§4.1, Fig 7).
+
+Sweeps the four perforation patterns over the Sedov hydro proxy on both
+platforms and prints the speedup/error frontier.  Shows the two findings
+the paper calls out:
+
+* herded perforation removes the thread divergence that makes plain
+  small/large perforation worthless on a GPU (§3.1.5);
+* fini induces far less error than ini, because the element ordering puts
+  the blast origin in the early iterations.
+
+Run:  python examples/lulesh_perforation.py
+"""
+
+from repro import get_benchmark
+from repro.harness.metrics import mape
+
+
+def main() -> None:
+    app = get_benchmark("lulesh", problem={"mesh": 14, "time_steps": 30})
+
+    patterns = [
+        ("small", {"kind": "small", "skip": 4, "herded": False}),
+        ("small+herded", {"kind": "small", "skip": 4, "herded": True}),
+        ("large+herded", {"kind": "large", "skip": 4, "herded": True}),
+        ("ini 30%", {"kind": "ini", "skip_percent": 30}),
+        ("fini 30%", {"kind": "fini", "skip_percent": 30}),
+        ("fini 60%", {"kind": "fini", "skip_percent": 60}),
+        ("fini 90%", {"kind": "fini", "skip_percent": 90}),
+    ]
+
+    for device in ("v100_small", "amd_small"):
+        baseline = app.run(device, items_per_thread=8)
+        print(f"\n[{device}] accurate origin energy: {baseline.qoi[0]:.6f} "
+              f"({baseline.seconds * 1e3:.3f} ms end-to-end)")
+        print(f"{'pattern':<14} {'speedup':>8} {'MAPE %':>10}")
+        for label, kw in patterns:
+            regions = app.build_regions("perfo", **kw)
+            res = app.run(device, regions, items_per_thread=8)
+            err = mape(baseline.qoi, res.qoi)
+            print(f"{label:<14} {baseline.seconds / res.seconds:7.2f}x "
+                  f"{100 * err:10.4f}")
+
+    print("\nNote how 'small' (divergent) saves nothing while 'small+herded'")
+    print("does, and how fini at 90% approaches the paper's 1.64x headline")
+    print("while ini is catastrophic for the origin-energy QoI.")
+
+
+if __name__ == "__main__":
+    main()

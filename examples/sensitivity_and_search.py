@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The §4.2 automation, end to end: find where to approximate, then search
+how.
+
+The paper's limitation section proposes (a) sensitivity analysis to find
+code regions amenable to approximation and (b) smart search to replace the
+exhaustive Table-2 sweep.  This example runs both:
+
+1. rank every region of LULESH and MiniFE by QoI sensitivity to injected
+   output noise — the analyzer endorses LULESH's hourglass kernels and
+   flags MiniFE's SpMV as untouchable (the paper's negative result,
+   rediscovered automatically);
+2. run a budgeted evolutionary search for the best TAF configuration of
+   Blackscholes and compare against exhaustive enumeration of the same
+   space.
+
+Run:  python examples/sensitivity_and_search.py
+"""
+
+from repro import get_benchmark
+from repro.harness.runner import ExperimentRunner
+from repro.harness.search import evolutionary_search
+from repro.harness.sensitivity import analyze_sensitivity, format_sensitivity
+from repro.harness.sweep import SweepPoint
+
+
+def main() -> None:
+    print("== 1. Where is it safe to approximate? ==\n")
+    for name, problem in (
+        ("lulesh", {"mesh": 10, "time_steps": 20}),
+        ("minife", {"nx": 8, "ny": 8, "nz": 8, "cg_iters": 25}),
+    ):
+        app = get_benchmark(name, problem=problem)
+        print(f"[{name}] 5% relative output noise per region:")
+        print(format_sensitivity(analyze_sensitivity(app, rel_sigma=0.05)))
+        print()
+
+    print("== 2. How should it be approximated? ==\n")
+    runner = ExperimentRunner(
+        problems={"blackscholes": {"num_options": 8192, "num_runs": 4}}
+    )
+    space = [
+        SweepPoint("taf", {"hsize": h, "psize": p, "threshold": t}, "thread", ipt)
+        for h in (1, 2, 5)
+        for p in (4, 16, 64)
+        for t in (0.3, 0.9, 3.0)
+        for ipt in (1, 2, 8)
+    ]
+    exhaustive = runner.run_sweep("blackscholes", "v100_small", space)
+    best_ex = max(
+        (r for r in exhaustive if r.feasible and r.error <= 0.10),
+        key=lambda r: r.reported_speedup,
+    )
+    evo = evolutionary_search(
+        runner, "blackscholes", "v100_small", "taf",
+        budget=len(space) // 4, space=space,
+    )
+    print(f"exhaustive sweep : {len(space):3d} evaluations -> "
+          f"{best_ex.reported_speedup:5.2f}x @ {best_ex.error_percent:.3f}% error")
+    print(f"evolutionary     : {evo.evaluations:3d} evaluations -> "
+          f"{evo.best_speedup:5.2f}x @ {evo.best.error_percent:.3f}% error")
+    print("\nThe budgeted search reaches the exhaustive optimum's "
+          "neighbourhood at a quarter of the cost — the automation the "
+          "paper's 988-GPU-hour sweeps motivate.")
+
+
+if __name__ == "__main__":
+    main()

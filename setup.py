@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so the
+PEP-517 editable path (which needs ``bdist_wheel``) is unavailable; this
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` use the
+legacy develop install.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

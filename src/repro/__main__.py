@@ -1,0 +1,214 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the common workflows:
+
+* ``python -m repro run <app> [--device D] [--technique T ...]`` — run one
+  benchmark (accurate, or with one technique applied) and print
+  speedup/error against the accurate baseline;
+* ``python -m repro sweep <app> --technique T [--effort quick|full]`` — a
+  DSE campaign with the results database, saved to JSONL;
+* ``python -m repro sensitivity <app>`` — rank the app's regions;
+* ``python -m repro figures [fig3 fig4 ...]`` — regenerate evaluation
+  figures and print the paper-style rows;
+* ``python -m repro devices`` — list the device presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_technique_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--technique", default="none",
+                   choices=["none", "taf", "iact", "perfo", "noise"])
+    p.add_argument("--level", default="thread", choices=["thread", "warp", "team"])
+    p.add_argument("--items-per-thread", type=int, default=None)
+    # TAF
+    p.add_argument("--hsize", type=int, default=2)
+    p.add_argument("--psize", type=int, default=8)
+    p.add_argument("--threshold", type=float, default=0.3)
+    # iACT
+    p.add_argument("--tsize", type=int, default=4)
+    p.add_argument("--tperwarp", type=int, default=None)
+    # perforation
+    p.add_argument("--kind", default="small",
+                   choices=["small", "large", "ini", "fini"])
+    p.add_argument("--skip", type=int, default=4)
+    p.add_argument("--skip-percent", type=float, default=50.0)
+    p.add_argument("--herded", action="store_true")
+    # noise
+    p.add_argument("--rel-sigma", type=float, default=0.05)
+    p.add_argument("--site", default=None)
+
+
+def _technique_kwargs(args) -> dict:
+    t = args.technique
+    if t == "taf":
+        return dict(hsize=args.hsize, psize=args.psize, threshold=args.threshold)
+    if t == "iact":
+        return dict(tsize=args.tsize, threshold=args.threshold,
+                    tperwarp=args.tperwarp)
+    if t == "perfo":
+        kw = dict(kind=args.kind, herded=args.herded)
+        if args.kind in ("small", "large"):
+            kw["skip"] = args.skip
+        else:
+            kw["skip_percent"] = args.skip_percent
+            kw.pop("herded")
+        return kw
+    if t == "noise":
+        return dict(rel_sigma=args.rel_sigma)
+    return {}
+
+
+def cmd_run(args) -> int:
+    from repro.apps import get_benchmark
+    from repro.harness.metrics import error
+
+    app = get_benchmark(args.app)
+    ipt = args.items_per_thread or app.baseline_items_per_thread or 1
+    baseline = app.run(args.device, items_per_thread=ipt, seed=args.seed)
+    print(f"{args.app} on {args.device}: accurate "
+          f"{baseline.seconds * 1e3:.3f} ms end-to-end "
+          f"({baseline.kernel_seconds * 1e3:.3f} ms kernels)")
+    if args.technique == "none":
+        return 0
+    regions = app.build_regions(
+        args.technique, level=args.level, site=args.site, **_technique_kwargs(args)
+    )
+    res = app.run(args.device, regions, items_per_thread=ipt, seed=args.seed)
+    err = error(app.error_metric, baseline.qoi, res.qoi)
+    label = "kernel" if app.kernel_only else "end-to-end"
+    speedup = (
+        baseline.kernel_seconds / res.kernel_seconds
+        if app.kernel_only else baseline.seconds / res.seconds
+    )
+    fracs = {n: s["approx_fraction"] for n, s in res.region_stats.items()}
+    print(f"{args.technique}: {speedup:.3f}x {label} speedup, "
+          f"{app.error_metric.upper()} {100 * err:.4f}%, approximated {fracs}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.harness.database import ResultsDB
+    from repro.harness.figures import candidates
+    from repro.harness.reporting import format_record, format_records_table
+    from repro.harness.runner import ExperimentRunner
+
+    runner = ExperimentRunner(seed=args.seed)
+    db = ResultsDB()
+    points = candidates(args.app, args.technique, args.effort)
+    if not points:
+        print(f"no candidate grid for {args.app}/{args.technique}",
+              file=sys.stderr)
+        return 1
+    db.add(runner.run_sweep(args.app, args.device, points))
+    print(format_records_table(db.query(feasible=None),
+                               title=f"{args.app} {args.technique} on {args.device}"))
+    best = db.best_speedup(max_error=args.max_error)
+    print("\nbest under "
+          f"{100 * args.max_error:.0f}% error: "
+          + (format_record(best) if best else "none"))
+    if args.output:
+        db.save(args.output)
+        print(f"saved {len(db)} records to {args.output}")
+    return 0
+
+
+def cmd_sensitivity(args) -> int:
+    from repro.apps import get_benchmark
+    from repro.harness.sensitivity import analyze_sensitivity, format_sensitivity
+
+    app = get_benchmark(args.app)
+    reports = analyze_sensitivity(app, device=args.device,
+                                  rel_sigma=args.rel_sigma, seed=args.seed)
+    print(format_sensitivity(reports))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.harness import figures as F
+    from repro.harness.reporting import format_fig6
+    from repro.harness.runner import ExperimentRunner
+
+    runner = ExperimentRunner(seed=args.seed)
+    wanted = set(args.names or ["fig3", "fig4", "fig6"])
+    if "fig3" in wanted:
+        r = F.fig3_memory_scaling()
+        print(f"Fig 3: V100 exhausted at 2^{r.exhaust_threads.bit_length() - 1} threads")
+    if "fig4" in wanted:
+        r = F.fig4_taf_variants()
+        print(f"Fig 4: serialized-GPU TAF {r.serialized_slowdown:.0f}x slower "
+              f"than HPAC-Offload TAF")
+    if "fig6" in wanted:
+        r = F.fig6_best_speedup(runner=runner)
+        print(format_fig6(r, F.FIG6_APPS, ["nvidia", "amd"]))
+    for name, fn in (("fig7", F.fig7_lulesh), ("fig8", F.fig8_binomial),
+                     ("fig9", F.fig9_leukocyte_minife),
+                     ("fig10", F.fig10_blackscholes),
+                     ("fig11", F.fig11_lavamd), ("fig12", F.fig12_kmeans)):
+        if name in wanted:
+            fn(runner=runner)
+            print(f"{name}: regenerated (see benchmarks/ for the asserted rows)")
+    return 0
+
+
+def cmd_devices(args) -> int:
+    from repro.gpusim.device import amd_mi250x, nvidia_v100
+
+    for dev in (nvidia_v100(), amd_mi250x(), nvidia_v100(0.1), amd_mi250x(0.1)):
+        print(f"{dev.name:<32} {dev.num_sms:4d} SMs × {dev.warp_size}-wide, "
+              f"{dev.mem_bandwidth / 1e9:7.0f} GB/s, "
+              f"{dev.shared_mem_per_block // 1024} KB shared/block")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HPAC-Offload reproduction CLI",
+    )
+    parser.add_argument("--seed", type=int, default=2023)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("app")
+    p_run.add_argument("--device", default="v100_small")
+    _add_technique_args(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="DSE campaign over a candidate grid")
+    p_sweep.add_argument("app")
+    p_sweep.add_argument("--device", default="v100_small")
+    p_sweep.add_argument("--technique", required=True,
+                         choices=["taf", "iact", "perfo"])
+    p_sweep.add_argument("--effort", default="quick",
+                         choices=["quick", "full", "paper"])
+    p_sweep.add_argument("--max-error", type=float, default=0.10)
+    p_sweep.add_argument("--output", default=None)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_sens = sub.add_parser("sensitivity", help="rank regions by sensitivity")
+    p_sens.add_argument("app")
+    p_sens.add_argument("--device", default="v100_small")
+    p_sens.add_argument("--rel-sigma", type=float, default=0.05)
+    p_sens.set_defaults(fn=cmd_sensitivity)
+
+    p_fig = sub.add_parser("figures", help="regenerate evaluation figures")
+    p_fig.add_argument("names", nargs="*",
+                       help="fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12")
+    p_fig.set_defaults(fn=cmd_figures)
+
+    p_dev = sub.add_parser("devices", help="list device presets")
+    p_dev.set_defaults(fn=cmd_devices)
+
+    args = parser.parse_args(argv)
+    np.set_printoptions(precision=5, suppress=True)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""The HPAC-Offload approximation runtime (the paper's core contribution).
+
+Implements §3 of the paper: GPU-aware TAF and iACT memoization with
+shared-memory state, table sharing, hierarchical (thread/warp/team)
+majority-rules decisions, and divergence-free herded perforation — plus the
+Fig-4 TAF algorithm variants and the shared-memory budgeting analysis.
+"""
+
+from repro.approx.base import (
+    HierarchyLevel,
+    NoiseParams,
+    IACTParams,
+    PerfoParams,
+    PerforationKind,
+    RegionSpec,
+    RegionStats,
+    TAFParams,
+    Technique,
+)
+from repro.approx.hierarchy import Decision, decide
+from repro.approx.iact import IACTState, check_uniform_inputs, iact_invoke
+from repro.approx.noise import noise_invoke
+from repro.approx.memory_layout import (
+    BudgetReport,
+    iact_aggregate_entries,
+    region_shared_bytes_per_block,
+    validate_budget,
+)
+from repro.approx.perforation import (
+    expected_survival,
+    iteration_bounds,
+    perforated_grid_stride,
+    skip_iteration_mask,
+    skip_step,
+)
+from repro.approx.replacement import ClockPolicy, RoundRobinPolicy, make_policy
+from repro.approx.runtime import ApproxRuntime
+from repro.approx.taf import ACCUMULATING, STABLE, TAFState, taf_invoke, window_rsd
+from repro.approx.taf_variants import (
+    VariantResult,
+    compare_variants,
+    cpu_taf,
+    gpu_grid_stride_taf,
+    gpu_serialized_taf,
+)
+
+__all__ = [
+    "ACCUMULATING",
+    "ApproxRuntime",
+    "BudgetReport",
+    "ClockPolicy",
+    "Decision",
+    "HierarchyLevel",
+    "IACTParams",
+    "NoiseParams",
+    "IACTState",
+    "PerfoParams",
+    "PerforationKind",
+    "RegionSpec",
+    "RegionStats",
+    "RoundRobinPolicy",
+    "STABLE",
+    "TAFParams",
+    "TAFState",
+    "Technique",
+    "VariantResult",
+    "check_uniform_inputs",
+    "compare_variants",
+    "cpu_taf",
+    "decide",
+    "expected_survival",
+    "gpu_grid_stride_taf",
+    "gpu_serialized_taf",
+    "iact_aggregate_entries",
+    "iact_invoke",
+    "iteration_bounds",
+    "make_policy",
+    "noise_invoke",
+    "perforated_grid_stride",
+    "region_shared_bytes_per_block",
+    "skip_iteration_mask",
+    "skip_step",
+    "taf_invoke",
+    "validate_budget",
+    "window_rsd",
+]

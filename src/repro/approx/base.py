@@ -1,0 +1,248 @@
+"""Core types of the HPAC-Offload approximation runtime.
+
+The programming model (paper §3.2) attaches an approximation *technique*
+with *parameters* and a decision *hierarchy level* to a code region:
+
+.. code-block:: c
+
+    #pragma approx memo(in:2:0.5f:4) level(warp) in(input[i*5:5:N]) out(o[i])
+    #pragma approx memo(out:3:5:1.5f) level(thread) out(o2[i])
+    #pragma approx perfo(small:4)
+
+This module defines the Python equivalents: :class:`TAFParams`,
+:class:`IACTParams`, :class:`PerfoParams`, the :class:`HierarchyLevel`
+enum (``thread`` / ``warp`` / ``team``), and :class:`RegionSpec`, the lowered
+descriptor the runtime executes.  The pragma front end
+(:mod:`repro.pragma`) produces these from clause text; applications may also
+construct them directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class Technique(enum.Enum):
+    """Which AC technique a region uses."""
+
+    TAF = "taf"  # memo(out:...) — temporal approximate function memoization
+    IACT = "iact"  # memo(in:...) — approximate input memoization
+    PERFORATION = "perfo"
+    #: Analysis instrument, not an optimization: perturb region outputs to
+    #: measure QoI sensitivity (§4.2's sensitivity-analysis integration).
+    NOISE = "noise"
+    NONE = "none"  # accurate execution (the baseline path)
+
+
+class HierarchyLevel(enum.Enum):
+    """Decision hierarchy of §3.1.2: who decides to approximate together."""
+
+    THREAD = "thread"
+    WARP = "warp"
+    TEAM = "team"  # a thread block; the pragma keyword is ``team``
+
+
+class PerforationKind(enum.Enum):
+    """Perforation patterns of §2.3 / §3.1.5."""
+
+    SMALL = "small"  # skip one of every M iterations
+    LARGE = "large"  # execute one of every M iterations
+    INI = "ini"  # drop the first skip_percent% iterations
+    FINI = "fini"  # drop the last skip_percent% iterations
+
+
+@dataclass(frozen=True)
+class TAFParams:
+    """Temporal Approximate Function memoization (TAF, [51]) parameters.
+
+    ``memo(out:hSize:pSize:threshold)`` — keep a sliding window of the last
+    ``history_size`` outputs; when their relative standard deviation drops
+    below ``rsd_threshold``, replay the last output for the next
+    ``prediction_size`` invocations.
+    """
+
+    history_size: int
+    prediction_size: int
+    rsd_threshold: float
+
+    def __post_init__(self) -> None:
+        if self.history_size < 1:
+            raise ConfigurationError("TAF history_size must be >= 1")
+        if self.prediction_size < 1:
+            raise ConfigurationError("TAF prediction_size must be >= 1")
+        if not math.isfinite(self.rsd_threshold) or self.rsd_threshold < 0:
+            raise ConfigurationError("TAF rsd_threshold must be finite and >= 0")
+
+
+@dataclass(frozen=True)
+class IACTParams:
+    """Approximate input memoization (iACT, [35]) parameters.
+
+    ``memo(in:tsize:threshold:tperwarp)`` — cache (input, output) pairs; when
+    a new input lies within ``threshold`` euclidean distance of a cached
+    input, return the cached output.  ``tables_per_warp`` (the HPAC-Offload
+    extension, §3.1.4) controls table sharing: ``warp_size`` tables per warp
+    means thread-private tables; 1 means the whole warp shares one table.
+    ``None`` defers to the launch warp size (thread-private, the default).
+    """
+
+    table_size: int
+    threshold: float
+    tables_per_warp: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.table_size < 1:
+            raise ConfigurationError("iACT table_size must be >= 1")
+        if not math.isfinite(self.threshold) or self.threshold < 0:
+            raise ConfigurationError("iACT threshold must be finite and >= 0")
+        if self.tables_per_warp is not None and self.tables_per_warp < 1:
+            raise ConfigurationError("iACT tables_per_warp must be >= 1")
+
+    def resolved_tables_per_warp(self, warp_size: int) -> int:
+        """Tables per warp after applying the per-thread default."""
+        t = warp_size if self.tables_per_warp is None else self.tables_per_warp
+        if t > warp_size:
+            raise ConfigurationError(
+                f"tables_per_warp ({t}) cannot exceed the warp size ({warp_size})"
+            )
+        if warp_size % t:
+            raise ConfigurationError(
+                f"tables_per_warp ({t}) must divide the warp size ({warp_size})"
+            )
+        return t
+
+
+@dataclass(frozen=True)
+class PerfoParams:
+    """Loop perforation parameters.
+
+    * ``small``/``large``: ``parameter`` is the skip factor M (Table 2 uses
+      2..64).  ``herded=True`` selects the GPU-aware variant of §3.1.5 where
+      every thread in the grid skips the same *encounters*, keeping warp
+      control flow uniform.
+    * ``ini``/``fini``: ``parameter`` is the percentage of iterations dropped
+      from the start/end of the loop (Table 2 uses 10..90).
+    """
+
+    kind: PerforationKind
+    parameter: float
+    herded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind in (PerforationKind.SMALL, PerforationKind.LARGE):
+            if int(self.parameter) < 2:
+                raise ConfigurationError("perforation skip factor must be >= 2")
+        else:
+            if not 0 < self.parameter < 100:
+                raise ConfigurationError("ini/fini skip percent must be in (0, 100)")
+            if self.herded:
+                raise ConfigurationError(
+                    "herded applies to small/large perforation only; ini/fini "
+                    "are bound adjustments and never diverge"
+                )
+
+    @property
+    def skip_factor(self) -> int:
+        return int(self.parameter)
+
+    @property
+    def skip_fraction(self) -> float:
+        """Fraction of iterations dropped by this pattern."""
+        if self.kind is PerforationKind.SMALL:
+            return 1.0 / self.parameter
+        if self.kind is PerforationKind.LARGE:
+            return 1.0 - 1.0 / self.parameter
+        return self.parameter / 100.0
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Relative-noise injection (sensitivity analysis, §4.2).
+
+    ``rel_sigma`` is the standard deviation of the multiplicative output
+    perturbation ``1 + rel_sigma·N(0,1)``; ``seed`` decorrelates analyses.
+    """
+
+    rel_sigma: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.rel_sigma) or self.rel_sigma < 0:
+            raise ConfigurationError("rel_sigma must be finite and >= 0")
+
+
+@dataclass
+class RegionStats:
+    """Per-region dynamic statistics collected during a launch.
+
+    ``approximated / invocations`` is the "% of calculations approximated"
+    colour scale of Fig 8c.
+    """
+
+    invocations: int = 0  # lane-level region entries
+    approximated: int = 0  # lane-level approximate-path executions
+    forced: int = 0  # lanes approximated against their own criterion
+    denied: int = 0  # lanes accurate against their own criterion
+    skipped: int = 0  # lane-iterations dropped by perforation
+    fallback_accurate: int = 0  # group said approximate but lane had no value
+
+    @property
+    def approx_fraction(self) -> float:
+        return self.approximated / self.invocations if self.invocations else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "invocations": self.invocations,
+            "approximated": self.approximated,
+            "forced": self.forced,
+            "denied": self.denied,
+            "skipped": self.skipped,
+            "fallback_accurate": self.fallback_accurate,
+            "approx_fraction": self.approx_fraction,
+        }
+
+
+@dataclass
+class RegionSpec:
+    """A lowered ``#pragma approx`` directive attached to one code region."""
+
+    name: str
+    technique: Technique
+    params: TAFParams | IACTParams | PerfoParams | NoiseParams | None = None
+    level: HierarchyLevel = HierarchyLevel.THREAD
+    #: Number of scalars captured per thread as region input (iACT only).
+    in_width: int = 0
+    #: Number of scalars produced per thread as region output.
+    out_width: int = 1
+    #: Free-form metadata (source pragma text, app-specific notes).
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.technique is Technique.TAF and not isinstance(self.params, TAFParams):
+            raise ConfigurationError("TAF region requires TAFParams")
+        if self.technique is Technique.IACT:
+            if not isinstance(self.params, IACTParams):
+                raise ConfigurationError("iACT region requires IACTParams")
+            if self.in_width < 1:
+                raise ConfigurationError(
+                    "iACT region requires in_width >= 1 (declared region inputs)"
+                )
+        if self.technique is Technique.PERFORATION and not isinstance(
+            self.params, PerfoParams
+        ):
+            raise ConfigurationError("perforated region requires PerfoParams")
+        if self.technique is Technique.NOISE and not isinstance(
+            self.params, NoiseParams
+        ):
+            raise ConfigurationError("noise region requires NoiseParams")
+        if self.out_width < 0:
+            raise ConfigurationError("out_width must be >= 0")
+
+    @classmethod
+    def accurate(cls, name: str, out_width: int = 1) -> "RegionSpec":
+        """A no-approximation region (the baseline execution path)."""
+        return cls(name=name, technique=Technique.NONE, out_width=out_width)

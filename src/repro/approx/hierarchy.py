@@ -1,0 +1,77 @@
+"""Hierarchical approximation decisions (§3.1.2, §3.3).
+
+A technique's *activation function* yields a per-thread wish ("my criteria
+say approximate").  Independent per-thread decisions cause warp divergence —
+the worst case being one accurate thread stalling 31 approximating ones — so
+HPAC-Offload lets threads decide collectively:
+
+* ``thread`` — every lane follows its own wish (the CPU-HPAC behaviour);
+* ``warp`` — ballot + popcount; if a majority of the warp's active lanes
+  wish to approximate, the whole warp does, else the whole warp is accurate;
+* ``team`` — per-warp ballots are combined through a shared-memory atomic
+  add and a barrier; the block follows its majority.
+
+The group decision *forces* minority lanes: a lane whose RSD is above the
+threshold may approximate anyway ("HPAC-OFFLOAD increases approximation",
+§4.1-LavaMD), and a lane that wished to approximate may be denied.  The
+returned :class:`Decision` reports both so region stats can count them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.base import HierarchyLevel
+from repro.gpusim.context import GridContext
+
+
+@dataclass
+class Decision:
+    """Outcome of a hierarchical activation decision."""
+
+    #: Lanes that take the approximate execution path.
+    approx_mask: np.ndarray
+    #: Lanes that take the accurate execution path.
+    accurate_mask: np.ndarray
+    #: Lanes approximating although their own criterion said no.
+    forced: np.ndarray
+    #: Lanes accurate although their own criterion said yes.
+    denied: np.ndarray
+
+
+def decide(
+    ctx: GridContext,
+    want_approx: np.ndarray,
+    level: HierarchyLevel,
+    mask: np.ndarray | None = None,
+) -> Decision:
+    """Resolve per-lane wishes into a group decision at ``level``.
+
+    ``mask`` bounds the active lanes; inactive lanes neither vote nor
+    execute.  Majority is strict ("majority-rules", §3.3): the group
+    approximates iff more than half of its active lanes wish to.
+    """
+    m = ctx.mask if mask is None else np.logical_and(ctx.mask, mask)
+    want = np.logical_and(np.asarray(want_approx, dtype=bool), m)
+
+    if level is HierarchyLevel.THREAD:
+        approx = want
+    elif level is HierarchyLevel.WARP:
+        votes = ctx.ballot(want, m)
+        active = ctx.warp_active_count(m)
+        approve = votes * 2 > active
+        approx = np.logical_and(approve, m)
+    elif level is HierarchyLevel.TEAM:
+        votes = ctx.block_count(want, m)
+        active = ctx.block_active_count(m)
+        approve = votes * 2 > active
+        approx = np.logical_and(approve, m)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown hierarchy level {level!r}")
+
+    accurate = np.logical_and(m, np.logical_not(approx))
+    forced = np.logical_and(approx, np.logical_not(want))
+    denied = np.logical_and(want, np.logical_not(approx))
+    return Decision(approx_mask=approx, accurate_mask=accurate, forced=forced, denied=denied)

@@ -1,0 +1,214 @@
+"""Approximate input memoization (iACT) for the GPU.
+
+iACT (§2.3, [35]) caches (input, output) pairs from accurate region
+executions; a new invocation whose inputs lie within a euclidean-distance
+threshold of a cached input returns the cached output instead of computing.
+
+GPU adaptation (§3.1.4, §3.3):
+
+* **Table sharing.** CPU-HPAC gives every thread its own table; on the GPU
+  that drowns shared memory and starves occupancy.  HPAC-Offload shares
+  ``tables_per_warp`` tables among each warp's lanes (``tperwarp`` in the
+  ``memo(in:tsize:threshold:tperwarp)`` clause).  ``tperwarp == warp_size``
+  degenerates to thread-private tables; ``1`` shares one table per warp,
+  letting lanes hit on *neighbouring* lanes' cached work at the price of
+  serialized writes.
+* **Two-phase access.** Each invocation has a read phase (all lanes search
+  their table) and a write phase (a *single writer* per table inserts),
+  separated by a warp barrier.  The writer is the missing lane with the
+  largest euclidean distance from any table value — the most
+  cache-improving insertion.
+* **Replacement.** Round-robin by default; CLOCK available (footnote 3).
+
+Unlike TAF, iACT pays its decision cost — the distance scan — on *every*
+invocation, which is why the paper finds it slower (insight 4) and a net
+loss where the region itself is cheap (Leukocyte, LavaMD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.base import IACTParams, RegionSpec, RegionStats
+from repro.approx.hierarchy import Decision, decide
+from repro.approx.replacement import make_policy
+from repro.errors import UnsupportedApproximationError
+from repro.gpusim.context import GridContext
+
+
+@dataclass
+class IACTState:
+    """Shared-memory memoization tables for one region."""
+
+    keys: np.ndarray  # (num_tables, tsize, in_width) float32
+    vals: np.ndarray  # (num_tables, tsize, out_width) float32
+    valid: np.ndarray  # (num_tables, tsize) bool
+    table_of_lane: np.ndarray  # (total_threads,) int32
+    policy: object
+    tables_per_warp: int
+
+    @staticmethod
+    def bytes_per_table(params: IACTParams, in_width: int, out_width: int) -> int:
+        """Shared-memory footprint of one table (float32 entries + flags)."""
+        return params.table_size * (4 * in_width + 4 * out_width + 1)
+
+
+def allocate_state(ctx: GridContext, spec: RegionSpec, policy: str = "round_robin") -> IACTState:
+    """Carve the region's warp-shared tables out of shared memory."""
+    params: IACTParams = spec.params  # type: ignore[assignment]
+    tpw = params.resolved_tables_per_warp(ctx.warp_size)
+    iw, ow = spec.in_width, max(spec.out_width, 1)
+    ntab = ctx.num_warps * tpw
+    lanes_per_table = ctx.warp_size // tpw
+    pre = f"iact:{spec.name}:"
+    keys = ctx.shared.alloc_per_warp(
+        pre + "keys", ctx.warps_per_block, (tpw, params.table_size, iw), np.float32
+    ).reshape(ntab, params.table_size, iw)
+    vals = ctx.shared.alloc_per_warp(
+        pre + "vals", ctx.warps_per_block, (tpw, params.table_size, ow), np.float32
+    ).reshape(ntab, params.table_size, ow)
+    valid = ctx.shared.alloc_per_warp(
+        pre + "valid", ctx.warps_per_block, (tpw, params.table_size), np.bool_
+    ).reshape(ntab, params.table_size)
+    table_of_lane = (ctx.warp_id * tpw + ctx.lane_in_warp // lanes_per_table).astype(
+        np.int32
+    )
+    return IACTState(
+        keys=keys,
+        vals=vals,
+        valid=valid,
+        table_of_lane=table_of_lane,
+        policy=make_policy(policy, ntab, params.table_size),
+        tables_per_warp=tpw,
+    )
+
+
+def get_state(ctx: GridContext, spec: RegionSpec, policy: str = "round_robin") -> IACTState:
+    """Fetch (or lazily allocate) the region's tables for this launch."""
+    key = ("iact", spec.name)
+    st = ctx.region_state.get(key)
+    if st is None:
+        st = allocate_state(ctx, spec, policy)
+        ctx.region_state[key] = st
+    return st
+
+
+def check_uniform_inputs(inputs: np.ndarray, spec: RegionSpec) -> np.ndarray:
+    """Validate the captured region inputs.
+
+    iACT requires every thread to capture the same number of input scalars
+    (§4.1: MiniFE's CSR rows have varying non-zero counts, so "iACT is not
+    suitable... HPAC-Offload only supports computations with uniform input
+    sizes for all threads").  Ragged inputs raise
+    :class:`UnsupportedApproximationError`.
+    """
+    arr = np.asarray(inputs)
+    if arr.dtype == object or arr.ndim != 2:
+        raise UnsupportedApproximationError(
+            f"iACT region {spec.name!r} requires uniform per-thread input "
+            f"vectors; got ragged or non-2D inputs"
+        )
+    if arr.shape[1] != spec.in_width:
+        raise UnsupportedApproximationError(
+            f"iACT region {spec.name!r} declared in_width={spec.in_width} "
+            f"but captured {arr.shape[1]} scalars per thread"
+        )
+    return arr.astype(np.float64, copy=False)
+
+
+def iact_invoke(
+    ctx: GridContext,
+    spec: RegionSpec,
+    inputs: np.ndarray,
+    compute,
+    mask: np.ndarray | None = None,
+    stats: RegionStats | None = None,
+    policy: str = "round_robin",
+) -> tuple[np.ndarray, Decision]:
+    """Execute one iACT-approximated region invocation.
+
+    ``inputs`` is the ``(total_threads, in_width)`` capture of the region's
+    declared inputs (the app gathers them, charging memory cost).
+    ``compute(mask) -> (lanes, out_width)`` runs the accurate path for the
+    masked lanes, charging its own cost.  Returns per-lane output values and
+    the hierarchy :class:`Decision`.
+    """
+    params: IACTParams = spec.params  # type: ignore[assignment]
+    ow = max(spec.out_width, 1)
+    st = get_state(ctx, spec, policy)
+    m = ctx.mask if mask is None else np.logical_and(ctx.mask, mask)
+    x = check_uniform_inputs(inputs, spec)
+
+    # ------------------------------------------------------------------
+    # Read phase: every lane scans its table for the nearest valid entry.
+    # Paid on every invocation — iACT's unavoidable decision cost.
+    # ------------------------------------------------------------------
+    tid = st.table_of_lane
+    ctx.shared_access(float(params.table_size * spec.in_width), m)
+    ctx.flops(3.0 * params.table_size * spec.in_width, m)
+    diffs = st.keys[tid].astype(np.float64) - x[:, None, :]
+    dist2 = np.einsum("lti,lti->lt", diffs, diffs)
+    dist2 = np.where(st.valid[tid], dist2, np.inf)
+    nearest_slot = np.argmin(dist2, axis=1)
+    nearest_d2 = dist2[np.arange(ctx.total_threads), nearest_slot]
+    has_entry = np.isfinite(nearest_d2)
+
+    want = np.logical_and.reduce([m, has_entry, nearest_d2 <= params.threshold**2])
+    dec = decide(ctx, want, spec.level, m)
+
+    approx = np.logical_and(dec.approx_mask, has_entry)
+    fallback = np.logical_and(dec.approx_mask, np.logical_not(has_entry))
+    accurate = np.logical_or(dec.accurate_mask, fallback)
+
+    values = np.zeros((ctx.total_threads, ow), dtype=np.float64)
+
+    # --- approximate path: return the nearest cached output ---------------
+    if approx.any():
+        ctx.shared_access(float(ow), approx)
+        values[approx] = st.vals[tid[approx], nearest_slot[approx]]
+        st.policy.on_hit(tid[approx], nearest_slot[approx])
+
+    # --- accurate path + write phase ---------------------------------------
+    if accurate.any():
+        computed = np.asarray(compute(accurate), dtype=np.float64)
+        if computed.ndim == 1:
+            computed = computed[:, None]
+        values[accurate] = computed[accurate]
+
+        # Warp barrier between read and write phases (§3.3).
+        ctx._charge_intrinsic(2.0, m)
+
+        # Single-writer election: per table, the missing lane with the
+        # largest distance from any cached value inserts its pair.  Lanes
+        # with empty tables have +inf distance and always win.
+        lane_idx = ctx.thread_id
+        score = np.where(accurate, np.where(has_entry, nearest_d2, np.inf), -np.inf)
+        ntab = st.keys.shape[0]
+        best = np.full(ntab, -np.inf)
+        np.maximum.at(best, tid[accurate], score[accurate])
+        cand = np.logical_and(accurate, score == best[tid])
+        winner = np.full(ntab, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(winner, tid[cand], lane_idx[cand])
+        writer = np.logical_and(cand, lane_idx == winner[tid])
+        ctx._charge_intrinsic(float(np.log2(ctx.warp_size)), m)  # election scan
+
+        wtabs = tid[writer]
+        if len(wtabs):
+            slots = st.policy.choose_slots(wtabs)
+            st.keys[wtabs, slots] = x[writer].astype(np.float32)
+            st.vals[wtabs, slots] = computed[writer].astype(np.float32)
+            st.valid[wtabs, slots] = True
+            ctx.shared_access(
+                float(spec.in_width + ow) + st.policy.cost_accesses(), writer
+            )
+
+    if stats is not None:
+        stats.invocations += int(m.sum())
+        stats.approximated += int(approx.sum())
+        stats.forced += int(np.logical_and(dec.forced, has_entry).sum())
+        stats.denied += int(dec.denied.sum())
+        stats.fallback_accurate += int(fallback.sum())
+
+    return values, dec

@@ -1,0 +1,112 @@
+"""Shared-memory budgeting for approximation state (§3.1.1, §3.3, Fig 3).
+
+HPAC-Offload stores all AC state in shared memory because per-thread global
+tables scale with the *grid* (millions of threads) while shared state scales
+with the *resident* threads — bounded by hardware.  This module provides the
+analytic footprints used to
+
+* validate a configuration against the runtime's shared-memory budget
+  before launching (footnote 2: the budget is fixed when the runtime is
+  built), and
+* regenerate Fig 3 (per-thread global tables exhausting a V100's 16 GB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.base import IACTParams, PerfoParams, RegionSpec, TAFParams, Technique
+from repro.approx.iact import IACTState
+from repro.approx.taf import TAFState
+from repro.errors import SharedMemoryError
+from repro.gpusim.device import DeviceSpec
+
+# Re-exported here because Fig 3's analysis is a memory-layout property.
+from repro.gpusim.memory import (  # noqa: F401
+    global_memory_fraction_for_tables,
+    per_thread_table_bytes,
+)
+
+
+def region_shared_bytes_per_block(
+    spec: RegionSpec, threads_per_block: int, warp_size: int
+) -> int:
+    """Shared-memory bytes one block dedicates to this region's AC state."""
+    if spec.technique is Technique.TAF:
+        params: TAFParams = spec.params  # type: ignore[assignment]
+        return TAFState.bytes_per_thread(params, max(spec.out_width, 1)) * int(
+            threads_per_block
+        )
+    if spec.technique is Technique.IACT:
+        iparams: IACTParams = spec.params  # type: ignore[assignment]
+        tpw = iparams.resolved_tables_per_warp(warp_size)
+        warps = max(1, int(threads_per_block) // int(warp_size))
+        per_table = IACTState.bytes_per_table(
+            iparams, spec.in_width, max(spec.out_width, 1)
+        )
+        return warps * tpw * per_table
+    if spec.technique is Technique.PERFORATION:
+        # Perforation keeps only the per-thread encounter counter, which the
+        # simulator folds into the loop driver; model it as one int32.
+        assert isinstance(spec.params, PerfoParams)
+        return 4 * int(threads_per_block)
+    return 0
+
+
+@dataclass(frozen=True)
+class BudgetReport:
+    """Outcome of validating a set of regions against a shared budget."""
+
+    per_region: dict
+    total_bytes: int
+    budget_bytes: int
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bytes <= self.budget_bytes
+
+    @property
+    def utilization(self) -> float:
+        return self.total_bytes / self.budget_bytes if self.budget_bytes else float("inf")
+
+
+def validate_budget(
+    specs: list[RegionSpec],
+    threads_per_block: int,
+    device: DeviceSpec,
+    budget_bytes: int | None = None,
+    strict: bool = True,
+) -> BudgetReport:
+    """Check that every region's AC state fits the per-block budget.
+
+    ``budget_bytes`` defaults to the device's full per-block shared memory.
+    With ``strict=True`` an over-budget configuration raises
+    :class:`SharedMemoryError` — the same failure the allocation path
+    produces at launch, available here ahead of time for the DSE harness to
+    prune impossible configurations.
+    """
+    budget = device.shared_mem_per_block if budget_bytes is None else int(budget_bytes)
+    per_region = {
+        s.name: region_shared_bytes_per_block(s, threads_per_block, device.warp_size)
+        for s in specs
+    }
+    total = sum(per_region.values())
+    report = BudgetReport(per_region=per_region, total_bytes=total, budget_bytes=budget)
+    if strict and not report.fits:
+        raise SharedMemoryError(total, 0, budget)
+    return report
+
+
+def iact_aggregate_entries(
+    params: IACTParams, warp_size: int, threads_per_block: int
+) -> int:
+    """Total cache entries visible to one block (the sharing trade-off).
+
+    Sharing fewer tables per warp shrinks memory *and* search cost while the
+    aggregate entries a lane can hit on stays ``tables × size`` — but a lane
+    only searches its own table, so lower ``tperwarp`` raises the chance a
+    neighbour already cached the value (§3.1.4 advantage 2).
+    """
+    tpw = params.resolved_tables_per_warp(warp_size)
+    warps = max(1, threads_per_block // warp_size)
+    return warps * tpw * params.table_size

@@ -1,0 +1,92 @@
+"""Replacement policies for iACT memoization tables.
+
+The HPAC-Offload runtime uses round-robin replacement; the paper's footnote
+3 notes a CLOCK [9] variant was also implemented and "found no effect".
+Both are provided so the ablation bench can reproduce that non-result.
+
+Policies operate on *batches* of tables: ``choose_slots`` picks a victim
+entry for every table in ``table_ids`` (one insertion per table per write
+phase — the single-writer design of §3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RoundRobinPolicy:
+    """Cyclic victim selection: each table keeps an insertion hand."""
+
+    name = "round_robin"
+
+    def __init__(self, num_tables: int, table_size: int) -> None:
+        self.table_size = int(table_size)
+        self.hand = np.zeros(int(num_tables), dtype=np.int32)
+
+    def choose_slots(self, table_ids: np.ndarray) -> np.ndarray:
+        """Victim slot for each table in ``table_ids`` (unique ids)."""
+        slots = self.hand[table_ids] % self.table_size
+        self.hand[table_ids] += 1
+        return slots
+
+    def on_hit(self, table_ids: np.ndarray, slots: np.ndarray) -> None:
+        """Round-robin ignores reference information."""
+
+    def cost_accesses(self) -> float:
+        """Shared-memory accesses charged per insertion."""
+        return 1.0  # read+bump the hand
+
+
+class ClockPolicy:
+    """CLOCK (second-chance) replacement [Corbato 1968].
+
+    Hits set an entry's reference bit; the victim search advances the hand,
+    clearing reference bits, until it finds an unreferenced entry.
+    """
+
+    name = "clock"
+
+    def __init__(self, num_tables: int, table_size: int) -> None:
+        self.table_size = int(table_size)
+        self.hand = np.zeros(int(num_tables), dtype=np.int32)
+        self.refbit = np.zeros((int(num_tables), int(table_size)), dtype=bool)
+
+    def choose_slots(self, table_ids: np.ndarray) -> np.ndarray:
+        slots = np.empty(len(table_ids), dtype=np.int32)
+        for i, t in enumerate(table_ids):
+            # At most table_size+1 steps: after one full sweep every bit is
+            # cleared, so the next probe must succeed.
+            for _ in range(self.table_size + 1):
+                h = self.hand[t] % self.table_size
+                if not self.refbit[t, h]:
+                    slots[i] = h
+                    self.hand[t] = h + 1
+                    break
+                self.refbit[t, h] = False
+                self.hand[t] = h + 1
+        return slots
+
+    def on_hit(self, table_ids: np.ndarray, slots: np.ndarray) -> None:
+        """Give hit entries a second chance."""
+        self.refbit[table_ids, slots] = True
+
+    def cost_accesses(self) -> float:
+        # Hand + an expected ~half-sweep of reference bits per insertion.
+        return 1.0 + self.table_size / 2.0
+
+
+POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    ClockPolicy.name: ClockPolicy,
+}
+
+
+def make_policy(name: str, num_tables: int, table_size: int):
+    """Instantiate a replacement policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return cls(num_tables, table_size)

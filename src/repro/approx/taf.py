@@ -1,0 +1,230 @@
+"""Temporal Approximate Function memoization (TAF) for the GPU.
+
+TAF (§2.3, [51]) watches a sliding window of a code region's last
+``history_size`` outputs; when their relative standard deviation (RSD =
+sigma/mu) falls below a threshold, the region enters a *stable* regime and
+replays the last accurate output for the next ``prediction_size``
+invocations.
+
+The GPU algorithm is the paper's Fig 4(d): each thread manages a private
+TAF state machine in **shared memory** over the iterations of its own
+grid-stride walk.  The original CPU spatial-locality assumption (adjacent
+iterations, same thread) is deliberately relaxed — a thread's successive
+grid-stride iterations are ``stride`` apart — because the
+semantically-equivalent alternative (Fig 4(c)) would serialize the warp.
+Per-thread state is ``history_size`` float32 outputs + the last value +
+3 int32 counters; with the paper's hSize=5 scalar regions that is 36 bytes
+per thread, the Fig-3 entry size.
+
+:func:`taf_invoke` implements one region invocation; the state machine
+transitions exactly as §3.3 describes: accurate executions append to the
+window, a full window's RSD below threshold arms ``prediction_size``
+approximate invocations, and exhausting them flushes the window and returns
+to accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.base import RegionSpec, RegionStats, TAFParams
+from repro.approx.hierarchy import Decision, decide
+from repro.gpusim.context import GridContext
+
+#: State-machine encodings (int32 in shared memory).
+ACCUMULATING = 0
+STABLE = 1
+
+
+@dataclass
+class TAFState:
+    """Per-thread TAF state, backed by the block's shared-memory pool."""
+
+    history: np.ndarray  # (threads, history_size, out_width) float32
+    hist_len: np.ndarray  # (threads,) int32
+    state: np.ndarray  # (threads,) int32: ACCUMULATING | STABLE
+    pred_left: np.ndarray  # (threads,) int32
+    last: np.ndarray  # (threads, out_width) float32
+
+    @staticmethod
+    def bytes_per_thread(params: TAFParams, out_width: int) -> int:
+        """Shared-memory footprint of one thread's TAF state."""
+        return 4 * params.history_size * out_width + 4 * out_width + 3 * 4
+
+
+def allocate_state(ctx: GridContext, spec: RegionSpec) -> TAFState:
+    """Carve this region's per-thread TAF state out of shared memory.
+
+    Raises :class:`~repro.errors.SharedMemoryError` when the state does not
+    fit the per-block budget — the resource constraint that motivates the
+    shared-memory design of §3.1.1 (and the reason approximation state
+    cannot simply be replicated per thread in global memory, Fig 3).
+    """
+    params: TAFParams = spec.params  # type: ignore[assignment]
+    ow = max(spec.out_width, 1)
+    tpb = ctx.threads_per_block
+    pre = f"taf:{spec.name}:"
+    return TAFState(
+        history=ctx.shared.alloc_per_thread(
+            pre + "hist", tpb, (params.history_size, ow), np.float32
+        ),
+        hist_len=ctx.shared.alloc_per_thread(pre + "len", tpb, (), np.int32),
+        state=ctx.shared.alloc_per_thread(pre + "state", tpb, (), np.int32),
+        pred_left=ctx.shared.alloc_per_thread(pre + "pred", tpb, (), np.int32),
+        last=ctx.shared.alloc_per_thread(pre + "last", tpb, (ow,), np.float32),
+    )
+
+
+def get_state(ctx: GridContext, spec: RegionSpec) -> TAFState:
+    """Fetch (or lazily allocate) the region's state for this launch."""
+    key = ("taf", spec.name)
+    st = ctx.region_state.get(key)
+    if st is None:
+        st = allocate_state(ctx, spec)
+        ctx.region_state[key] = st
+    return st
+
+
+def window_rsd(
+    history: np.ndarray, hist_len: np.ndarray, full: int, mode: str = "components"
+) -> np.ndarray:
+    """RSD of each thread's full window.
+
+    ``mode="components"`` (default, the scalar TAF generalized per output
+    component): RSD = sigma/mu per component, worst component decides.
+    ``mode="norm"``: RSD of the per-invocation output L2 norms — the right
+    activation for force-like vector outputs whose components oscillate in
+    sign (near-zero component means make the component RSD unbounded even
+    when the outputs are physically negligible, e.g. LavaMD's far neighbour
+    boxes).
+
+    Threads whose window is not yet full get +inf (never stable).  A window
+    with zero mean and nonzero spread is +inf; an all-zero window is
+    perfectly stable (RSD 0), the 0/0 convention of the reference TAF
+    implementation.
+    """
+    if mode == "norm" and history.shape[2] > 1:
+        series = np.sqrt(np.einsum("twk,twk->tw", history, history))[:, :, None]
+    elif mode in ("components", "norm"):
+        series = history
+    else:
+        raise ValueError(f"unknown RSD mode {mode!r}")
+    mean = series.mean(axis=1)
+    sigma = series.std(axis=1)  # population std, as footnote 1 defines
+    absmean = np.abs(mean)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rsd = np.where(
+            absmean > 0.0,
+            sigma / absmean,
+            np.where(sigma > 0.0, np.inf, 0.0),
+        )
+    return np.where(hist_len >= full, rsd.max(axis=1), np.inf)
+
+
+def taf_invoke(
+    ctx: GridContext,
+    spec: RegionSpec,
+    compute,
+    mask: np.ndarray | None = None,
+    stats: RegionStats | None = None,
+) -> tuple[np.ndarray, Decision]:
+    """Execute one TAF-approximated region invocation for all active lanes.
+
+    Parameters
+    ----------
+    ctx, spec:
+        Execution context and the lowered ``memo(out:...)`` directive.
+    compute:
+        ``compute(mask) -> (lanes, out_width) float array``.  Called with
+        the mask of lanes taking the accurate path; it must charge its own
+        simulated cost against that mask (SIMD divergence accounting then
+        happens for free) and return values for at least those lanes.
+    mask:
+        Active-lane mask for this invocation.
+
+    Returns
+    -------
+    (values, decision):
+        ``values`` has shape ``(total_threads, out_width)``; approximated
+        lanes carry their replayed output, accurate lanes the computed one.
+    """
+    params: TAFParams = spec.params  # type: ignore[assignment]
+    ow = max(spec.out_width, 1)
+    st = get_state(ctx, spec)
+    m = ctx.mask if mask is None else np.logical_and(ctx.mask, mask)
+
+    # Activation function: read the per-thread state machine (shared memory)
+    # and evaluate the criterion.
+    ctx.shared_access(1.0, m)
+    ctx.flops(2.0, m)
+    want = np.logical_and.reduce(
+        [m, st.state == STABLE, st.pred_left > 0]
+    )
+    dec = decide(ctx, want, spec.level, m)
+
+    # Lanes the group forces to approximate can only comply if they have a
+    # replayable value; warm-up lanes fall back to the accurate path.
+    can = st.hist_len > 0
+    approx = np.logical_and(dec.approx_mask, can)
+    fallback = np.logical_and(dec.approx_mask, np.logical_not(can))
+    accurate = np.logical_or(dec.accurate_mask, fallback)
+
+    values = np.zeros((ctx.total_threads, ow), dtype=np.float64)
+
+    # --- approximate path: replay the last accurate output ---------------
+    if approx.any():
+        ctx.shared_access(float(ow), approx)
+        values[approx] = st.last[approx]
+        st.pred_left[approx] -= 1
+        done = np.logical_and(approx, st.pred_left <= 0)
+        if done.any():
+            # Prediction budget exhausted: flush the window and re-monitor.
+            st.state[done] = ACCUMULATING
+            st.hist_len[done] = 0
+
+    # --- accurate path: execute the region and update the window ---------
+    if accurate.any():
+        computed = np.asarray(compute(accurate), dtype=np.float64)
+        if computed.ndim == 1:
+            computed = computed[:, None]
+        values[accurate] = computed[accurate]
+
+        # Append to the sliding window (shift when full).
+        full = st.hist_len >= params.history_size
+        shift = np.logical_and(accurate, full)
+        if shift.any():
+            st.history[shift, :-1] = st.history[shift, 1:]
+            st.history[shift, -1] = computed[shift]
+        grow = np.logical_and(accurate, np.logical_not(full))
+        if grow.any():
+            st.history[grow, st.hist_len[grow]] = computed[grow]
+            st.hist_len[grow] += 1
+        st.last[accurate] = computed[accurate]
+        ctx.shared_access(float(ow) + 1.0, accurate)
+
+        # Windows that just became full evaluate the RSD criterion.
+        ready = np.logical_and(accurate, st.hist_len >= params.history_size)
+        if ready.any():
+            ctx.flops(3.0 * params.history_size * ow, ready)
+            ctx.sfu(2.0, ready)  # sqrt for sigma, divide for sigma/mu
+            rsd = window_rsd(
+                st.history,
+                st.hist_len,
+                params.history_size,
+                mode=spec.meta.get("rsd_mode", "components"),
+            )
+            arm = np.logical_and(ready, rsd < params.rsd_threshold)
+            if arm.any():
+                st.state[arm] = STABLE
+                st.pred_left[arm] = params.prediction_size
+
+    if stats is not None:
+        stats.invocations += int(m.sum())
+        stats.approximated += int(approx.sum())
+        stats.forced += int(np.logical_and(dec.forced, can).sum())
+        stats.denied += int(dec.denied.sum())
+        stats.fallback_accurate += int(fallback.sum())
+
+    return values, dec

@@ -1,0 +1,185 @@
+"""The three TAF adaptations of Fig 4, as comparable algorithm models.
+
+Panel (a) of Fig 4 is a parallel loop ``for i in range(N): out[i] = f(in[i])``.
+The three ways of running TAF over it:
+
+* **(b) CPU** — each of ``P`` threads owns a *contiguous* chunk of
+  iterations and runs the sequential TAF state machine over it.  Spatial
+  locality holds (adjacent iterations, same window); threads are
+  independent, so time is the slowest thread's work.
+* **(c) GPU, semantically equivalent** — iterations are distributed
+  *cyclically* (thread ``t`` gets ``t, t+P, ...``) but the window semantics
+  still follow iteration order, so deciding iteration ``i`` needs the
+  output of iteration ``i-1`` owned by the previous thread: execution
+  serializes along the chain and threads idle waiting (the paper draws them
+  stalled on "activation criteria fulfillment").
+* **(d) GPU, HPAC-Offload** — each thread keeps a private window over its
+  *own* grid-stride iterations: no inter-thread dependency, full
+  parallelism, but the spatial-locality assumption is traded for temporal
+  locality at stride ``P``.
+
+Each variant returns which iterations were approximated, the resulting
+outputs, and a modelled parallel makespan in abstract cost units
+(``accurate_cost`` per real evaluation, ``approx_cost`` per replay), so the
+Fig-4 bench can show (c)'s serialization and (d)'s recovered parallelism
+alongside their accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.base import TAFParams
+
+
+@dataclass
+class VariantResult:
+    """Outcome of running one TAF variant over a signal."""
+
+    name: str
+    outputs: np.ndarray
+    approximated: np.ndarray  # bool per iteration
+    makespan: float  # modelled parallel time (cost units)
+    total_work: float  # summed per-iteration cost
+
+    @property
+    def approx_fraction(self) -> float:
+        return float(self.approximated.mean()) if len(self.approximated) else 0.0
+
+
+class _TAFMachine:
+    """The sequential TAF state machine (one thread's private instance)."""
+
+    def __init__(self, params: TAFParams) -> None:
+        self.p = params
+        self.window: list[float] = []
+        self.stable_left = 0
+        self.last = 0.0
+
+    def step(self, accurate_value_fn) -> tuple[float, bool]:
+        """One invocation: returns (output, approximated?)."""
+        if self.stable_left > 0:
+            self.stable_left -= 1
+            if self.stable_left == 0:
+                self.window.clear()
+            return self.last, True
+        v = float(accurate_value_fn())
+        self.window.append(v)
+        if len(self.window) > self.p.history_size:
+            self.window.pop(0)
+        self.last = v
+        if len(self.window) == self.p.history_size:
+            w = np.asarray(self.window)
+            mu = abs(w.mean())
+            sd = w.std()
+            rsd = sd / mu if mu > 0 else (np.inf if sd > 0 else 0.0)
+            if rsd < self.p.rsd_threshold:
+                self.stable_left = self.p.prediction_size
+        return v, False
+
+
+def cpu_taf(
+    signal: np.ndarray,
+    params: TAFParams,
+    num_threads: int,
+    accurate_cost: float = 1.0,
+    approx_cost: float = 0.05,
+) -> VariantResult:
+    """Fig 4(b): contiguous chunks, independent per-thread machines."""
+    n = len(signal)
+    outputs = np.empty(n)
+    approx = np.zeros(n, dtype=bool)
+    bounds = np.linspace(0, n, num_threads + 1).astype(int)
+    thread_costs = []
+    for t in range(num_threads):
+        machine = _TAFMachine(params)
+        cost = 0.0
+        for i in range(bounds[t], bounds[t + 1]):
+            outputs[i], approx[i] = machine.step(lambda i=i: signal[i])
+            cost += approx_cost if approx[i] else accurate_cost
+        thread_costs.append(cost)
+    total = float(np.sum(thread_costs))
+    return VariantResult("cpu", outputs, approx, float(max(thread_costs, default=0.0)), total)
+
+
+def gpu_serialized_taf(
+    signal: np.ndarray,
+    params: TAFParams,
+    num_threads: int,
+    accurate_cost: float = 1.0,
+    approx_cost: float = 0.05,
+) -> VariantResult:
+    """Fig 4(c): cyclic distribution with iteration-order window semantics.
+
+    One machine walks the iterations in order (preserving CPU-TAF output
+    semantics exactly), but because consecutive iterations live on
+    *different* threads, each step's decision waits on the previous thread:
+    the makespan is the full serial chain — parallelism is destroyed, which
+    is why HPAC-Offload rejects this design.
+    """
+    n = len(signal)
+    outputs = np.empty(n)
+    approx = np.zeros(n, dtype=bool)
+    machine = _TAFMachine(params)
+    makespan = 0.0
+    for i in range(n):
+        outputs[i], approx[i] = machine.step(lambda i=i: signal[i])
+        makespan += approx_cost if approx[i] else accurate_cost
+    return VariantResult("gpu_serialized", outputs, approx, makespan, makespan)
+
+
+def gpu_grid_stride_taf(
+    signal: np.ndarray,
+    params: TAFParams,
+    num_threads: int,
+    accurate_cost: float = 1.0,
+    approx_cost: float = 0.05,
+) -> VariantResult:
+    """Fig 4(d): private machines over each thread's grid-stride iterations.
+
+    Threads advance in SIMD lockstep; a grid-stride *step* costs the most
+    expensive lane in it (divergence-induced idle time, as the figure's
+    hatched boxes show), but there is no inter-thread dependency.
+    """
+    n = len(signal)
+    outputs = np.empty(n)
+    approx = np.zeros(n, dtype=bool)
+    machines = [_TAFMachine(params) for _ in range(num_threads)]
+    makespan = 0.0
+    total = 0.0
+    steps = (n + num_threads - 1) // num_threads
+    for s in range(steps):
+        step_cost = 0.0
+        for t in range(num_threads):
+            i = t + s * num_threads
+            if i >= n:
+                continue
+            outputs[i], approx[i] = machines[t].step(lambda i=i: signal[i])
+            c = approx_cost if approx[i] else accurate_cost
+            total += c
+            step_cost = max(step_cost, c)
+        makespan += step_cost
+    return VariantResult("gpu_grid_stride", outputs, approx, makespan, total)
+
+
+VARIANTS = {
+    "cpu": cpu_taf,
+    "gpu_serialized": gpu_serialized_taf,
+    "gpu_grid_stride": gpu_grid_stride_taf,
+}
+
+
+def compare_variants(
+    signal: np.ndarray,
+    params: TAFParams,
+    num_threads: int,
+    accurate_cost: float = 1.0,
+    approx_cost: float = 0.05,
+) -> dict[str, VariantResult]:
+    """Run all three Fig-4 variants over the same signal."""
+    return {
+        name: fn(signal, params, num_threads, accurate_cost, approx_cost)
+        for name, fn in VARIANTS.items()
+    }

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the HPAC-Offload reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The more specific classes mirror failure modes discussed in the
+paper:
+
+* :class:`SharedMemoryError` — the AC state did not fit in the shared-memory
+  budget configured for the runtime (paper §3.3: the shared memory dedicated
+  to approximation state is fixed when building the HPAC-Offload runtime).
+* :class:`SimulatedDeadlockError` — a barrier was reached by only a subset of
+  a block's threads, the deadlock scenario of §3.1.2 that hierarchical
+  decision making is designed to avoid.
+* :class:`UnsupportedApproximationError` — the region cannot be approximated
+  by the requested technique, e.g. iACT on regions whose input size varies
+  per thread (paper §4.1, MiniFE: "HPAC-Offload only supports computations
+  with uniform input sizes for all threads").
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid device, launch, or technique configuration was supplied."""
+
+
+class LaunchError(ConfigurationError):
+    """A kernel launch configuration violates device limits."""
+
+
+class SharedMemoryError(ReproError):
+    """A per-block shared-memory allocation exceeded the device budget."""
+
+    def __init__(self, requested: int, in_use: int, capacity: int) -> None:
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"shared memory exhausted: requested {requested} B with "
+            f"{in_use} B already in use, capacity {capacity} B per block"
+        )
+
+
+class GlobalMemoryError(ReproError):
+    """A device global-memory allocation exceeded the device capacity."""
+
+    def __init__(self, requested: int, in_use: int, capacity: int) -> None:
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"device global memory exhausted: requested {requested} B with "
+            f"{in_use} B already in use, capacity {capacity} B"
+        )
+
+
+class SimulatedDeadlockError(ReproError):
+    """A block barrier was executed under divergent control flow.
+
+    On real hardware this hangs the kernel; the simulator raises instead so
+    that tests can assert the scenario is detected (§3.1.2).
+    """
+
+
+class UnsupportedApproximationError(ReproError):
+    """The requested AC technique cannot be applied to this region."""
+
+
+class PragmaSyntaxError(ReproError):
+    """The ``#pragma approx`` clause text failed to lex or parse."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1) -> None:
+        self.text = text
+        self.position = position
+        if position >= 0:
+            caret = " " * position + "^"
+            message = f"{message}\n  {text}\n  {caret}"
+        super().__init__(message)
+
+
+class PragmaSemanticError(ReproError):
+    """The clause text parsed but is semantically invalid (bad parameter
+    values, missing in/out declarations, conflicting clauses, ...)."""
+
+
+class HarnessError(ReproError):
+    """A design-space-exploration run failed in the harness layer."""

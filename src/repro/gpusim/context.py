@@ -1,0 +1,467 @@
+"""Vectorized SIMT execution context.
+
+The simulator executes a whole grid in lockstep: every simulated thread is a
+*lane* of flat numpy vectors, organized grid-major as
+
+    lane = block_id * threads_per_block + lane_in_block
+    warp = lane // warp_size            (warps never straddle blocks)
+
+Kernel bodies are ordinary Python functions that receive a
+:class:`GridContext` and operate on these lane vectors.  Divergence is
+modelled with boolean *masks* plus SIMD cost accounting: a warp pays for an
+instruction when **any** of its lanes executes it, so a half-masked warp is
+exactly as slow as a full one — the thread-divergence penalty that motivates
+warp-level decisions and herded perforation in the paper (§3.1.2, §3.1.5).
+
+The context exposes:
+
+* identity vectors (``thread_id``, ``block_id``, ``lane_in_warp``, ...);
+* cost-charging primitives (``flops``, ``sfu``, ``global_read/write``,
+  ``shared_access``, ``barrier``, ``atomic``);
+* warp collectives (``ballot``, ``warp_sum``, ``warp_max``, ``warp_any``) and
+  a block reduction built from the ballot+atomic pattern of §3.3;
+* shared-memory allocation through :class:`~repro.gpusim.shared.SharedMemoryPool`;
+* a grid-stride loop helper matching OpenMP
+  ``target teams distribute parallel for`` scheduling.
+
+Lockstep execution is semantically safe for the data-parallel kernels the
+paper evaluates; block barriers become synchronization *checks* — reaching a
+barrier under block-divergent masks raises
+:class:`~repro.errors.SimulatedDeadlockError`, reproducing the deadlock
+hazard of §3.1.2 instead of hanging.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulatedDeadlockError
+from repro.gpusim.cost import CycleCounters
+from repro.gpusim.device import MEMORY_SEGMENT_BYTES, DeviceSpec
+from repro.gpusim.memory import DeviceMemory, coalesced_transactions
+from repro.gpusim.shared import SharedMemoryPool
+
+
+class GridContext:
+    """Execution state for one simulated kernel launch."""
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        num_blocks: int,
+        threads_per_block: int,
+        memory: DeviceMemory | None = None,
+        shared_capacity: int | None = None,
+    ) -> None:
+        if num_blocks <= 0 or threads_per_block <= 0:
+            raise ConfigurationError("grid and block sizes must be positive")
+        if threads_per_block % device.warp_size:
+            raise ConfigurationError(
+                f"threads_per_block ({threads_per_block}) must be a multiple "
+                f"of the warp size ({device.warp_size})"
+            )
+        if threads_per_block > device.max_threads_per_block:
+            raise ConfigurationError(
+                f"threads_per_block ({threads_per_block}) exceeds the device "
+                f"limit ({device.max_threads_per_block})"
+            )
+        self.device = device
+        self.num_blocks = int(num_blocks)
+        self.threads_per_block = int(threads_per_block)
+        self.warp_size = int(device.warp_size)
+        self.warps_per_block = self.threads_per_block // self.warp_size
+        self.num_warps = self.num_blocks * self.warps_per_block
+        self.total_threads = self.num_blocks * self.threads_per_block
+
+        lane = np.arange(self.total_threads, dtype=np.int64)
+        #: Global thread id of each lane.
+        self.thread_id = lane
+        #: Block owning each lane.
+        self.block_id = lane // self.threads_per_block
+        #: Thread index within the block.
+        self.lane_in_block = lane % self.threads_per_block
+        #: Lane index within the warp.
+        self.lane_in_warp = lane % self.warp_size
+        #: Warp index within the block.
+        self.warp_in_block = self.lane_in_block // self.warp_size
+        #: Global warp id of each lane.
+        self.warp_id = lane // self.warp_size
+
+        self.memory = memory if memory is not None else DeviceMemory(device)
+        cap = device.shared_mem_per_block if shared_capacity is None else shared_capacity
+        self.shared = SharedMemoryPool(self.num_blocks, cap)
+
+        #: Cycles accumulated by each warp (timing-model input).
+        self.warp_cycles = np.zeros(self.num_warps, dtype=np.float64)
+        self.counters = CycleCounters()
+        self._mask_stack: list[np.ndarray] = [
+            np.ones(self.total_threads, dtype=bool)
+        ]
+        #: Free-form per-launch scratch used by the approximation runtime to
+        #: keep region state across invocations.
+        self.region_state: dict = {}
+
+    # ------------------------------------------------------------------
+    # masks / divergence
+    # ------------------------------------------------------------------
+    @property
+    def mask(self) -> np.ndarray:
+        """Current active-lane mask (top of the divergence stack)."""
+        return self._mask_stack[-1]
+
+    def push_mask(self, mask: np.ndarray) -> None:
+        """Enter a divergent region: new mask = current AND ``mask``."""
+        m = np.logical_and(self.mask, np.asarray(mask, dtype=bool))
+        self._mask_stack.append(m)
+
+    def pop_mask(self) -> np.ndarray:
+        """Leave the innermost divergent region."""
+        if len(self._mask_stack) == 1:
+            raise RuntimeError("mask stack underflow")
+        return self._mask_stack.pop()
+
+    @contextmanager
+    def masked(self, mask: np.ndarray):
+        """Context manager form of push_mask/pop_mask."""
+        self.push_mask(mask)
+        try:
+            yield self.mask
+        finally:
+            self.pop_mask()
+
+    def _warp_any(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Bool per warp: does any lane of the warp execute?"""
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        return m.reshape(self.num_warps, self.warp_size).any(axis=1)
+
+    # ------------------------------------------------------------------
+    # cycle charging
+    # ------------------------------------------------------------------
+    def charge_warps(self, cycles, warp_mask: np.ndarray | None = None) -> None:
+        """Add ``cycles`` to each warp selected by ``warp_mask``.
+
+        ``cycles`` may be a scalar or a per-warp array.
+        """
+        if warp_mask is None:
+            self.warp_cycles += cycles
+        else:
+            if np.isscalar(cycles):
+                self.warp_cycles[warp_mask] += cycles
+            else:
+                self.warp_cycles += np.where(warp_mask, cycles, 0.0)
+
+    def flops(self, n: float, mask: np.ndarray | None = None) -> None:
+        """Charge ``n`` single-precision-equivalent FLOPs per active lane.
+
+        SIMD semantics: a warp with at least one active lane pays the full
+        ``n * alu_cycles``; fully inactive warps pay nothing.
+        """
+        active = self._warp_any(mask)
+        cyc = float(n) * self.device.alu_cycles
+        self.charge_warps(cyc, active)
+        self.counters.alu_cycles += cyc * int(active.sum())
+
+    def flops_per_lane(self, n_per_lane: np.ndarray, mask: np.ndarray | None = None) -> None:
+        """Charge a per-lane variable FLOP count; warps pay their max lane.
+
+        Models per-lane loops with data-dependent trip counts (e.g. LavaMD
+        neighbour loops): SIMD warps run as long as their slowest lane.
+        """
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        lanes = np.where(m, np.asarray(n_per_lane, dtype=np.float64), 0.0)
+        per_warp = lanes.reshape(self.num_warps, self.warp_size).max(axis=1)
+        cyc = per_warp * self.device.alu_cycles
+        self.warp_cycles += cyc
+        self.counters.alu_cycles += float(cyc.sum())
+
+    def sfu(self, n: float, mask: np.ndarray | None = None) -> None:
+        """Charge ``n`` special-function ops (exp/log/sqrt/...) per lane."""
+        active = self._warp_any(mask)
+        cyc = float(n) * self.device.sfu_cycles
+        self.charge_warps(cyc, active)
+        self.counters.sfu_cycles += cyc * int(active.sum())
+
+    # ------------------------------------------------------------------
+    # global memory
+    # ------------------------------------------------------------------
+    def _charge_global(self, byte_addresses: np.ndarray, mask: np.ndarray | None) -> None:
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        txns = coalesced_transactions(
+            np.asarray(byte_addresses, dtype=np.int64), m, self.warp_size
+        )
+        cyc = txns * self.device.mem_txn_cycles
+        self.warp_cycles += cyc
+        ntx = int(txns.sum())
+        self.counters.mem_cycles += float(cyc.sum())
+        self.counters.global_transactions += ntx
+        self.counters.dram_bytes += ntx * MEMORY_SEGMENT_BYTES
+        self.counters.global_accesses += 1
+
+    def global_read(
+        self, arr: np.ndarray, idx: np.ndarray, mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Read ``arr[idx]`` per lane, charging coalescing-aware cost.
+
+        ``idx`` is a per-lane element index into a flat device array.  Lanes
+        outside the mask return 0 and issue no memory request.
+        """
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        safe = np.where(m, idx, 0)
+        self._charge_global(safe * arr.itemsize, m)
+        out = arr.reshape(-1)[safe]
+        return np.where(m, out, np.zeros((), dtype=arr.dtype))
+
+    def global_write(
+        self,
+        arr: np.ndarray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> None:
+        """Write ``values`` to ``arr[idx]`` per lane with coalescing cost."""
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        safe = np.where(m, idx, 0)
+        self._charge_global(safe * arr.itemsize, m)
+        flat = arr.reshape(-1)
+        flat[safe[m]] = np.asarray(values)[m] if np.ndim(values) else values
+
+    def charge_global_streamed(
+        self, elements: float, itemsize: int = 8, mask: np.ndarray | None = None
+    ) -> None:
+        """Charge a perfectly coalesced access of ``elements`` per lane.
+
+        Fast path for unit-stride sweeps where building explicit address
+        vectors would dominate simulation wall-clock: each warp moves
+        ``warp_size * itemsize`` contiguous bytes per element.
+        """
+        active = self._warp_any(mask)
+        txns_per_warp = float(elements) * np.ceil(
+            self.warp_size * itemsize / MEMORY_SEGMENT_BYTES
+        )
+        cyc = txns_per_warp * self.device.mem_txn_cycles
+        self.charge_warps(cyc, active)
+        nwarps = int(active.sum())
+        self.counters.mem_cycles += cyc * nwarps
+        self.counters.global_transactions += int(txns_per_warp) * nwarps
+        self.counters.dram_bytes += int(txns_per_warp) * nwarps * MEMORY_SEGMENT_BYTES
+        self.counters.global_accesses += 1
+
+    # ------------------------------------------------------------------
+    # shared memory traffic
+    # ------------------------------------------------------------------
+    def shared_access(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
+        """Charge ``n`` conflict-free shared-memory accesses per lane."""
+        active = self._warp_any(mask)
+        cyc = float(n) * self.device.shared_cycles
+        self.charge_warps(cyc, active)
+        self.counters.shared_cycles += cyc * int(active.sum())
+        self.counters.shared_accesses += 1
+
+    # ------------------------------------------------------------------
+    # warp collectives / intrinsics
+    # ------------------------------------------------------------------
+    def _charge_intrinsic(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
+        active = self._warp_any(mask)
+        cyc = float(n) * self.device.intrinsic_cycles
+        self.charge_warps(cyc, active)
+        self.counters.intrinsic_cycles += cyc * int(active.sum())
+        self.counters.intrinsics += 1
+
+    def ballot(self, pred: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """``__ballot_sync`` + ``popc``: per-lane broadcast of the number of
+        active lanes in the lane's warp whose predicate is true."""
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        p = np.logical_and(np.asarray(pred, dtype=bool), m)
+        counts = p.reshape(self.num_warps, self.warp_size).sum(axis=1)
+        self._charge_intrinsic(1.0, mask)
+        return np.repeat(counts, self.warp_size)
+
+    def warp_active_count(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Per-lane broadcast of the number of active lanes in its warp."""
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        counts = m.reshape(self.num_warps, self.warp_size).sum(axis=1)
+        return np.repeat(counts, self.warp_size)
+
+    def warp_reduce(
+        self, values: np.ndarray, op: str = "sum", mask: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Butterfly-shuffle warp reduction; result broadcast to all lanes.
+
+        Charges log2(warp_size) shuffle intrinsics, like the shfl.down tree
+        a real implementation would use.
+        """
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        v = np.asarray(values, dtype=np.float64)
+        grid = v.reshape(self.num_warps, self.warp_size)
+        act = m.reshape(self.num_warps, self.warp_size)
+        if op == "sum":
+            red = np.where(act, grid, 0.0).sum(axis=1)
+        elif op == "max":
+            red = np.where(act, grid, -np.inf).max(axis=1)
+        elif op == "min":
+            red = np.where(act, grid, np.inf).min(axis=1)
+        else:
+            raise ValueError(f"unknown warp reduction {op!r}")
+        self._charge_intrinsic(float(np.log2(self.warp_size)), mask)
+        return np.repeat(red, self.warp_size)
+
+    def warp_argmax(self, values: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Per-lane bool: is this lane its warp's argmax among active lanes?
+
+        Used for iACT's single-writer election (§3.3: the writer is the
+        thread with the largest euclidean distance from any table value).
+        Ties resolve to the lowest lane id, as a real ballot scan would.
+        """
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        v = np.where(m, np.asarray(values, dtype=np.float64), -np.inf)
+        grid = v.reshape(self.num_warps, self.warp_size)
+        win = np.argmax(grid, axis=1)
+        out = np.zeros((self.num_warps, self.warp_size), dtype=bool)
+        rows = np.arange(self.num_warps)
+        has_active = m.reshape(self.num_warps, self.warp_size).any(axis=1)
+        out[rows[has_active], win[has_active]] = True
+        self._charge_intrinsic(float(np.log2(self.warp_size)), mask)
+        return out.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # block-level operations
+    # ------------------------------------------------------------------
+    def barrier(self, mask: np.ndarray | None = None) -> None:
+        """Block barrier with deadlock detection.
+
+        Raises :class:`SimulatedDeadlockError` when, inside any block, some
+        threads reach the barrier while others were masked off by divergent
+        control flow — the hang scenario of §3.1.2.
+        """
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        per_block = m.reshape(self.num_blocks, self.threads_per_block)
+        some = per_block.any(axis=1)
+        all_ = per_block.all(axis=1)
+        divergent = np.logical_and(some, np.logical_not(all_))
+        if divergent.any():
+            bad = int(np.argmax(divergent))
+            raise SimulatedDeadlockError(
+                f"barrier reached under divergent control flow in block {bad}: "
+                f"{int(per_block[bad].sum())}/{self.threads_per_block} threads arrived"
+            )
+        active = self._warp_any(mask)
+        cyc = self.device.barrier_cycles
+        self.charge_warps(cyc, active)
+        self.counters.barrier_cycles += cyc * int(active.sum())
+        self.counters.barriers += 1
+
+    def atomic_shared(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
+        """Charge ``n`` shared-memory atomic ops (one per active warp)."""
+        active = self._warp_any(mask)
+        cyc = float(n) * self.device.atomic_cycles
+        self.charge_warps(cyc, active)
+        self.counters.atomic_cycles += cyc * int(active.sum())
+        self.counters.atomics += 1
+
+    def block_count(self, pred: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Count predicate-true threads per block, broadcast per lane.
+
+        Models the §3.3 block-decision sequence: per-warp ballot+popc, the
+        first lane of each warp atomically adding into shared memory, a
+        barrier, then every thread reading the total.
+        """
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        p = np.logical_and(np.asarray(pred, dtype=bool), m)
+        per_block = p.reshape(self.num_blocks, self.threads_per_block).sum(axis=1)
+        self._charge_intrinsic(1.0, mask)  # ballot + popc
+        self.atomic_shared(1.0, mask)  # leader atomicAdd
+        # The barrier is block-wide: ``mask`` selects who *votes*, not who
+        # reaches the synchronization point — every converged thread of the
+        # block arrives (a ragged tail still synchronizes on real hardware).
+        self.barrier()
+        self.shared_access(1.0, mask)  # read back the total
+        return np.repeat(per_block, self.threads_per_block)
+
+    def block_active_count(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Active threads per block (no cost — a compile-time constant)."""
+        m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        counts = m.reshape(self.num_blocks, self.threads_per_block).sum(axis=1)
+        return np.repeat(counts, self.threads_per_block)
+
+    # ------------------------------------------------------------------
+    # loop scheduling
+    # ------------------------------------------------------------------
+    def grid_stride(self, n: int, start: int = 0):
+        """Iterate a ``parallel for`` of ``n`` iterations grid-stride style.
+
+        Iterates indices ``range(start, n)``.  Yields ``(step, idx, mask)``
+        where ``idx`` is the loop index each lane handles this step and
+        ``mask`` marks lanes with a live index.  This is the OpenMP-offload
+        distribution the paper's TAF algorithm is built around (§3.1.3 /
+        Fig 4d): successive steps of one thread are ``stride`` apart, giving
+        temporal — not spatial — output locality.
+        """
+        n = int(n)
+        start = int(start)
+        stride = self.total_threads
+        step = 0
+        base = start + self.thread_id
+        while start + step * stride < n:
+            idx = base + step * stride
+            live = idx < n
+            yield step, idx, np.logical_and(self.mask, live)
+            step += 1
+
+    def block_stride(self, n: int):
+        """Iterate ``n`` work items distributed one per *block* per step.
+
+        Yields ``(step, item, mask)`` where ``item`` is the per-lane item id
+        (same for every thread of a block).  Models kernels where an entire
+        block cooperates on one item, like Binomial Options (§4.1).
+        """
+        n = int(n)
+        step = 0
+        while step * self.num_blocks < n:
+            item = self.block_id + step * self.num_blocks
+            live = item < n
+            yield step, item, np.logical_and(self.mask, live)
+            step += 1
+
+    def team_chunk_stride(self, n: int):
+        """OpenMP ``teams distribute parallel for`` scheduling.
+
+        ``distribute`` hands each team a *contiguous chunk* of the
+        iteration space; the ``parallel for`` inside walks the chunk
+        cyclically with stride ``threads_per_block`` (Clang's
+        ``schedule(static,1)`` on GPUs), so adjacent lanes touch adjacent
+        iterations — coalesced — and a thread's successive iterations are
+        ``threads_per_block`` apart regardless of the team count.  That
+        fixed stride is the temporal-locality granularity HPAC-Offload's
+        TAF sees (§3.1.3).
+
+        Yields ``(step, idx, mask)`` like :meth:`grid_stride`.
+        """
+        n = int(n)
+        chunk = (n + self.num_blocks - 1) // self.num_blocks
+        base = self.block_id * chunk + self.lane_in_block
+        step = 0
+        while step * self.threads_per_block < chunk:
+            offset = self.lane_in_block + step * self.threads_per_block
+            idx = base + step * self.threads_per_block
+            live = np.logical_and(offset < chunk, idx < n)
+            yield step, idx, np.logical_and(self.mask, live)
+            step += 1
+
+    def block_chunk_stride(self, n: int):
+        """``distribute`` for block-cooperative items: contiguous per block.
+
+        Each block processes a contiguous run of items (one at a time, all
+        threads cooperating), so a block's successive items are *adjacent* —
+        the locality granularity for block-level TAF (Binomial Options).
+        Yields ``(step, item, mask)``.
+        """
+        n = int(n)
+        chunk = (n + self.num_blocks - 1) // self.num_blocks
+        step = 0
+        while step < chunk:
+            item = self.block_id * chunk + step
+            live = item < n
+            yield step, item, np.logical_and(self.mask, live)
+            step += 1

@@ -1,0 +1,225 @@
+"""Memory subsystem of the SIMT simulator.
+
+Three pieces:
+
+* :class:`DeviceMemory` — a global-memory allocator with a capacity limit, so
+  the Fig-3 experiment (per-thread memoization tables exhausting a V100's
+  16 GB) is a *checked* property of the model rather than a plot-only claim.
+* :func:`coalesced_transactions` — the memory-coalescing model: per warp, the
+  number of distinct 32-byte segments touched by the active lanes.  This is
+  what makes herded perforation (§3.1.5) cheaper than divergent small/large
+  perforation: aligned, unfragmented access patterns need fewer transactions.
+* :class:`TransferModel` — host↔device transfer timing used by the OpenMP
+  ``map`` clauses; end-to-end speedups in the paper include these transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GlobalMemoryError
+from repro.gpusim.device import MEMORY_SEGMENT_BYTES, DeviceSpec
+
+
+@dataclass
+class DeviceBuffer:
+    """A named allocation in simulated device global memory."""
+
+    name: str
+    data: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def itemsize(self) -> int:
+        return int(self.data.itemsize)
+
+
+class DeviceMemory:
+    """Global-memory allocator for one simulated device.
+
+    Allocations are numpy arrays; the allocator only tracks capacity and
+    named buffers.  It exists so that configurations that are impossible on
+    the real hardware (e.g. per-thread AC tables for 2^27 threads, Fig 3)
+    raise :class:`~repro.errors.GlobalMemoryError` here too.
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self.capacity = int(device.global_mem_bytes)
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self._in_use = 0
+
+    @property
+    def in_use(self) -> int:
+        """Bytes currently allocated."""
+        return self._in_use
+
+    @property
+    def free(self) -> int:
+        """Bytes still available."""
+        return self.capacity - self._in_use
+
+    def alloc(self, name: str, shape, dtype=np.float64, fill=None) -> np.ndarray:
+        """Allocate a named device buffer; raises if capacity is exceeded."""
+        if name in self._buffers:
+            raise ValueError(f"device buffer {name!r} already allocated")
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if nbytes > self.free:
+            raise GlobalMemoryError(nbytes, self._in_use, self.capacity)
+        if fill is None:
+            data = np.zeros(shape, dtype=dtype)
+        else:
+            data = np.full(shape, fill, dtype=dtype)
+        self._buffers[name] = DeviceBuffer(name, data)
+        self._in_use += nbytes
+        return data
+
+    def upload(self, name: str, host_array: np.ndarray) -> np.ndarray:
+        """Allocate a buffer and copy a host array into it."""
+        arr = self.alloc(name, host_array.shape, host_array.dtype)
+        arr[...] = host_array
+        return arr
+
+    def get(self, name: str) -> np.ndarray:
+        return self._buffers[name].data
+
+    def free_buffer(self, name: str) -> None:
+        buf = self._buffers.pop(name)
+        self._in_use -= buf.nbytes
+
+    def reset(self) -> None:
+        """Release every allocation."""
+        self._buffers.clear()
+        self._in_use = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._buffers
+
+
+def coalesced_transactions(
+    byte_addresses: np.ndarray,
+    mask: np.ndarray,
+    warp_size: int,
+    segment_bytes: int = MEMORY_SEGMENT_BYTES,
+) -> np.ndarray:
+    """Per-warp count of memory transactions for one warp-wide access.
+
+    Parameters
+    ----------
+    byte_addresses:
+        Flat int64 array (one entry per lane, grid-major) of the byte address
+        each lane accesses.  Length must be a multiple of ``warp_size``.
+    mask:
+        Flat bool array of the same length; inactive lanes issue no request.
+    warp_size:
+        Lanes per warp.
+    segment_bytes:
+        DRAM transaction granularity.
+
+    Returns
+    -------
+    np.ndarray
+        int64 array of shape ``(num_warps,)`` — distinct segments touched by
+        the active lanes of each warp.  Fully inactive warps count zero.
+
+    Notes
+    -----
+    A unit-stride float64 access by a 32-lane warp touches 256 B = 8 segments
+    (perfectly coalesced); a stride-N access touches up to 32 segments (fully
+    scattered).  Divergent perforation patterns fall between the two, which
+    is exactly the fragmentation effect §3.1.5 describes.
+    """
+    n = byte_addresses.shape[0]
+    if n % warp_size:
+        raise ValueError("lane count must be a multiple of warp_size")
+    segs = (byte_addresses // segment_bytes).reshape(-1, warp_size).astype(np.int64)
+    act = np.asarray(mask, dtype=bool).reshape(-1, warp_size)
+    # Inactive lanes get a per-warp sentinel equal to the row minimum so they
+    # never contribute a distinct segment.
+    sentinel = np.where(act, segs, np.int64(np.iinfo(np.int64).max))
+    sorted_segs = np.sort(sentinel, axis=1)
+    first = act.any(axis=1).astype(np.int64)
+    diffs = sorted_segs[:, 1:] != sorted_segs[:, :-1]
+    # A diff at position j counts a new segment only if lane j+1 is a real
+    # (non-sentinel) value; sentinel runs collapse because they are equal.
+    real = sorted_segs[:, 1:] != np.iinfo(np.int64).max
+    return first + np.count_nonzero(diffs & real, axis=1)
+
+
+@dataclass
+class TransferStats:
+    """Accumulated host↔device traffic for one offload program."""
+
+    htod_bytes: int = 0
+    dtoh_bytes: int = 0
+    htod_count: int = 0
+    dtoh_count: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "TransferStats") -> None:
+        self.htod_bytes += other.htod_bytes
+        self.dtoh_bytes += other.dtoh_bytes
+        self.htod_count += other.htod_count
+        self.dtoh_count += other.dtoh_count
+        self.seconds += other.seconds
+
+
+@dataclass
+class TransferModel:
+    """Times ``map(to:...)`` / ``map(from:...)`` data movement.
+
+    Cost = fixed launch latency + bytes / interconnect bandwidth, the usual
+    first-order PCIe/NVLink model.
+    """
+
+    device: DeviceSpec
+    stats: TransferStats = field(default_factory=TransferStats)
+
+    def htod(self, nbytes: int) -> float:
+        """Record a host-to-device transfer; returns its duration (s)."""
+        t = self.device.transfer_latency_s + nbytes / self.device.interconnect_bandwidth
+        self.stats.htod_bytes += int(nbytes)
+        self.stats.htod_count += 1
+        self.stats.seconds += t
+        return t
+
+    def dtoh(self, nbytes: int) -> float:
+        """Record a device-to-host transfer; returns its duration (s)."""
+        t = self.device.transfer_latency_s + nbytes / self.device.interconnect_bandwidth
+        self.stats.dtoh_bytes += int(nbytes)
+        self.stats.dtoh_count += 1
+        self.stats.seconds += t
+        return t
+
+
+def per_thread_table_bytes(entries: int, entry_bytes: int) -> int:
+    """Size of one thread's private memoization table (Fig 3 model)."""
+    return int(entries) * int(entry_bytes)
+
+
+def global_memory_fraction_for_tables(
+    num_threads: int,
+    entries: int = 5,
+    entry_bytes: int = 36,
+    device: DeviceSpec | None = None,
+) -> float:
+    """Fraction of device global memory needed for per-thread memo tables.
+
+    Reproduces the Fig-3 analysis: with the paper's 5-entry, 36-byte-entry
+    table, per-thread tables fill a V100's 16 GB at about 2^27 threads, far
+    below the ~2^72 threads a grid can express.  Values above 1.0 mean the
+    configuration is impossible, which motivates the shared-memory AC state
+    design of §3.1.1.
+    """
+    if device is None:
+        from repro.gpusim.device import nvidia_v100
+
+        device = nvidia_v100()
+    total = float(num_threads) * per_thread_table_bytes(entries, entry_bytes)
+    return total / float(device.global_mem_bytes)

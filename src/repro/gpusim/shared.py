@@ -1,0 +1,107 @@
+"""Per-block shared-memory pool.
+
+HPAC-Offload keeps all approximation state in shared memory (§3.1.1): the
+set of threads concurrently resident on the SMs is orders of magnitude
+smaller than the grid, so per-*resident*-thread state fits where per-thread
+global tables (Fig 3) would not.  The pool mirrors that constraint: every
+allocation is replicated per block and accounted against the device's
+per-block shared-memory capacity (optionally a smaller AC budget, matching
+footnote 2: the shared memory carved out for the runtime is fixed when the
+runtime library is built).
+
+Because the simulator executes every block of the grid, a "per block"
+allocation is physically a numpy array with a leading ``num_blocks`` axis —
+but the *accounting* is per block, which is what capacity errors depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SharedMemoryError
+
+
+@dataclass
+class SharedAllocation:
+    """One named shared-memory allocation (replicated across blocks)."""
+
+    name: str
+    data: np.ndarray
+    bytes_per_block: int
+
+
+class SharedMemoryPool:
+    """Allocator for block-shared state with per-block capacity accounting."""
+
+    def __init__(self, num_blocks: int, capacity_per_block: int) -> None:
+        self.num_blocks = int(num_blocks)
+        self.capacity_per_block = int(capacity_per_block)
+        self._allocs: dict[str, SharedAllocation] = {}
+        self._used_per_block = 0
+
+    @property
+    def used_per_block(self) -> int:
+        """Bytes allocated in each block's shared memory."""
+        return self._used_per_block
+
+    @property
+    def free_per_block(self) -> int:
+        return self.capacity_per_block - self._used_per_block
+
+    def alloc_per_block(self, name: str, shape, dtype=np.float64, fill=0) -> np.ndarray:
+        """Allocate ``shape`` elements of shared memory in every block.
+
+        Returns an array of shape ``(num_blocks, *shape)``.
+        """
+        if name in self._allocs:
+            raise ValueError(f"shared allocation {name!r} already exists")
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in np.atleast_1d(shape))
+        per_block = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if per_block > self.free_per_block:
+            raise SharedMemoryError(per_block, self._used_per_block, self.capacity_per_block)
+        data = np.full((self.num_blocks, *shape), fill, dtype=dtype)
+        self._allocs[name] = SharedAllocation(name, data, per_block)
+        self._used_per_block += per_block
+        return data
+
+    def alloc_per_thread(
+        self, name: str, threads_per_block: int, shape=(), dtype=np.float64, fill=0
+    ) -> np.ndarray:
+        """Allocate per-thread state held in each block's shared memory.
+
+        Returns an array of shape ``(num_blocks * threads_per_block, *shape)``
+        (flat, grid-major) so kernel code can index it with global thread
+        ids.  Accounting charges ``threads_per_block`` copies per block.
+        """
+        shape = tuple(int(s) for s in np.atleast_1d(shape)) if shape != () else ()
+        arr = self.alloc_per_block(
+            name, (int(threads_per_block), *shape), dtype=dtype, fill=fill
+        )
+        return arr.reshape((self.num_blocks * int(threads_per_block), *shape))
+
+    def alloc_per_warp(
+        self, name: str, warps_per_block: int, shape=(), dtype=np.float64, fill=0
+    ) -> np.ndarray:
+        """Allocate per-warp state in shared memory (flat across the grid)."""
+        shape = tuple(int(s) for s in np.atleast_1d(shape)) if shape != () else ()
+        arr = self.alloc_per_block(
+            name, (int(warps_per_block), *shape), dtype=dtype, fill=fill
+        )
+        return arr.reshape((self.num_blocks * int(warps_per_block), *shape))
+
+    def get(self, name: str) -> np.ndarray:
+        return self._allocs[name].data
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocs
+
+    def free(self, name: str) -> None:
+        alloc = self._allocs.pop(name)
+        self._used_per_block -= alloc.bytes_per_block
+
+    def reset(self) -> None:
+        self._allocs.clear()
+        self._used_per_block = 0

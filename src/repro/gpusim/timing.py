@@ -1,0 +1,117 @@
+"""Kernel and program timing.
+
+Converts the per-warp cycle totals accumulated by a
+:class:`~repro.gpusim.context.GridContext` into a kernel duration:
+
+* compute-side time: total warp cycles spread across the used SMs, inflated
+  by the latency-hiding efficiency (few resident warps ⇒ exposed latency);
+* memory-side time: DRAM bytes moved divided by device bandwidth (the
+  roofline bandwidth bound — memory-bound kernels cannot beat it no matter
+  how much arithmetic an approximation removes, §3.1.1);
+* the kernel takes the max of the two plus the launch latency.
+
+:class:`ProgramTiming` then accumulates kernels + transfers + host time into
+the end-to-end figure the paper reports speedups against ("we measure the
+end-to-end application runtime, including time transferring data", §4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.cost import CycleCounters
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.occupancy import OccupancyReport, hiding_efficiency, occupancy
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one simulated kernel launch."""
+
+    name: str
+    total_warp_cycles: float
+    occupancy: OccupancyReport
+    hiding_efficiency: float
+    memory_fraction: float
+    compute_seconds: float
+    bandwidth_seconds: float
+    seconds: float
+
+    @property
+    def bound(self) -> str:
+        """"compute" or "bandwidth" — which side of the roofline binds."""
+        return "bandwidth" if self.bandwidth_seconds > self.compute_seconds else "compute"
+
+
+def time_kernel(
+    device: DeviceSpec,
+    name: str,
+    warp_cycles: np.ndarray,
+    counters: CycleCounters,
+    num_blocks: int,
+    threads_per_block: int,
+    shared_bytes_per_block: int = 0,
+) -> KernelTiming:
+    """Produce a :class:`KernelTiming` for one completed grid execution."""
+    total = float(np.sum(warp_cycles))
+    occ = occupancy(device, num_blocks, threads_per_block, shared_bytes_per_block)
+    memf = counters.memory_fraction
+    eff = hiding_efficiency(device, occ.active_warps_per_sm, memf)
+    if occ.used_sms == 0 or eff == 0.0:
+        compute_s = float("inf") if total > 0 else 0.0
+    else:
+        compute_s = device.cycles_to_seconds(total / occ.used_sms / eff)
+    bw_s = counters.dram_bytes / device.mem_bandwidth
+    seconds = device.launch_latency_s + max(compute_s, bw_s)
+    return KernelTiming(
+        name=name,
+        total_warp_cycles=total,
+        occupancy=occ,
+        hiding_efficiency=eff,
+        memory_fraction=memf,
+        compute_seconds=compute_s,
+        bandwidth_seconds=bw_s,
+        seconds=seconds,
+    )
+
+
+@dataclass
+class ProgramTiming:
+    """End-to-end accounting for one offload program execution."""
+
+    kernels: list[KernelTiming] = field(default_factory=list)
+    transfer_seconds: float = 0.0
+    host_seconds: float = 0.0
+
+    def add_kernel(self, timing: KernelTiming) -> None:
+        self.kernels.append(timing)
+
+    def add_transfer(self, seconds: float) -> None:
+        self.transfer_seconds += float(seconds)
+
+    def add_host(self, seconds: float) -> None:
+        self.host_seconds += float(seconds)
+
+    @property
+    def kernel_seconds(self) -> float:
+        """Device time only — what the paper reports for Blackscholes,
+        where 99% of end-to-end time is host allocation/transfers (§4.1)."""
+        return sum(k.seconds for k in self.kernels)
+
+    @property
+    def seconds(self) -> float:
+        """End-to-end time: kernels + transfers + host work."""
+        return self.kernel_seconds + self.transfer_seconds + self.host_seconds
+
+    def kernel_seconds_by_name(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for k in self.kernels:
+            out[k.name] = out.get(k.name, 0.0) + k.seconds
+        return out
+
+    def merge(self, other: "ProgramTiming") -> None:
+        self.kernels.extend(other.kernels)
+        self.transfer_seconds += other.transfer_seconds
+        self.host_seconds += other.host_seconds

@@ -1,0 +1,54 @@
+"""DSE harness: sweeps, metrics, results database, figure reproductions.
+
+The software equivalent of the paper's execution harness (§2.3): it applies
+a technique + parameters to a benchmark, executes it, and records runtime
+and error into a queryable database; :mod:`repro.harness.figures` drives it
+to regenerate every evaluation figure.
+"""
+
+from repro.harness.database import ResultsDB
+from repro.harness.metrics import (
+    convergence_speedup,
+    error,
+    geomean_speedup,
+    mape,
+    mcr,
+    r_squared,
+    speedup,
+)
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.search import SearchResult, evolutionary_search, random_search
+from repro.harness.sensitivity import (
+    SiteSensitivity,
+    analyze_sensitivity,
+    format_sensitivity,
+)
+from repro.harness.sweep import (
+    MEMO_ITEMS_PER_THREAD,
+    SweepPoint,
+    full_space_size,
+    table2_space,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "MEMO_ITEMS_PER_THREAD",
+    "ResultsDB",
+    "RunRecord",
+    "SearchResult",
+    "SiteSensitivity",
+    "analyze_sensitivity",
+    "SweepPoint",
+    "convergence_speedup",
+    "error",
+    "evolutionary_search",
+    "format_sensitivity",
+    "full_space_size",
+    "geomean_speedup",
+    "mape",
+    "random_search",
+    "mcr",
+    "r_squared",
+    "speedup",
+    "table2_space",
+]

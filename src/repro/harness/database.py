@@ -1,0 +1,124 @@
+"""Results database for DSE runs.
+
+The HPAC harness "calculates and saves runtime information and error to a
+database" (§2.3); this is that component.  Records are
+:class:`~repro.harness.runner.RunRecord` rows; the store supports filtered
+queries, best-under-error-budget selection (the Fig-6 aggregation), Pareto
+frontiers (the speedup/error scatter plots), and JSONL persistence so
+sweeps can be resumed or post-processed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.harness.runner import RunRecord
+
+
+class ResultsDB:
+    """In-memory collection of run records with query helpers."""
+
+    def __init__(self, records: Iterable[RunRecord] | None = None) -> None:
+        self.records: list[RunRecord] = list(records or [])
+
+    def add(self, record: RunRecord | list[RunRecord]) -> None:
+        if isinstance(record, list):
+            self.records.extend(record)
+        else:
+            self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        app: str | None = None,
+        device: str | None = None,
+        technique: str | None = None,
+        level: str | None = None,
+        feasible: bool | None = True,
+        predicate: Callable[[RunRecord], bool] | None = None,
+    ) -> list[RunRecord]:
+        """Filter records; ``device`` matches on substring (vendor or name)."""
+        out = []
+        for r in self.records:
+            if app is not None and r.app != app:
+                continue
+            if device is not None and device.lower() not in r.device.lower():
+                continue
+            if technique is not None and r.technique != technique:
+                continue
+            if level is not None and r.level != level:
+                continue
+            if feasible is not None and r.feasible != feasible:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return out
+
+    def best_speedup(
+        self,
+        max_error: float = 0.10,
+        **filters,
+    ) -> RunRecord | None:
+        """Fastest configuration with error below ``max_error`` (Fig 6)."""
+        candidates = [
+            r for r in self.query(**filters) if r.error <= max_error
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.reported_speedup)
+
+    def pareto_frontier(self, **filters) -> list[RunRecord]:
+        """Error/speedup Pareto-optimal records (lower error, higher speedup)."""
+        records = sorted(self.query(**filters), key=lambda r: (r.error, -r.reported_speedup))
+        frontier: list[RunRecord] = []
+        best = -float("inf")
+        for r in records:
+            if r.reported_speedup > best:
+                frontier.append(r)
+                best = r.reported_speedup
+        return frontier
+
+    def error_intervals(self, bins: int = 10, **filters) -> list[list[RunRecord]]:
+        """Split records into equal error intervals (the paper's
+        overplotting reduction: "we divide the error range for each
+        benchmark into ten equally-sized intervals", §4)."""
+        records = [r for r in self.query(**filters) if r.error < float("inf")]
+        if not records:
+            return []
+        errs = [r.error for r in records]
+        lo, hi = min(errs), max(errs)
+        width = (hi - lo) / bins or 1.0
+        buckets: list[list[RunRecord]] = [[] for _ in range(bins)]
+        for r in records:
+            i = min(int((r.error - lo) / width), bins - 1)
+            buckets[i].append(r)
+        return buckets
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist as JSON Lines."""
+        p = Path(path)
+        with p.open("w") as fh:
+            for r in self.records:
+                fh.write(json.dumps(r.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResultsDB":
+        """Load a JSONL file written by :meth:`save`."""
+        db = cls()
+        with Path(path).open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                db.add(RunRecord(**json.loads(line)))
+        return db

@@ -1,0 +1,94 @@
+"""Error and speedup metrics of the evaluation (§4, eqs. 1-2).
+
+* :func:`mape` — mean absolute percentage error between the accurate and
+  approximate QoI vectors (paper eq. 1); returned as a *fraction* (0.1 =
+  10%).  A tiny denominator guard keeps the metric defined when an
+  accurate output is exactly zero (the paper's benchmarks avoid this by
+  construction; MiniFE's blow-up produces astronomically large values
+  either way).
+* :func:`mcr` — misclassification rate (paper eq. 2), used for K-Means.
+* :func:`speedup`, :func:`geomean_speedup` — runtime ratios; the paper's
+  headline "geomean speedup 1.42×" aggregates per-benchmark bests this way.
+* :func:`convergence_speedup` and :func:`r_squared` — the Fig-12c analysis
+  (iteration-count ratio and its correlation with time speedup).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mape(accurate: np.ndarray, approximate: np.ndarray, eps: float = 1e-30) -> float:
+    """Mean absolute percentage error (fraction), paper eq. (1)."""
+    acc = np.asarray(accurate, dtype=np.float64).reshape(-1)
+    ap = np.asarray(approximate, dtype=np.float64).reshape(-1)
+    if acc.shape != ap.shape:
+        raise ValueError(f"shape mismatch: {acc.shape} vs {ap.shape}")
+    if acc.size == 0:
+        raise ValueError("empty QoI vectors")
+    denom = np.maximum(np.abs(acc), eps)
+    err = np.abs(acc - ap) / denom
+    if not np.all(np.isfinite(ap)):
+        return float("inf")
+    return float(err.mean())
+
+
+def mcr(accurate: np.ndarray, approximate: np.ndarray) -> float:
+    """Misclassification rate (fraction), paper eq. (2)."""
+    acc = np.asarray(accurate).reshape(-1)
+    ap = np.asarray(approximate).reshape(-1)
+    if acc.shape != ap.shape:
+        raise ValueError(f"shape mismatch: {acc.shape} vs {ap.shape}")
+    if acc.size == 0:
+        raise ValueError("empty QoI vectors")
+    return float(np.mean(acc != ap))
+
+
+METRICS = {"mape": mape, "mcr": mcr}
+
+
+def error(metric: str, accurate: np.ndarray, approximate: np.ndarray) -> float:
+    """Dispatch to the named error metric; returns a fraction."""
+    try:
+        fn = METRICS[metric]
+    except KeyError:
+        raise ValueError(f"unknown error metric {metric!r}") from None
+    return fn(accurate, approximate)
+
+
+def speedup(accurate_seconds: float, approximate_seconds: float) -> float:
+    """End-to-end speedup of the approximate run over the baseline."""
+    if approximate_seconds <= 0:
+        raise ValueError("approximate runtime must be positive")
+    return float(accurate_seconds) / float(approximate_seconds)
+
+
+def geomean_speedup(speedups) -> float:
+    """Geometric mean of a collection of speedups."""
+    arr = np.asarray(list(speedups), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no speedups to aggregate")
+    if np.any(arr <= 0):
+        raise ValueError("speedups must be positive")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def convergence_speedup(accurate_iters: int, approximate_iters: int) -> float:
+    """Fig 12c: n/a for accurate n and approximate a iterations."""
+    if approximate_iters <= 0:
+        raise ValueError("approximate iteration count must be positive")
+    return float(accurate_iters) / float(approximate_iters)
+
+
+def r_squared(x, y) -> float:
+    """Coefficient of determination of the least-squares line y ~ x."""
+    x = np.asarray(list(x), dtype=np.float64)
+    y = np.asarray(list(y), dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two paired samples")
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0
+    slope, intercept = np.polyfit(x, y, 1)
+    resid = y - (slope * x + intercept)
+    return 1.0 - float((resid**2).sum()) / ss_tot

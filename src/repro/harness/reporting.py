@@ -1,0 +1,60 @@
+"""Plain-text reporting of sweep results and figure reproductions.
+
+The benches print these tables so the bench output reads like the paper's
+evaluation section: one block per table/figure with the same rows/series.
+"""
+
+from __future__ import annotations
+
+from repro.harness.runner import RunRecord
+
+
+def format_record(r: RunRecord) -> str:
+    """One-line summary of a run record."""
+    if not r.feasible:
+        return f"{r.app:<12} {r.technique:<6} INFEASIBLE ({r.note.splitlines()[0][:50]})"
+    pieces = ":".join(f"{v}" for _, v in sorted(r.params.items()))
+    return (
+        f"{r.app:<12} {r.technique:<6} [{pieces:<18}] lvl={r.level:<6} "
+        f"ipt={r.items_per_thread:<4} speedup={r.reported_speedup:6.3f} "
+        f"err%={r.error_percent:9.4f} approx={r.approx_fraction:5.3f}"
+    )
+
+
+def format_records_table(records: list[RunRecord], title: str = "") -> str:
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    lines.extend(format_record(r) for r in records)
+    return "\n".join(lines)
+
+
+def format_fig6(result, apps: list[str], devices: list[str]) -> str:
+    """Render the Fig-6 best-speedup bars as a text table."""
+    lines = ["Fig 6 — highest speedup with error < 10%"]
+    header = f"{'benchmark':<14}" + "".join(
+        f"{t:>10}" for t in ("perfo", "taf", "iact")
+    )
+    for dkey in devices:
+        lines.append(f"\n[{dkey}]  (geomean of per-app best: "
+                     f"{result.geomean.get(dkey, float('nan')):.3f}x)")
+        lines.append(header)
+        for app in apps:
+            row = result.row(dkey, app)
+            cells = []
+            for t in ("perfo", "taf", "iact"):
+                rec = row.get(t)
+                cells.append(f"{rec.reported_speedup:9.2f}x" if rec else "       --")
+            lines.append(f"{app:<14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(series, header: str = "") -> str:
+    """Render (x, y, ...) tuples as aligned columns."""
+    lines = [header] if header else []
+    for row in series:
+        lines.append("  ".join(
+            f"{v:>10.4f}" if isinstance(v, float) else f"{v:>10}" for v in row
+        ))
+    return "\n".join(lines)

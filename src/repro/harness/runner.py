@@ -1,0 +1,160 @@
+"""Experiment runner: executes one DSE configuration end-to-end.
+
+Implements the HPAC execution-harness protocol (§2.3): apply technique +
+parameters to the program, run it, and record runtime and error against the
+accurate baseline in a results database.  Baselines follow footnote 4: the
+original application at its best configuration (each app declares its best
+``num_threads`` and ``baseline_items_per_thread``), cached per
+(app, device, problem).
+
+Configurations the hardware cannot schedule — AC state exceeding the
+shared-memory budget, invalid table sharing — are recorded as *infeasible*
+rather than crashing the sweep, the behaviour a real DSE harness needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.apps.common import AppResult, Benchmark
+from repro.errors import ReproError, SharedMemoryError, UnsupportedApproximationError
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.harness.metrics import convergence_speedup, error, speedup
+from repro.harness.sweep import SweepPoint
+
+
+@dataclass
+class RunRecord:
+    """One row of the results database."""
+
+    app: str
+    device: str
+    technique: str
+    params: dict
+    level: str
+    items_per_thread: int
+    feasible: bool = True
+    note: str = ""
+    #: End-to-end speedup over the accurate baseline (paper's default).
+    speedup: float = 0.0
+    #: Kernel-only speedup (what the paper reports for Blackscholes).
+    kernel_speedup: float = 0.0
+    #: Error fraction under the app's metric (MAPE or MCR).
+    error: float = 0.0
+    #: Fraction of region invocations that took the approximate path.
+    approx_fraction: float = 0.0
+    #: Per-region stats snapshots.
+    region_stats: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def reported_speedup(self) -> float:
+        """Kernel-only for kernel-only apps, end-to-end otherwise."""
+        return self.kernel_speedup if self.extra.get("kernel_only") else self.speedup
+
+    @property
+    def error_percent(self) -> float:
+        return self.error * 100.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class ExperimentRunner:
+    """Runs sweep points for benchmarks on devices, caching baselines."""
+
+    def __init__(self, problems: dict[str, dict] | None = None, seed: int = 2023) -> None:
+        #: Per-app problem overrides (e.g. smaller meshes for quick tests).
+        self.problems = problems or {}
+        self.seed = seed
+        self._baselines: dict[tuple, AppResult] = {}
+        self._apps: dict[str, Benchmark] = {}
+
+    # ------------------------------------------------------------------
+    def app(self, name: str) -> Benchmark:
+        if name not in self._apps:
+            from repro.apps import get_benchmark
+
+            self._apps[name] = get_benchmark(name, problem=self.problems.get(name))
+        return self._apps[name]
+
+    def baseline(self, app_name: str, device: str | DeviceSpec) -> AppResult:
+        """Accurate run at the app's best configuration (cached)."""
+        dev = get_device(device)
+        key = (app_name, dev.name)
+        if key not in self._baselines:
+            app = self.app(app_name)
+            self._baselines[key] = app.run(
+                dev,
+                regions=None,
+                items_per_thread=app.baseline_items_per_thread,
+                seed=self.seed,
+            )
+        return self._baselines[key]
+
+    # ------------------------------------------------------------------
+    def run_point(
+        self,
+        app_name: str,
+        device: str | DeviceSpec,
+        point: SweepPoint,
+        site: str | None = None,
+    ) -> RunRecord:
+        """Execute one sweep configuration and compare to the baseline."""
+        dev = get_device(device)
+        app = self.app(app_name)
+        record = RunRecord(
+            app=app_name,
+            device=dev.name,
+            technique=point.technique,
+            params=dict(point.params),
+            level=point.level,
+            items_per_thread=point.items_per_thread,
+        )
+        base = self.baseline(app_name, dev)
+        try:
+            regions = app.build_regions(
+                point.technique, level=point.level, site=site, **point.params
+            )
+            result = app.run(
+                dev,
+                regions,
+                items_per_thread=point.items_per_thread,
+                seed=self.seed,
+            )
+        except (SharedMemoryError, UnsupportedApproximationError, ReproError) as exc:
+            record.feasible = False
+            record.note = f"{type(exc).__name__}: {exc}"
+            return record
+
+        record.speedup = speedup(base.seconds, result.seconds)
+        record.kernel_speedup = speedup(
+            max(base.kernel_seconds, 1e-30), max(result.kernel_seconds, 1e-30)
+        )
+        record.error = error(app.error_metric, base.qoi, result.qoi)
+        stats = result.region_stats or {}
+        fractions = [s["approx_fraction"] for s in stats.values() if s["invocations"]]
+        record.approx_fraction = max(fractions) if fractions else 0.0
+        record.region_stats = stats
+        record.extra = {
+            "kernel_only": app.kernel_only,
+            "num_teams": result.extra.get("num_teams"),
+        }
+        if "iterations" in result.extra:
+            record.extra["iterations"] = result.extra["iterations"]
+            record.extra["baseline_iterations"] = base.extra.get("iterations")
+            if base.extra.get("iterations"):
+                record.extra["convergence_speedup"] = convergence_speedup(
+                    base.extra["iterations"], result.extra["iterations"]
+                )
+        return record
+
+    def run_sweep(
+        self,
+        app_name: str,
+        device: str | DeviceSpec,
+        points: list[SweepPoint],
+        site: str | None = None,
+    ) -> list[RunRecord]:
+        """Run a list of sweep points, returning all records."""
+        return [self.run_point(app_name, device, pt, site=site) for pt in points]

@@ -1,0 +1,12 @@
+"""OpenMP-offload-style frontend over the SIMT simulator.
+
+Mirrors the subset of OpenMP offload the paper builds on (§2.2): ``target``
+data regions with ``map`` clauses, and ``target teams distribute parallel
+for`` kernel launches with the ``num_teams`` / ``num_threads`` knobs the
+evaluation sweeps.
+"""
+
+from repro.openmp.mapping import DataEnvironment, MapClause, MapDirection
+from repro.openmp.runtime import OffloadProgram
+
+__all__ = ["DataEnvironment", "MapClause", "MapDirection", "OffloadProgram"]

@@ -1,0 +1,47 @@
+"""Pragma front end for the HPAC-Offload clause language.
+
+Stands in for the paper's Clang parser/sema/codegen extension (§3.3): text
+like ``memo(in:2:0.5f:4) level(warp) in(input[i*5:5:N]) out(o[i])`` is
+lexed, parsed, semantically checked, and lowered to the
+:class:`~repro.approx.base.RegionSpec` descriptors the runtime executes.
+"""
+
+from repro.pragma.lexer import Token, TokenKind, TokenStream, tokenize
+from repro.pragma.lowering import compile_pragma, compile_pragmas, lower
+from repro.pragma.parser import (
+    ApproxDirective,
+    ArraySection,
+    InClause,
+    LabelClause,
+    LevelClause,
+    MemoClause,
+    OutClause,
+    PerfoClause,
+    ScalarArg,
+    SectionExpr,
+    parse,
+)
+from repro.pragma.sema import CheckedDirective, check
+
+__all__ = [
+    "ApproxDirective",
+    "ArraySection",
+    "CheckedDirective",
+    "InClause",
+    "LabelClause",
+    "LevelClause",
+    "MemoClause",
+    "OutClause",
+    "PerfoClause",
+    "ScalarArg",
+    "SectionExpr",
+    "Token",
+    "TokenKind",
+    "TokenStream",
+    "check",
+    "compile_pragma",
+    "compile_pragmas",
+    "lower",
+    "parse",
+    "tokenize",
+]

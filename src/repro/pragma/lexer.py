@@ -1,0 +1,162 @@
+"""Lexer for the HPAC-Offload ``#pragma approx`` clause language.
+
+Token stream for directive text such as::
+
+    memo(in:2:0.5f:4) level(warp) in(input[i*5:5:N]) out(output1[i])
+    memo(out:3:5:1.5f) level(thread) out(output2[i])
+    perfo(small:4)
+
+The lexer understands C-style numeric literals (including the ``f`` suffix
+the paper writes on thresholds), identifiers, the punctuation used by clause
+argument lists and array sections, and arithmetic operators inside section
+expressions.  ``#pragma``/``omp``/``approx`` prefixes are accepted and
+skipped so users can paste directives verbatim from C sources.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import PragmaSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COLON = ":"
+    COMMA = ","
+    OP = "op"  # + - * / % inside section expressions
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    @property
+    def number(self) -> float:
+        """Numeric value of a NUMBER token (the ``f`` suffix is dropped)."""
+        text = self.text.rstrip("fF")
+        return float(text)
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind is TokenKind.NUMBER and re.fullmatch(
+            r"[0-9]+", self.text
+        ) is not None
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>(\d+\.\d*|\.\d+|\d+)([eE][-+]?\d+)?[fF]?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>"[^"]*")
+  | (?P<punct>[()\[\]:,])
+  | (?P<op>[-+*/%])
+    """,
+    re.VERBOSE,
+)
+
+_PUNCT_KIND = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+}
+
+#: Directive-prefix words skipped before clause parsing begins.
+_PREFIX_WORDS = ("pragma", "omp", "approx")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex clause text into tokens (END-terminated).
+
+    Raises :class:`PragmaSyntaxError` on any character outside the language.
+    """
+    tokens: list[Token] = []
+    pos = 0
+    stripped = text.lstrip()
+    offset = len(text) - len(stripped)
+    if stripped.startswith("#"):
+        offset += 1
+        stripped = stripped[1:]
+    pos = offset
+    n = len(text)
+    while pos < n:
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise PragmaSyntaxError(
+                f"unexpected character {text[pos]!r}", text, pos
+            )
+        if m.lastgroup == "ws":
+            pos = m.end()
+            continue
+        kind = {
+            "number": TokenKind.NUMBER,
+            "ident": TokenKind.IDENT,
+            "string": TokenKind.STRING,
+            "op": TokenKind.OP,
+        }.get(m.lastgroup)
+        if m.lastgroup == "punct":
+            kind = _PUNCT_KIND[m.group()]
+        tokens.append(Token(kind, m.group(), pos))
+        pos = m.end()
+
+    # Drop the optional "#pragma omp approx" / "pragma approx" prefix.
+    start = 0
+    while (
+        start < len(tokens)
+        and tokens[start].kind is TokenKind.IDENT
+        and tokens[start].text in _PREFIX_WORDS
+    ):
+        start += 1
+    tokens = tokens[start:]
+    tokens.append(Token(TokenKind.END, "", len(text)))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.index]
+        if tok.kind is not TokenKind.END:
+            self.index += 1
+        return tok
+
+    def at(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def expect(self, kind: TokenKind, what: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind is not kind:
+            raise PragmaSyntaxError(
+                f"expected {what or kind.value}, found {tok.text or 'end of input'!r}",
+                self.text,
+                tok.position,
+            )
+        return tok
+
+    def error(self, message: str) -> PragmaSyntaxError:
+        return PragmaSyntaxError(message, self.text, self.peek().position)

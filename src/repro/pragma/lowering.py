@@ -1,0 +1,52 @@
+"""Lowering: checked directives → runtime region descriptors.
+
+The last stage of the front end, corresponding to the paper's code
+generation (§3.3): the compiler "generates a call to the runtime function
+whose arguments have the information needed to perform the approximation".
+Here that call descriptor is a :class:`~repro.approx.base.RegionSpec`;
+:func:`compile_pragma` runs the whole pipeline (lex → parse → sema → lower)
+on directive text.
+"""
+
+from __future__ import annotations
+
+from repro.approx.base import RegionSpec
+from repro.pragma.parser import parse
+from repro.pragma.sema import CheckedDirective, check
+
+
+def lower(checked: CheckedDirective, name: str | None = None) -> RegionSpec:
+    """Build the runtime descriptor for a checked directive.
+
+    ``name`` overrides the region name; otherwise the directive's
+    ``label("...")`` clause is used, falling back to a technique-derived
+    name.
+    """
+    region_name = name or checked.label or f"{checked.technique.value}_region"
+    return RegionSpec(
+        name=region_name,
+        technique=checked.technique,
+        params=checked.params,
+        level=checked.level,
+        in_width=checked.in_width,
+        out_width=max(checked.out_width, 1),
+        meta={"pragma": checked.directive.text.strip()},
+    )
+
+
+def compile_pragma(text: str, name: str | None = None) -> RegionSpec:
+    """Full front-end pipeline for one directive string.
+
+    >>> spec = compile_pragma(
+    ...     "memo(in:2:0.5f:4) level(warp) in(input[i*5:5:N]) out(o[i])",
+    ...     name="foo",
+    ... )
+    >>> spec.technique.value, spec.in_width, spec.level.value
+    ('iact', 5, 'warp')
+    """
+    return lower(check(parse(text)), name=name)
+
+
+def compile_pragmas(pragmas: dict[str, str]) -> list[RegionSpec]:
+    """Compile a mapping of region name → directive text."""
+    return [compile_pragma(text, name=name) for name, text in pragmas.items()]

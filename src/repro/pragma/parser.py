@@ -1,0 +1,269 @@
+"""Recursive-descent parser for ``#pragma approx`` directives.
+
+Grammar (clauses may appear in any order)::
+
+    directive   := clause+
+    clause      := memo | perfo | level | in | out | label
+    memo        := "memo" "(" ("in" | "out") (":" scalar)+ ")"
+    perfo       := "perfo" "(" IDENT (":" scalar)* ")"
+    level       := "level" "(" IDENT ")"
+    in          := "in"  "(" section ("," section)* ")"
+    out         := "out" "(" section ("," section)* ")"
+    label       := "label" "(" STRING ")"
+    section     := IDENT [ "[" expr [":" expr [":" expr]] "]" ]
+    scalar      := NUMBER | IDENT
+    expr        := opaque run of IDENT/NUMBER/OP tokens (kept as text)
+
+The parser builds a plain AST; all validity rules (argument counts, value
+ranges, clause exclusivity) live in :mod:`repro.pragma.sema`, mirroring the
+paper's Clang split between parsing and semantic analysis (§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PragmaSyntaxError
+from repro.pragma.lexer import TokenKind, TokenStream
+
+
+@dataclass(frozen=True)
+class ScalarArg:
+    """One colon-separated clause argument: a number or an identifier."""
+
+    text: str
+    value: float | None  # None for identifier arguments
+    is_integer: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.text
+
+
+@dataclass(frozen=True)
+class SectionExpr:
+    """An opaque expression inside an array section (e.g. ``i*5``)."""
+
+    text: str
+
+    @property
+    def as_int(self) -> int | None:
+        """Integer value when the expression is a literal, else None."""
+        try:
+            return int(self.text)
+        except ValueError:
+            return None
+
+
+@dataclass(frozen=True)
+class ArraySection:
+    """``name[start:length:stride]`` from an in/out clause.
+
+    The paper's array sections follow OpenMP syntax: ``input[i*5:5:N]`` is a
+    5-element capture starting at ``i*5`` with stride ``N`` (column-major
+    vectors, §3.2).  A bare ``name`` or ``name[expr]`` is a scalar capture.
+    """
+
+    name: str
+    start: SectionExpr | None = None
+    length: SectionExpr | None = None
+    stride: SectionExpr | None = None
+
+    @property
+    def width(self) -> int:
+        """Number of scalars captured, when statically known (default 1)."""
+        if self.length is None:
+            return 1
+        lit = self.length.as_int
+        return lit if lit is not None else -1  # -1: symbolic, sema decides
+
+
+@dataclass(frozen=True)
+class MemoClause:
+    direction: str  # "in" (iACT) or "out" (TAF)
+    args: tuple[ScalarArg, ...]
+    position: int
+
+
+@dataclass(frozen=True)
+class PerfoClause:
+    kind: str  # small | large | ini | fini (+ optional "herded" modifier)
+    args: tuple[ScalarArg, ...]
+    herded: bool
+    position: int
+
+
+@dataclass(frozen=True)
+class LevelClause:
+    level: str
+    position: int
+
+
+@dataclass(frozen=True)
+class InClause:
+    sections: tuple[ArraySection, ...]
+    position: int
+
+
+@dataclass(frozen=True)
+class OutClause:
+    sections: tuple[ArraySection, ...]
+    position: int
+
+
+@dataclass(frozen=True)
+class LabelClause:
+    label: str
+    position: int
+
+
+@dataclass
+class ApproxDirective:
+    """Parsed ``#pragma approx`` directive (pre-sema)."""
+
+    text: str
+    memo: MemoClause | None = None
+    perfo: PerfoClause | None = None
+    level: LevelClause | None = None
+    ins: InClause | None = None
+    outs: OutClause | None = None
+    label: LabelClause | None = None
+    clauses: list = field(default_factory=list)
+
+
+def _parse_scalar(ts: TokenStream) -> ScalarArg:
+    tok = ts.next()
+    if tok.kind is TokenKind.OP and tok.text == "-":
+        num = ts.next()
+        if num.kind is not TokenKind.NUMBER:
+            raise PragmaSyntaxError(
+                f"expected number after '-', found {num.text!r}", ts.text, num.position
+            )
+        return ScalarArg("-" + num.text, -num.number, num.is_integer)
+    if tok.kind is TokenKind.NUMBER:
+        return ScalarArg(tok.text, tok.number, tok.is_integer)
+    if tok.kind is TokenKind.IDENT:
+        return ScalarArg(tok.text, None, False)
+    raise PragmaSyntaxError(
+        f"expected clause argument, found {tok.text!r}", ts.text, tok.position
+    )
+
+
+def _parse_expr(ts: TokenStream) -> SectionExpr:
+    """Collect an opaque expression until ``:``, ``]`` or ``,``."""
+    parts: list[str] = []
+    start = ts.peek().position
+    depth = 0
+    while True:
+        tok = ts.peek()
+        if tok.kind is TokenKind.END:
+            raise PragmaSyntaxError("unterminated array section", ts.text, tok.position)
+        if depth == 0 and tok.kind in (
+            TokenKind.COLON,
+            TokenKind.RBRACKET,
+            TokenKind.COMMA,
+        ):
+            break
+        if tok.kind is TokenKind.LBRACKET:
+            depth += 1
+        elif tok.kind is TokenKind.RBRACKET:
+            depth -= 1
+        parts.append(tok.text)
+        ts.next()
+    if not parts:
+        raise PragmaSyntaxError("empty section expression", ts.text, start)
+    return SectionExpr("".join(parts))
+
+
+def _parse_section(ts: TokenStream) -> ArraySection:
+    name = ts.expect(TokenKind.IDENT, "array name").text
+    if not ts.at(TokenKind.LBRACKET):
+        return ArraySection(name)
+    ts.next()
+    start = _parse_expr(ts)
+    length = stride = None
+    if ts.at(TokenKind.COLON):
+        ts.next()
+        length = _parse_expr(ts)
+        if ts.at(TokenKind.COLON):
+            ts.next()
+            stride = _parse_expr(ts)
+    ts.expect(TokenKind.RBRACKET, "']'")
+    return ArraySection(name, start, length, stride)
+
+
+def _parse_section_list(ts: TokenStream) -> tuple[ArraySection, ...]:
+    sections = [_parse_section(ts)]
+    while ts.at(TokenKind.COMMA):
+        ts.next()
+        sections.append(_parse_section(ts))
+    return tuple(sections)
+
+
+def parse(text: str) -> ApproxDirective:
+    """Parse directive text into an :class:`ApproxDirective` AST.
+
+    Duplicate clauses of the same kind are a syntax error (matching Clang's
+    behaviour for non-repeatable OpenMP clauses).
+    """
+    ts = TokenStream(text)
+    directive = ApproxDirective(text=text)
+
+    def _set(attr: str, clause) -> None:
+        if getattr(directive, attr) is not None:
+            raise PragmaSyntaxError(
+                f"duplicate {attr.rstrip('s')} clause", text, clause.position
+            )
+        setattr(directive, attr, clause)
+        directive.clauses.append(clause)
+
+    while not ts.at(TokenKind.END):
+        head = ts.expect(TokenKind.IDENT, "clause name")
+        pos = head.position
+        if head.text == "memo":
+            ts.expect(TokenKind.LPAREN, "'('")
+            direction = ts.expect(TokenKind.IDENT, "'in' or 'out'").text
+            args: list[ScalarArg] = []
+            while ts.at(TokenKind.COLON):
+                ts.next()
+                args.append(_parse_scalar(ts))
+            ts.expect(TokenKind.RPAREN, "')'")
+            _set("memo", MemoClause(direction, tuple(args), pos))
+        elif head.text == "perfo":
+            ts.expect(TokenKind.LPAREN, "'('")
+            kind = ts.expect(TokenKind.IDENT, "perforation kind").text
+            args = []
+            herded = False
+            while ts.at(TokenKind.COLON):
+                ts.next()
+                if ts.at(TokenKind.IDENT, "herded"):
+                    ts.next()
+                    herded = True
+                else:
+                    args.append(_parse_scalar(ts))
+            ts.expect(TokenKind.RPAREN, "')'")
+            _set("perfo", PerfoClause(kind, tuple(args), herded, pos))
+        elif head.text == "level":
+            ts.expect(TokenKind.LPAREN, "'('")
+            level = ts.expect(TokenKind.IDENT, "hierarchy level").text
+            ts.expect(TokenKind.RPAREN, "')'")
+            _set("level", LevelClause(level, pos))
+        elif head.text == "in":
+            ts.expect(TokenKind.LPAREN, "'('")
+            sections = _parse_section_list(ts)
+            ts.expect(TokenKind.RPAREN, "')'")
+            _set("ins", InClause(sections, pos))
+        elif head.text == "out":
+            ts.expect(TokenKind.LPAREN, "'('")
+            sections = _parse_section_list(ts)
+            ts.expect(TokenKind.RPAREN, "')'")
+            _set("outs", OutClause(sections, pos))
+        elif head.text == "label":
+            ts.expect(TokenKind.LPAREN, "'('")
+            tok = ts.expect(TokenKind.STRING, "quoted label")
+            ts.expect(TokenKind.RPAREN, "')'")
+            _set("label", LabelClause(tok.text.strip('"'), pos))
+        else:
+            raise PragmaSyntaxError(
+                f"unknown clause {head.text!r}", text, head.position
+            )
+    return directive

@@ -1,0 +1,194 @@
+"""Semantic analysis for parsed ``#pragma approx`` directives.
+
+Enforces the rules the paper's Clang extension checks during sema (§3.3):
+
+* exactly one technique clause per directive (``memo`` xor ``perfo``);
+* ``memo(in:tsize:threshold[:tperwarp])`` — 2 or 3 arguments, positive
+  integer table size, non-negative threshold, positive integer tperwarp;
+* ``memo(out:hSize:pSize:threshold)`` — exactly 3 arguments, positive
+  integer sizes, non-negative threshold;
+* ``perfo(small|large : M)`` with integer M ≥ 2; ``perfo(ini|fini : P)``
+  with 0 < P < 100; ``herded`` only on small/large;
+* ``level`` one of thread/warp/team;
+* iACT requires an ``in(...)`` clause (it memoizes on inputs); memoized
+  regions require ``out(...)``.
+
+The result is a :class:`CheckedDirective` carrying typed parameters, ready
+for lowering into a :class:`~repro.approx.base.RegionSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.approx.base import (
+    HierarchyLevel,
+    IACTParams,
+    PerfoParams,
+    PerforationKind,
+    TAFParams,
+    Technique,
+)
+from repro.errors import PragmaSemanticError
+from repro.pragma.parser import ApproxDirective, ScalarArg
+
+_LEVELS = {level.value: level for level in HierarchyLevel}
+_PERFO_KINDS = {kind.value: kind for kind in PerforationKind}
+
+
+def _require_positive_int(arg: ScalarArg, what: str) -> int:
+    if arg.value is None or not arg.is_integer or arg.value < 1:
+        raise PragmaSemanticError(f"{what} must be a positive integer, got {arg.text!r}")
+    return int(arg.value)
+
+
+def _require_threshold(arg: ScalarArg, what: str) -> float:
+    if arg.value is None or arg.value < 0:
+        raise PragmaSemanticError(f"{what} must be a non-negative number, got {arg.text!r}")
+    return float(arg.value)
+
+
+@dataclass
+class CheckedDirective:
+    """A semantically valid directive with typed parameters."""
+
+    technique: Technique
+    params: TAFParams | IACTParams | PerfoParams | None
+    level: HierarchyLevel
+    in_width: int
+    out_width: int
+    label: str | None
+    directive: ApproxDirective
+
+
+def _section_width(sections, what: str) -> int:
+    """Total statically-known scalar width of an in/out clause."""
+    total = 0
+    for s in sections:
+        w = s.width
+        if w == -1:
+            raise PragmaSemanticError(
+                f"{what} section {s.name!r} has a symbolic length "
+                f"({s.length.text!r}); HPAC-Offload requires statically "
+                f"uniform capture sizes (cf. the MiniFE/iACT limitation, §4.1)"
+            )
+        total += w
+    return total
+
+
+def check(directive: ApproxDirective) -> CheckedDirective:
+    """Validate a parsed directive; raises :class:`PragmaSemanticError`."""
+    if directive.memo is not None and directive.perfo is not None:
+        raise PragmaSemanticError(
+            "memo and perfo clauses are mutually exclusive on one directive"
+        )
+    if directive.memo is None and directive.perfo is None:
+        raise PragmaSemanticError("directive needs a memo or perfo clause")
+
+    level = HierarchyLevel.THREAD
+    if directive.level is not None:
+        try:
+            level = _LEVELS[directive.level.level]
+        except KeyError:
+            raise PragmaSemanticError(
+                f"unknown hierarchy level {directive.level.level!r}; "
+                f"allowed: thread, warp, team"
+            ) from None
+
+    in_width = _section_width(directive.ins.sections, "in") if directive.ins else 0
+    out_width = _section_width(directive.outs.sections, "out") if directive.outs else 0
+    label = directive.label.label if directive.label else None
+
+    if directive.memo is not None:
+        m = directive.memo
+        if m.direction == "in":
+            if len(m.args) not in (2, 3):
+                raise PragmaSemanticError(
+                    "memo(in:...) takes tsize:threshold[:tperwarp], got "
+                    f"{len(m.args)} arguments"
+                )
+            tsize = _require_positive_int(m.args[0], "iACT table size")
+            thresh = _require_threshold(m.args[1], "iACT threshold")
+            tpw = (
+                _require_positive_int(m.args[2], "tables per warp")
+                if len(m.args) == 3
+                else None
+            )
+            if directive.ins is None:
+                raise PragmaSemanticError(
+                    "memo(in:...) requires an in(...) clause declaring the "
+                    "region inputs to memoize on"
+                )
+            if directive.outs is None:
+                raise PragmaSemanticError(
+                    "memo(in:...) requires an out(...) clause declaring the "
+                    "region outputs to cache"
+                )
+            return CheckedDirective(
+                Technique.IACT,
+                IACTParams(tsize, thresh, tpw),
+                level,
+                in_width,
+                out_width,
+                label,
+                directive,
+            )
+        if m.direction == "out":
+            if len(m.args) != 3:
+                raise PragmaSemanticError(
+                    "memo(out:...) takes hSize:pSize:threshold, got "
+                    f"{len(m.args)} arguments"
+                )
+            hsize = _require_positive_int(m.args[0], "TAF history size")
+            psize = _require_positive_int(m.args[1], "TAF prediction size")
+            thresh = _require_threshold(m.args[2], "TAF RSD threshold")
+            if directive.outs is None:
+                raise PragmaSemanticError(
+                    "memo(out:...) requires an out(...) clause; TAF memoizes "
+                    "region outputs (no in(...) is needed, §3.2)"
+                )
+            return CheckedDirective(
+                Technique.TAF,
+                TAFParams(hsize, psize, thresh),
+                level,
+                in_width,
+                out_width,
+                label,
+                directive,
+            )
+        raise PragmaSemanticError(
+            f"memo direction must be 'in' or 'out', got {m.direction!r}"
+        )
+
+    # --- perforation -------------------------------------------------------
+    p = directive.perfo
+    try:
+        kind = _PERFO_KINDS[p.kind]
+    except KeyError:
+        raise PragmaSemanticError(
+            f"unknown perforation kind {p.kind!r}; allowed: "
+            f"{sorted(_PERFO_KINDS)}"
+        ) from None
+    if len(p.args) != 1:
+        raise PragmaSemanticError(
+            f"perfo({p.kind}:...) takes exactly one parameter, got {len(p.args)}"
+        )
+    if kind in (PerforationKind.SMALL, PerforationKind.LARGE):
+        param: float = _require_positive_int(p.args[0], "perforation skip factor")
+        if param < 2:
+            raise PragmaSemanticError("perforation skip factor must be >= 2")
+    else:
+        if p.herded:
+            raise PragmaSemanticError("herded applies to small/large perforation only")
+        param = _require_threshold(p.args[0], "perforation skip percent")
+        if not 0 < param < 100:
+            raise PragmaSemanticError("ini/fini skip percent must be in (0, 100)")
+    return CheckedDirective(
+        Technique.PERFORATION,
+        PerfoParams(kind, param, herded=p.herded),
+        level,
+        in_width,
+        out_width,
+        label,
+        directive,
+    )

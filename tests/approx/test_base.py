@@ -1,0 +1,121 @@
+"""Parameter/descriptor validation tests."""
+
+import pytest
+
+from repro.approx.base import (
+    HierarchyLevel,
+    IACTParams,
+    PerfoParams,
+    PerforationKind,
+    RegionSpec,
+    RegionStats,
+    TAFParams,
+    Technique,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTAFParams:
+    def test_valid(self):
+        p = TAFParams(3, 5, 1.5)
+        assert (p.history_size, p.prediction_size, p.rsd_threshold) == (3, 5, 1.5)
+
+    @pytest.mark.parametrize("h,p,t", [(0, 5, 1.0), (3, 0, 1.0), (3, 5, -1.0),
+                                       (3, 5, float("nan"))])
+    def test_invalid(self, h, p, t):
+        with pytest.raises(ConfigurationError):
+            TAFParams(h, p, t)
+
+
+class TestIACTParams:
+    def test_valid(self):
+        p = IACTParams(4, 0.5, 8)
+        assert p.table_size == 4
+
+    @pytest.mark.parametrize("ts,thr,tpw", [(0, 0.5, 4), (4, -0.1, 4), (4, 0.5, 0)])
+    def test_invalid(self, ts, thr, tpw):
+        with pytest.raises(ConfigurationError):
+            IACTParams(ts, thr, tpw)
+
+    def test_default_tables_per_warp_is_warp_size(self):
+        # §3.2: "The warp size is the default value, yielding one
+        # independent table for each thread."
+        assert IACTParams(4, 0.5).resolved_tables_per_warp(32) == 32
+        assert IACTParams(4, 0.5).resolved_tables_per_warp(64) == 64
+
+    def test_tperwarp_must_divide_warp(self):
+        with pytest.raises(ConfigurationError, match="divide"):
+            IACTParams(4, 0.5, 3).resolved_tables_per_warp(32)
+
+    def test_tperwarp_cannot_exceed_warp(self):
+        # Table 2: "Only the AMD platform uses 64 tables per warp."
+        assert IACTParams(4, 0.5, 64).resolved_tables_per_warp(64) == 64
+        with pytest.raises(ConfigurationError, match="exceed"):
+            IACTParams(4, 0.5, 64).resolved_tables_per_warp(32)
+
+
+class TestPerfoParams:
+    def test_skip_factor(self):
+        p = PerfoParams(PerforationKind.SMALL, 4)
+        assert p.skip_factor == 4
+        assert p.skip_fraction == pytest.approx(0.25)
+
+    def test_large_fraction(self):
+        p = PerfoParams(PerforationKind.LARGE, 4)
+        assert p.skip_fraction == pytest.approx(0.75)
+
+    def test_percent_fraction(self):
+        assert PerfoParams(PerforationKind.FINI, 30).skip_fraction == pytest.approx(0.3)
+
+    def test_small_skip_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            PerfoParams(PerforationKind.SMALL, 1)
+
+    @pytest.mark.parametrize("pct", [0, 100, -5])
+    def test_percent_bounds(self, pct):
+        with pytest.raises(ConfigurationError):
+            PerfoParams(PerforationKind.INI, pct)
+
+    def test_herded_only_for_skip_kinds(self):
+        PerfoParams(PerforationKind.SMALL, 4, herded=True)
+        with pytest.raises(ConfigurationError, match="small/large"):
+            PerfoParams(PerforationKind.FINI, 30, herded=True)
+
+
+class TestRegionSpec:
+    def test_taf_requires_taf_params(self):
+        with pytest.raises(ConfigurationError):
+            RegionSpec("r", Technique.TAF, IACTParams(4, 0.5))
+
+    def test_iact_requires_in_width(self):
+        with pytest.raises(ConfigurationError, match="in_width"):
+            RegionSpec("r", Technique.IACT, IACTParams(4, 0.5), in_width=0)
+
+    def test_perfo_requires_perfo_params(self):
+        with pytest.raises(ConfigurationError):
+            RegionSpec("r", Technique.PERFORATION, TAFParams(1, 1, 1.0))
+
+    def test_accurate_factory(self):
+        spec = RegionSpec.accurate("r", out_width=3)
+        assert spec.technique is Technique.NONE
+        assert spec.out_width == 3
+        assert spec.level is HierarchyLevel.THREAD
+
+    def test_valid_taf_spec(self):
+        spec = RegionSpec("r", Technique.TAF, TAFParams(2, 4, 0.5), out_width=2)
+        assert spec.out_width == 2
+
+
+class TestRegionStats:
+    def test_approx_fraction(self):
+        s = RegionStats(invocations=100, approximated=25)
+        assert s.approx_fraction == 0.25
+
+    def test_empty_fraction(self):
+        assert RegionStats().approx_fraction == 0.0
+
+    def test_snapshot(self):
+        s = RegionStats(invocations=10, approximated=5, forced=1)
+        snap = s.snapshot()
+        assert snap["approx_fraction"] == 0.5
+        assert snap["forced"] == 1

@@ -1,0 +1,112 @@
+"""Hierarchical decision tests (§3.1.2 majority rules)."""
+
+import numpy as np
+import pytest
+
+from repro.approx.base import HierarchyLevel
+from repro.approx.hierarchy import decide
+from repro.gpusim.context import GridContext
+from repro.gpusim.device import nvidia_v100
+
+
+@pytest.fixture
+def ctx():
+    return GridContext(nvidia_v100(), 2, 128)
+
+
+class TestThreadLevel:
+    def test_each_lane_independent(self, ctx):
+        want = ctx.thread_id % 2 == 0
+        d = decide(ctx, want, HierarchyLevel.THREAD)
+        assert (d.approx_mask == want).all()
+        assert not d.forced.any()
+        assert not d.denied.any()
+
+    def test_inactive_lanes_never_approximate(self, ctx):
+        want = np.ones(ctx.total_threads, bool)
+        d = decide(ctx, want, HierarchyLevel.THREAD, mask=ctx.thread_id < 10)
+        assert d.approx_mask.sum() == 10
+
+
+class TestWarpLevel:
+    def test_majority_approves_whole_warp(self, ctx):
+        want = ctx.lane_in_warp < 20  # 20/32 > half
+        d = decide(ctx, want, HierarchyLevel.WARP)
+        assert d.approx_mask.all()
+        # 12 lanes per warp forced against their own criterion.
+        assert d.forced.sum() == 12 * ctx.num_warps
+        assert not d.denied.any()
+
+    def test_minority_denied(self, ctx):
+        want = ctx.lane_in_warp < 10  # 10/32 < half
+        d = decide(ctx, want, HierarchyLevel.WARP)
+        assert not d.approx_mask.any()
+        assert d.denied.sum() == 10 * ctx.num_warps
+        assert not d.forced.any()
+
+    def test_exact_half_is_not_majority(self, ctx):
+        want = ctx.lane_in_warp < 16
+        d = decide(ctx, want, HierarchyLevel.WARP)
+        assert not d.approx_mask.any()  # strict majority
+
+    def test_majority_of_active_lanes_only(self, ctx):
+        # 8 active lanes per warp; 5 want → majority of the ACTIVE set.
+        mask = ctx.lane_in_warp < 8
+        want = ctx.lane_in_warp < 5
+        d = decide(ctx, want, HierarchyLevel.WARP, mask=mask)
+        assert (d.approx_mask == mask).all()
+
+    def test_warps_decide_independently(self, ctx):
+        want = np.zeros(ctx.total_threads, bool)
+        first_warp = ctx.warp_id == 0
+        want[first_warp] = True
+        d = decide(ctx, want, HierarchyLevel.WARP)
+        assert d.approx_mask[first_warp].all()
+        assert not d.approx_mask[~first_warp].any()
+
+
+class TestTeamLevel:
+    def test_block_majority(self, ctx):
+        want = ctx.lane_in_block < 70  # 70/128 > half
+        d = decide(ctx, want, HierarchyLevel.TEAM)
+        assert d.approx_mask.all()
+        assert d.forced.sum() == 58 * ctx.num_blocks
+
+    def test_block_minority_denied(self, ctx):
+        want = ctx.lane_in_block < 60
+        d = decide(ctx, want, HierarchyLevel.TEAM)
+        assert not d.approx_mask.any()
+
+    def test_blocks_decide_independently(self, ctx):
+        want = ctx.block_id == 0
+        d = decide(ctx, want, HierarchyLevel.TEAM)
+        assert d.approx_mask[ctx.block_id == 0].all()
+        assert not d.approx_mask[ctx.block_id == 1].any()
+
+    def test_team_decision_charges_collective_ops(self, ctx):
+        decide(ctx, np.ones(ctx.total_threads, bool), HierarchyLevel.TEAM)
+        # §3.3: ballot+popc, leader atomicAdd, barrier, read-back.
+        assert ctx.counters.atomics == 1
+        assert ctx.counters.barriers == 1
+
+
+class TestDecisionBookkeeping:
+    def test_masks_partition_active_lanes(self, ctx):
+        rng = np.random.default_rng(0)
+        want = rng.random(ctx.total_threads) < 0.5
+        mask = rng.random(ctx.total_threads) < 0.7
+        for level in HierarchyLevel:
+            d = decide(ctx, want, level, mask=mask)
+            overlap = np.logical_and(d.approx_mask, d.accurate_mask)
+            assert not overlap.any()
+            union = np.logical_or(d.approx_mask, d.accurate_mask)
+            m = np.logical_and(ctx.mask, mask)
+            assert (union == m).all()
+
+    def test_warp_cost_cheaper_than_team(self, ctx):
+        want = np.ones(ctx.total_threads, bool)
+        c1 = GridContext(nvidia_v100(), 2, 128)
+        c2 = GridContext(nvidia_v100(), 2, 128)
+        decide(c1, want, HierarchyLevel.WARP)
+        decide(c2, want, HierarchyLevel.TEAM)
+        assert c1.warp_cycles.sum() < c2.warp_cycles.sum()

@@ -1,0 +1,209 @@
+"""iACT runtime tests: table search, sharing, single writer, replacement."""
+
+import numpy as np
+import pytest
+
+from repro.approx.base import HierarchyLevel, IACTParams, RegionSpec, RegionStats, Technique
+from repro.approx.iact import (
+    IACTState,
+    allocate_state,
+    check_uniform_inputs,
+    get_state,
+    iact_invoke,
+)
+from repro.errors import UnsupportedApproximationError
+from repro.gpusim.context import GridContext
+from repro.gpusim.device import nvidia_v100
+
+
+def make_ctx(blocks=1, tpb=64):
+    return GridContext(nvidia_v100(), blocks, tpb)
+
+
+def iact_spec(ts=4, thr=0.5, tpw=None, inw=2, out=1, level=HierarchyLevel.THREAD):
+    return RegionSpec(
+        "r", Technique.IACT, IACTParams(ts, thr, tpw), level,
+        in_width=inw, out_width=out,
+    )
+
+
+def invoke(ctx, spec, inputs, outputs, mask=None, stats=None):
+    return iact_invoke(
+        ctx, spec, inputs,
+        lambda am: np.asarray(outputs, dtype=float).reshape(ctx.total_threads, -1),
+        mask=mask, stats=stats,
+    )
+
+
+class TestBasicMemoization:
+    def test_first_invocation_is_all_accurate(self):
+        ctx = make_ctx()
+        spec = iact_spec()
+        stats = RegionStats()
+        x = np.zeros((64, 2))
+        invoke(ctx, spec, x, np.ones(64), stats=stats)
+        assert stats.approximated == 0
+
+    def test_repeat_inputs_hit(self):
+        ctx = make_ctx()
+        spec = iact_spec(thr=0.1)
+        stats = RegionStats()
+        x = np.tile([1.0, 2.0], (64, 1))
+        invoke(ctx, spec, x, np.full(64, 9.0), stats=stats)
+        vals, _ = invoke(ctx, spec, x, np.full(64, -1.0), stats=stats)
+        # Every lane cached its own (identical) input on invocation 1.
+        assert stats.approximated == 64
+        assert vals[:, 0] == pytest.approx(9.0, abs=1e-5)
+
+    def test_inputs_beyond_threshold_miss(self):
+        ctx = make_ctx()
+        spec = iact_spec(thr=0.1)
+        stats = RegionStats()
+        invoke(ctx, spec, np.zeros((64, 2)), np.ones(64), stats=stats)
+        invoke(ctx, spec, np.full((64, 2), 10.0), np.ones(64), stats=stats)
+        assert stats.approximated == 0
+
+    def test_inputs_within_threshold_hit(self):
+        ctx = make_ctx()
+        spec = iact_spec(thr=1.0)
+        stats = RegionStats()
+        invoke(ctx, spec, np.zeros((64, 2)), np.full(64, 5.0), stats=stats)
+        invoke(ctx, spec, np.full((64, 2), 0.1), np.zeros(64), stats=stats)
+        assert stats.approximated == 64
+
+    def test_returns_nearest_entry(self):
+        ctx = make_ctx(tpb=32)
+        # Threshold 2: the second input (4.0) misses the first entry (0.0)
+        # and is inserted as a second entry.
+        spec = iact_spec(ts=4, thr=2.0, tpw=32, inw=1)
+        invoke(ctx, spec, np.zeros((32, 1)), np.full(32, 100.0))
+        invoke(ctx, spec, np.full((32, 1), 4.0), np.full(32, 200.0))
+        # Query at 3.6: nearest is 4.0 → 200.
+        vals, _ = invoke(ctx, spec, np.full((32, 1), 3.6), np.zeros(32))
+        assert vals[:, 0] == pytest.approx(200.0, abs=1e-4)
+
+
+class TestTableSharing:
+    def test_lane_to_table_mapping(self):
+        ctx = make_ctx(tpb=64)
+        st = allocate_state(ctx, iact_spec(tpw=2))
+        # 2 tables per warp of 32: lanes 0-15 → table 0, 16-31 → table 1.
+        assert st.table_of_lane[0] == 0
+        assert st.table_of_lane[15] == 0
+        assert st.table_of_lane[16] == 1
+        assert st.table_of_lane[32] == 2  # second warp's first table
+
+    def test_private_tables_by_default(self):
+        ctx = make_ctx(tpb=64)
+        st = allocate_state(ctx, iact_spec(tpw=None))
+        assert (st.table_of_lane == np.arange(64)).all()
+
+    def test_shared_table_lets_lanes_hit_neighbors_work(self):
+        # §3.1.4 advantage 2: "warp-level sharing allows threads to access
+        # computed values from adjacent threads".
+        ctx = make_ctx(tpb=32)
+        spec = iact_spec(ts=8, thr=0.1, tpw=1, inw=1)
+        stats = RegionStats()
+        # Invocation 1: all lanes present input 5.0; one writer caches it.
+        invoke(ctx, spec, np.full((32, 1), 5.0), np.full(32, 1.0), stats=stats)
+        # Invocation 2: all lanes hit the single shared entry.
+        invoke(ctx, spec, np.full((32, 1), 5.0), np.zeros(32), stats=stats)
+        assert stats.approximated == 32
+
+    def test_private_tables_cannot_see_neighbors(self):
+        ctx = make_ctx(tpb=32)
+        spec = iact_spec(ts=8, thr=0.1, tpw=32, inw=1)
+        stats = RegionStats()
+        # Only lane 0 executes invocation 1.
+        m0 = np.zeros(32, bool)
+        m0[0] = True
+        invoke(ctx, spec, np.full((32, 1), 5.0), np.ones(32), mask=m0, stats=stats)
+        # All lanes query: only lane 0 can hit.
+        invoke(ctx, spec, np.full((32, 1), 5.0), np.zeros(32), stats=stats)
+        assert stats.approximated == 1
+
+
+class TestSingleWriter:
+    def test_one_insertion_per_table_per_invocation(self):
+        ctx = make_ctx(tpb=32)
+        spec = iact_spec(ts=8, thr=0.01, tpw=1, inw=1)
+        st = get_state(ctx, spec)
+        x = np.arange(32, dtype=float).reshape(32, 1)
+        invoke(ctx, spec, x, np.zeros(32))
+        assert st.valid.sum() == 1  # single writer (§3.3)
+
+    def test_writer_is_max_distance_lane(self):
+        ctx = make_ctx(tpb=32)
+        spec = iact_spec(ts=8, thr=0.01, tpw=1, inw=1)
+        st = get_state(ctx, spec)
+        # Seed the table with 0.0.
+        invoke(ctx, spec, np.zeros((32, 1)), np.zeros(32))
+        # Lane 7 is farthest from the cached value.
+        x = np.ones((32, 1))
+        x[7] = 100.0
+        invoke(ctx, spec, x, np.zeros(32))
+        assert 100.0 in st.keys[0, :, 0]
+
+
+class TestUniformInputCheck:
+    def test_ragged_inputs_rejected(self):
+        # The MiniFE case (§4.1): varying per-thread input sizes.
+        spec = iact_spec(inw=2)
+        ragged = np.array([[1.0], [1.0, 2.0]], dtype=object)
+        with pytest.raises(UnsupportedApproximationError):
+            check_uniform_inputs(ragged, spec)
+
+    def test_wrong_width_rejected(self):
+        spec = iact_spec(inw=2)
+        with pytest.raises(UnsupportedApproximationError, match="in_width=2"):
+            check_uniform_inputs(np.zeros((10, 3)), spec)
+
+    def test_valid_inputs_pass(self):
+        spec = iact_spec(inw=2)
+        out = check_uniform_inputs(np.zeros((10, 2)), spec)
+        assert out.shape == (10, 2)
+
+
+class TestCosts:
+    def test_scan_cost_paid_even_on_full_hit(self):
+        # Insight 4: iACT always pays its decision cost.
+        ctx = make_ctx()
+        spec = iact_spec(thr=10.0, inw=2)
+        x = np.zeros((64, 2))
+        invoke(ctx, spec, x, np.ones(64))
+        before = ctx.warp_cycles.sum()
+        invoke(ctx, spec, x, np.ones(64))  # all hits
+        assert ctx.warp_cycles.sum() > before
+
+    def test_larger_tables_cost_more_to_scan(self):
+        costs = {}
+        for ts in (1, 8):
+            ctx = make_ctx()
+            spec = iact_spec(ts=ts, thr=0.0, inw=2)
+            invoke(ctx, spec, np.zeros((64, 2)), np.ones(64))
+            costs[ts] = ctx.warp_cycles.sum()
+        assert costs[8] > costs[1]
+
+    def test_state_in_shared_memory(self):
+        ctx = make_ctx()
+        before = ctx.shared.used_per_block
+        allocate_state(ctx, iact_spec())
+        assert ctx.shared.used_per_block > before
+
+    def test_bytes_per_table(self):
+        params = IACTParams(4, 0.5)
+        # 4 entries × (2 in + 1 out floats + flag) = 4 × 13 = 52.
+        assert IACTState.bytes_per_table(params, 2, 1) == 52
+
+
+class TestHierarchy:
+    def test_warp_level_forces_group(self):
+        ctx = make_ctx(tpb=32)
+        spec = iact_spec(ts=8, thr=0.5, tpw=1, inw=1, level=HierarchyLevel.WARP)
+        stats = RegionStats()
+        invoke(ctx, spec, np.zeros((32, 1)), np.ones(32), stats=stats)
+        # 20 lanes near the cached entry, 12 far: majority hits → all forced.
+        x = np.where(np.arange(32) < 20, 0.1, 50.0).reshape(32, 1)
+        invoke(ctx, spec, x, np.zeros(32), stats=stats)
+        assert stats.approximated == 32
+        assert stats.forced == 12

@@ -1,0 +1,99 @@
+"""Shared-memory budgeting tests (§3.1.1 / §3.3 / Fig 3)."""
+
+import pytest
+
+from repro.approx.base import (
+    IACTParams,
+    PerfoParams,
+    PerforationKind,
+    RegionSpec,
+    TAFParams,
+    Technique,
+)
+from repro.approx.memory_layout import (
+    iact_aggregate_entries,
+    region_shared_bytes_per_block,
+    validate_budget,
+)
+from repro.errors import SharedMemoryError
+from repro.gpusim.device import nvidia_v100
+
+
+def taf_region(h=5, out=1):
+    return RegionSpec("t", Technique.TAF, TAFParams(h, 4, 1.0), out_width=out)
+
+
+def iact_region(ts=4, tpw=None, inw=2, out=1):
+    return RegionSpec(
+        "i", Technique.IACT, IACTParams(ts, 0.5, tpw), in_width=inw, out_width=out
+    )
+
+
+class TestFootprints:
+    def test_taf_footprint_scales_with_threads(self):
+        a = region_shared_bytes_per_block(taf_region(), 128, 32)
+        b = region_shared_bytes_per_block(taf_region(), 256, 32)
+        assert b == 2 * a
+
+    def test_taf_footprint_scales_with_history(self):
+        small = region_shared_bytes_per_block(taf_region(h=1), 128, 32)
+        big = region_shared_bytes_per_block(taf_region(h=5), 128, 32)
+        assert big > small
+
+    def test_iact_footprint_scales_with_sharing(self):
+        private = region_shared_bytes_per_block(iact_region(tpw=None), 128, 32)
+        shared = region_shared_bytes_per_block(iact_region(tpw=1), 128, 32)
+        assert private == 32 * shared  # 32 tables/warp vs 1
+
+    def test_accurate_region_needs_nothing(self):
+        assert region_shared_bytes_per_block(RegionSpec.accurate("a"), 128, 32) == 0
+
+    def test_perforation_counter_only(self):
+        spec = RegionSpec(
+            "p", Technique.PERFORATION, PerfoParams(PerforationKind.SMALL, 4)
+        )
+        assert region_shared_bytes_per_block(spec, 128, 32) == 512  # 4 B/thread
+
+
+class TestBudget:
+    def test_fitting_config_passes(self):
+        dev = nvidia_v100()
+        report = validate_budget([taf_region()], 256, dev)
+        assert report.fits
+        assert 0 < report.utilization < 1
+
+    def test_overbudget_raises(self):
+        dev = nvidia_v100()
+        big = iact_region(ts=8, tpw=32, inw=8, out=4)
+        with pytest.raises(SharedMemoryError):
+            validate_budget([big, taf_region(h=5, out=4)], 1024, dev)
+
+    def test_non_strict_reports_without_raising(self):
+        dev = nvidia_v100()
+        big = iact_region(ts=8, tpw=32, inw=8, out=4)
+        report = validate_budget([big], 1024, dev, strict=False)
+        assert not report.fits
+
+    def test_custom_budget(self):
+        # Footnote 2: the runtime's shared memory is fixed when built.
+        dev = nvidia_v100()
+        with pytest.raises(SharedMemoryError):
+            validate_budget([taf_region()], 256, dev, budget_bytes=1024)
+
+    def test_report_itemizes_regions(self):
+        dev = nvidia_v100()
+        report = validate_budget([taf_region(), iact_region()], 128, dev)
+        assert set(report.per_region) == {"t", "i"}
+        assert report.total_bytes == sum(report.per_region.values())
+
+
+class TestAggregateEntries:
+    def test_total_entries_scale_with_sharing(self):
+        # Fewer tables per warp → fewer total entries in the block.
+        full = iact_aggregate_entries(IACTParams(4, 0.5, 32), 32, 128)
+        shared = iact_aggregate_entries(IACTParams(4, 0.5, 1), 32, 128)
+        assert full == 32 * shared
+
+    def test_matches_manual_count(self):
+        # 4 warps × 2 tables × 8 entries.
+        assert iact_aggregate_entries(IACTParams(8, 0.5, 2), 32, 128) == 64

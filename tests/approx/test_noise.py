@@ -1,0 +1,112 @@
+"""Noise-injection technique tests."""
+
+import numpy as np
+import pytest
+
+from repro.approx.base import NoiseParams, RegionSpec, RegionStats, Technique
+from repro.approx.noise import noise_invoke
+from repro.approx.runtime import ApproxRuntime
+from repro.errors import ConfigurationError
+from repro.gpusim.context import GridContext
+from repro.gpusim.device import nvidia_v100
+
+
+def make_ctx():
+    return GridContext(nvidia_v100(), 1, 64)
+
+
+def noise_spec(sigma=0.1, seed=0):
+    return RegionSpec("r", Technique.NOISE, NoiseParams(sigma, seed))
+
+
+class TestParams:
+    def test_valid(self):
+        assert NoiseParams(0.05).rel_sigma == 0.05
+
+    @pytest.mark.parametrize("sigma", [-0.1, float("nan"), float("inf")])
+    def test_invalid_sigma(self, sigma):
+        with pytest.raises(ConfigurationError):
+            NoiseParams(sigma)
+
+    def test_spec_requires_noise_params(self):
+        from repro.approx.base import TAFParams
+
+        with pytest.raises(ConfigurationError):
+            RegionSpec("r", Technique.NOISE, TAFParams(1, 1, 1.0))
+
+
+class TestInjection:
+    def test_perturbation_scale(self):
+        ctx = make_ctx()
+        vals = noise_invoke(
+            ctx, noise_spec(0.1), lambda am: np.full((64, 1), 100.0)
+        )
+        rel = np.abs(vals - 100.0) / 100.0
+        assert 0.0 < rel.mean() < 0.3
+        assert rel.std() > 0
+
+    def test_zero_sigma_is_exact(self):
+        ctx = make_ctx()
+        vals = noise_invoke(
+            ctx, noise_spec(0.0), lambda am: np.full((64, 1), 7.0)
+        )
+        assert (vals == 7.0).all()
+
+    def test_deterministic_per_seed(self):
+        a = noise_invoke(
+            make_ctx(), noise_spec(0.1, seed=1), lambda am: np.ones((64, 1))
+        )
+        b = noise_invoke(
+            make_ctx(), noise_spec(0.1, seed=1), lambda am: np.ones((64, 1))
+        )
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = noise_invoke(
+            make_ctx(), noise_spec(0.1, seed=1), lambda am: np.ones((64, 1))
+        )
+        b = noise_invoke(
+            make_ctx(), noise_spec(0.1, seed=2), lambda am: np.ones((64, 1))
+        )
+        assert not np.array_equal(a, b)
+
+    def test_successive_invocations_decorrelated(self):
+        ctx = make_ctx()
+        spec = noise_spec(0.1)
+        a = noise_invoke(ctx, spec, lambda am: np.ones((64, 1)))
+        b = noise_invoke(ctx, spec, lambda am: np.ones((64, 1)))
+        assert not np.array_equal(a, b)
+
+    def test_masked_lanes_unperturbed(self):
+        ctx = make_ctx()
+        m = ctx.thread_id < 10
+        vals = noise_invoke(
+            ctx, noise_spec(0.5), lambda am: np.ones((64, 1)), mask=m
+        )
+        assert (vals[10:] == 1.0).all()
+        assert not np.allclose(vals[:10], 1.0)
+
+    def test_stats_counted(self):
+        ctx = make_ctx()
+        stats = RegionStats()
+        noise_invoke(ctx, noise_spec(0.1), lambda am: np.ones((64, 1)), stats=stats)
+        assert stats.invocations == 64
+        assert stats.approximated == 64
+
+
+class TestRuntimeDispatch:
+    def test_region_routes_noise(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([noise_spec(0.2)])
+        vals = rt.region(ctx, "r", lambda am: np.full(64, 10.0))
+        assert vals.shape == (64,)
+        assert not np.allclose(vals, 10.0)
+
+    def test_noise_applicable_to_any_site(self):
+        # Sensitivity analysis must be able to probe every region, even
+        # sites that reject every optimization technique (MiniFE).
+        from repro.apps import get_benchmark
+
+        app = get_benchmark("minife", problem={"nx": 4, "ny": 4, "nz": 4})
+        specs = app.build_regions("noise", rel_sigma=0.01)
+        assert specs[0].technique is Technique.NOISE

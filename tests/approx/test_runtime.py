@@ -1,0 +1,152 @@
+"""ApproxRuntime facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.approx.base import (
+    IACTParams,
+    PerfoParams,
+    PerforationKind,
+    RegionSpec,
+    TAFParams,
+    Technique,
+)
+from repro.approx.runtime import ApproxRuntime
+from repro.errors import ConfigurationError
+from repro.gpusim.context import GridContext
+from repro.gpusim.device import nvidia_v100
+
+
+def make_ctx():
+    return GridContext(nvidia_v100(), 1, 64)
+
+
+def taf_spec(name="t"):
+    return RegionSpec(name, Technique.TAF, TAFParams(1, 4, 0.5))
+
+
+def iact_spec(name="i"):
+    return RegionSpec(name, Technique.IACT, IACTParams(2, 0.5), in_width=1)
+
+
+def perfo_spec(name="p"):
+    return RegionSpec(
+        name, Technique.PERFORATION, PerfoParams(PerforationKind.SMALL, 4)
+    )
+
+
+class TestRegistry:
+    def test_add_and_lookup(self):
+        rt = ApproxRuntime([taf_spec()])
+        assert rt.spec("t").technique is Technique.TAF
+
+    def test_dict_init(self):
+        rt = ApproxRuntime({"t": taf_spec()})
+        assert "t" in rt.specs
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            ApproxRuntime([taf_spec(), taf_spec()])
+
+    def test_unknown_region(self):
+        rt = ApproxRuntime()
+        with pytest.raises(ConfigurationError, match="unknown"):
+            rt.spec("nope")
+
+    def test_needs_inputs_only_for_iact(self):
+        rt = ApproxRuntime([taf_spec(), iact_spec(), perfo_spec()])
+        assert not rt.needs_inputs("t")
+        assert rt.needs_inputs("i")
+        assert not rt.needs_inputs("p")
+
+
+class TestDispatch:
+    def test_accurate_region_passthrough(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([RegionSpec.accurate("a")])
+        vals = rt.region(ctx, "a", lambda am: np.full(64, 3.0))
+        assert (vals == 3.0).all()
+        assert rt.stats["a"].invocations == 64
+
+    def test_taf_region_dispatch(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([taf_spec()])
+        for _ in range(3):
+            vals = rt.region(ctx, "t", lambda am: np.full(64, 2.0))
+        assert (vals == 2.0).all()
+        assert rt.stats["t"].approximated > 0
+
+    def test_iact_requires_inputs(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([iact_spec()])
+        with pytest.raises(ConfigurationError, match="captured inputs"):
+            rt.region(ctx, "i", lambda am: np.ones(64))
+
+    def test_iact_with_inputs(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([iact_spec()])
+        x = np.zeros((64, 1))
+        rt.region(ctx, "i", lambda am: np.ones(64), inputs=x)
+        rt.region(ctx, "i", lambda am: np.ones(64), inputs=x)
+        assert rt.stats["i"].approximated > 0
+
+    def test_perforated_region_rejected_from_region(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([perfo_spec()])
+        with pytest.raises(ConfigurationError, match="loop"):
+            rt.region(ctx, "p", lambda am: np.ones(64))
+
+    def test_memo_region_rejected_from_loop(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([taf_spec()])
+        with pytest.raises(ConfigurationError, match="perforated or accurate"):
+            list(rt.loop(ctx, "t", 100))
+
+    def test_loop_on_perforated(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([perfo_spec()])
+        executed = sum(int(m.sum()) for _s, _i, m in rt.loop(ctx, "p", 256))
+        assert executed == 192  # 3/4 of 256
+
+    def test_loop_on_accurate(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([RegionSpec.accurate("a")])
+        executed = sum(int(m.sum()) for _s, _i, m in rt.loop(ctx, "a", 256))
+        assert executed == 256
+
+    def test_vector_output_shape(self):
+        ctx = make_ctx()
+        spec = RegionSpec("v", Technique.TAF, TAFParams(1, 2, 0.5), out_width=3)
+        rt = ApproxRuntime([spec])
+        vals = rt.region(ctx, "v", lambda am: np.ones((64, 3)))
+        assert vals.shape == (64, 3)
+
+    def test_scalar_output_squeezed(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([taf_spec()])
+        vals = rt.region(ctx, "t", lambda am: np.ones(64))
+        assert vals.shape == (64,)
+
+
+class TestStats:
+    def test_stats_accumulate_across_invocations(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([taf_spec()])
+        for _ in range(5):
+            rt.region(ctx, "t", lambda am: np.ones(64))
+        assert rt.stats["t"].invocations == 5 * 64
+
+    def test_reset_stats(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([taf_spec()])
+        rt.region(ctx, "t", lambda am: np.ones(64))
+        rt.reset_stats()
+        assert rt.stats["t"].invocations == 0
+
+    def test_snapshot(self):
+        ctx = make_ctx()
+        rt = ApproxRuntime([taf_spec(), perfo_spec()])
+        rt.region(ctx, "t", lambda am: np.ones(64))
+        snap = rt.stats_snapshot()
+        assert snap["t"]["invocations"] == 64
+        assert snap["p"]["invocations"] == 0

@@ -1,0 +1,87 @@
+"""Fig-4 TAF variant tests: semantics and parallelism of (b), (c), (d)."""
+
+import numpy as np
+import pytest
+
+from repro.approx.base import TAFParams
+from repro.approx.taf_variants import (
+    compare_variants,
+    cpu_taf,
+    gpu_grid_stride_taf,
+    gpu_serialized_taf,
+)
+
+PARAMS = TAFParams(2, 2, 0.3)  # the figure's configuration
+
+
+@pytest.fixture
+def signal():
+    rng = np.random.default_rng(11)
+    t = np.linspace(0, 4 * np.pi, 1024)
+    return 10.0 + np.sin(t) + 0.005 * rng.standard_normal(1024)
+
+
+class TestSemantics:
+    def test_serialized_matches_single_threaded_cpu(self, signal):
+        """Fig 4(c) is semantically equivalent to sequential TAF."""
+        cpu1 = cpu_taf(signal, PARAMS, num_threads=1)
+        ser = gpu_serialized_taf(signal, PARAMS, num_threads=64)
+        assert np.allclose(cpu1.outputs, ser.outputs)
+        assert (cpu1.approximated == ser.approximated).all()
+
+    def test_constant_signal_all_variants_exact(self):
+        sig = np.full(256, 5.0)
+        for res in compare_variants(sig, PARAMS, 32).values():
+            assert np.allclose(res.outputs, 5.0)
+            assert res.approx_fraction > 0.3
+
+    def test_unstable_signal_never_approximates(self):
+        sig = 2.0 ** np.arange(64)
+        for res in compare_variants(sig, TAFParams(2, 2, 0.01), 8).values():
+            assert res.approx_fraction == 0.0
+
+    def test_grid_stride_relaxes_locality(self, signal):
+        """Fig 4(d) trades accuracy (stride-P windows) for parallelism."""
+        cpu = cpu_taf(signal, PARAMS, 64)
+        gs = gpu_grid_stride_taf(signal, PARAMS, 64)
+        err_cpu = np.abs(cpu.outputs - signal).mean()
+        err_gs = np.abs(gs.outputs - signal).mean()
+        assert err_gs >= err_cpu
+
+
+class TestParallelism:
+    def test_serialized_makespan_is_total_work(self, signal):
+        ser = gpu_serialized_taf(signal, PARAMS, 64)
+        assert ser.makespan == pytest.approx(ser.total_work)
+
+    def test_grid_stride_recovers_parallelism(self, signal):
+        ser = gpu_serialized_taf(signal, PARAMS, 64)
+        gs = gpu_grid_stride_taf(signal, PARAMS, 64)
+        assert gs.makespan < ser.makespan / 10
+
+    def test_cpu_makespan_is_slowest_thread(self, signal):
+        cpu = cpu_taf(signal, PARAMS, 64)
+        assert cpu.makespan <= cpu.total_work
+        assert cpu.makespan >= cpu.total_work / 64
+
+    def test_step_cost_is_max_over_lanes(self):
+        """(d): a step with one accurate lane costs the accurate price."""
+        # Alternating stable/unstable lanes: every step mixes paths.
+        sig = np.tile([1.0, 1e6], 64)  # even idx constant-ish per thread walk
+        res = gpu_grid_stride_taf(sig, TAFParams(1, 8, 0.5), 2, 1.0, 0.05)
+        # Makespan cannot be cheaper than all-approximate (0.05/step) nor
+        # pricier than all-accurate.
+        steps = 64
+        assert 0.05 * steps <= res.makespan <= 1.0 * steps
+
+
+class TestCompare:
+    def test_compare_returns_all_variants(self, signal):
+        out = compare_variants(signal, PARAMS, 16)
+        assert set(out) == {"cpu", "gpu_serialized", "gpu_grid_stride"}
+
+    def test_variant_result_fields(self, signal):
+        res = cpu_taf(signal, PARAMS, 8)
+        assert res.name == "cpu"
+        assert len(res.outputs) == len(signal)
+        assert 0.0 <= res.approx_fraction <= 1.0

@@ -1,0 +1,97 @@
+"""Binomial Options benchmark tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.binomial import BinomialOptions, binomial_price
+from repro.apps.blackscholes import black_scholes_call
+from repro.errors import UnsupportedApproximationError
+from repro.harness.metrics import mape
+
+SMALL = {"num_options": 1024, "steps": 32}
+
+
+@pytest.fixture(scope="module")
+def app():
+    return BinomialOptions(problem=SMALL)
+
+
+@pytest.fixture(scope="module")
+def baseline(app):
+    return app.run("v100_small", items_per_thread=2)
+
+
+class TestLattice:
+    def test_converges_to_black_scholes(self):
+        S = np.array([100.0]); K = np.array([95.0])
+        r = np.array([0.04]); v = np.array([0.25]); T = np.array([1.0])
+        bs = black_scholes_call(S, K, r, v, T)[0]
+        bino = binomial_price(S, K, r, v, T, steps=512)[0]
+        assert bino == pytest.approx(bs, rel=1e-3)
+
+    def test_price_positive(self, baseline):
+        assert (baseline.qoi > 0).all()
+
+    def test_vectorized_over_options(self):
+        S = np.array([100.0, 120.0]); K = np.array([100.0, 100.0])
+        r = np.array([0.03, 0.03]); v = np.array([0.2, 0.2]); T = np.array([1.0, 1.0])
+        p = binomial_price(S, K, r, v, T, 64)
+        assert p[1] > p[0]  # higher spot, higher call price
+
+
+class TestBlockCooperation:
+    def test_thread_level_rejected(self, app):
+        # §4.1: "we only use block-level decision-making" — the region
+        # contains barriers.
+        with pytest.raises(UnsupportedApproximationError):
+            app.build_regions("taf", level="thread", hsize=2, psize=4, threshold=0.3)
+
+    def test_team_level_accepted(self, app):
+        specs = app.build_regions("taf", level="team", hsize=2, psize=4, threshold=0.3)
+        assert specs[0].level.value == "team"
+
+    def test_accurate_run_charges_barriers(self, app, baseline):
+        # One barrier per lattice level per option.
+        assert baseline.timing.kernels[0].total_warp_cycles > 0
+
+
+class TestApproximation:
+    def test_taf_large_speedup_under_10pct(self, app, baseline):
+        # Fig 8a: TAF reaches ~6.9× with ~1.4% MAPE on NVIDIA.
+        regs = app.build_regions("taf", level="team", hsize=2, psize=32, threshold=0.3)
+        res = app.run("v100_small", regs, items_per_thread=128)
+        speedup = baseline.seconds / res.seconds
+        err = mape(baseline.qoi, res.qoi)
+        assert speedup > 3.0
+        assert err < 0.12
+
+    def test_iact_speedup(self, app, baseline):
+        # Fig 8b: iACT also wins here — the lattice amortizes its scan cost.
+        regs = app.build_regions(
+            "iact", level="team", tsize=8, threshold=0.1, tperwarp=2
+        )
+        res = app.run("v100_small", regs, items_per_thread=16)
+        assert baseline.seconds / res.seconds > 1.5
+        assert mape(baseline.qoi, res.qoi) < 0.10
+
+    def test_items_per_thread_tradeoff_has_peak(self, app, baseline):
+        # Fig 8c: speedup rises then falls with items per thread.
+        speeds = []
+        for ipt in (1, 32, 512):
+            regs = app.build_regions(
+                "taf", level="team", hsize=2, psize=32, threshold=0.3
+            )
+            res = app.run("v100_small", regs, items_per_thread=ipt)
+            speeds.append(baseline.seconds / res.seconds)
+        assert speeds[1] > speeds[0]  # rising edge
+        assert speeds[1] > speeds[2] * 0.8  # falling or flattening edge
+
+    def test_approx_fraction_grows_with_items(self, app):
+        fracs = []
+        for ipt in (1, 64):
+            regs = app.build_regions(
+                "taf", level="team", hsize=2, psize=32, threshold=0.3
+            )
+            res = app.run("v100_small", regs, items_per_thread=ipt)
+            fracs.append(res.region_stats["option_price"]["approx_fraction"])
+        assert fracs[1] > fracs[0]

@@ -1,0 +1,108 @@
+"""Blackscholes benchmark tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blackscholes import Blackscholes, black_scholes_call
+from repro.harness.metrics import mape
+
+SMALL = {"num_options": 4096, "num_runs": 4}
+
+
+@pytest.fixture(scope="module")
+def app():
+    return Blackscholes(problem=SMALL)
+
+
+@pytest.fixture(scope="module")
+def baseline(app):
+    return app.run("v100_small")
+
+
+class TestFormula:
+    def test_known_value(self):
+        # S=100, K=100, r=5%, v=20%, T=1: call ≈ 10.4506 (textbook).
+        price = black_scholes_call(
+            np.array([100.0]), np.array([100.0]), np.array([0.05]),
+            np.array([0.2]), np.array([1.0]),
+        )
+        assert price[0] == pytest.approx(10.4506, abs=1e-3)
+
+    def test_deep_itm_approaches_intrinsic(self):
+        price = black_scholes_call(
+            np.array([200.0]), np.array([100.0]), np.array([0.05]),
+            np.array([0.2]), np.array([0.5]),
+        )
+        assert price[0] > 100.0
+
+    def test_price_increases_with_vol(self):
+        S = np.array([100.0]); K = np.array([100.0])
+        r = np.array([0.03]); T = np.array([1.0])
+        lo = black_scholes_call(S, K, r, np.array([0.1]), T)
+        hi = black_scholes_call(S, K, r, np.array([0.5]), T)
+        assert hi > lo
+
+
+class TestAccurateRun:
+    def test_prices_match_reference(self, app, baseline):
+        opts = baseline.extra["options"]
+        ref = black_scholes_call(*[opts[:, i] for i in range(5)])
+        assert np.allclose(baseline.qoi, ref)
+
+    def test_host_time_dominates_end_to_end(self, baseline):
+        # §4.1: "99% of the time is spent in memory allocations and data
+        # transfers" — end-to-end speedups would be meaningless.
+        assert baseline.timing.host_seconds / baseline.seconds > 0.85
+
+    def test_kernel_only_flag(self, app):
+        assert app.kernel_only
+
+
+class TestApproximation:
+    def test_taf_kernel_speedup_with_small_error(self, app, baseline):
+        regs = app.build_regions("taf", hsize=1, psize=4, threshold=0.3)
+        res = app.run("v100_small", regs, items_per_thread=2)
+        assert baseline.kernel_seconds / res.kernel_seconds > 1.3
+        assert mape(baseline.qoi, res.qoi) < 0.08
+
+    def test_taf_threshold_gates_approximation(self, app):
+        fracs = {}
+        for thr in (0.0, 20.0):
+            regs = app.build_regions("taf", hsize=5, psize=16, threshold=thr)
+            res = app.run("v100_small", regs, items_per_thread=8)
+            fracs[thr] = res.region_stats["price"]["approx_fraction"]
+        assert fracs[0.0] == 0.0
+        assert fracs[20.0] > 0.5
+
+    def test_iact_low_error(self, app, baseline):
+        regs = app.build_regions("iact", tsize=2, threshold=0.3)
+        res = app.run("v100_small", regs, items_per_thread=2)
+        assert mape(baseline.qoi, res.qoi) < 0.08
+        assert res.region_stats["price"]["approx_fraction"] > 0.3
+
+    def test_taf_beats_iact_on_kernel_time(self, app, baseline):
+        # Insight 4.
+        taf = app.run(
+            "v100_small",
+            app.build_regions("taf", hsize=1, psize=4, threshold=0.3),
+            items_per_thread=2,
+        )
+        iact = app.run(
+            "v100_small",
+            app.build_regions("iact", tsize=2, threshold=0.3),
+            items_per_thread=2,
+        )
+        assert taf.kernel_seconds < iact.kernel_seconds
+
+    def test_items_per_thread_increases_approximation(self, app):
+        fracs = []
+        for ipt in (1, 8):
+            regs = app.build_regions("taf", hsize=1, psize=64, threshold=0.3)
+            res = app.run("v100_small", regs, items_per_thread=ipt)
+            fracs.append(res.region_stats["price"]["approx_fraction"])
+        assert fracs[1] > fracs[0]
+
+    def test_runs_on_amd(self, app):
+        regs = app.build_regions("taf", hsize=1, psize=4, threshold=0.3)
+        res = app.run("amd_small", regs, items_per_thread=2)
+        assert res.kernel_seconds > 0

@@ -1,0 +1,74 @@
+"""K-Means benchmark tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KMeans
+from repro.harness.metrics import mcr
+
+SMALL = {"num_obs": 4096, "k": 4, "dim": 3, "max_iters": 40}
+
+
+@pytest.fixture(scope="module")
+def app():
+    return KMeans(problem=SMALL)
+
+
+@pytest.fixture(scope="module")
+def baseline(app):
+    return app.run("v100_small", items_per_thread=8)
+
+
+class TestClustering:
+    def test_all_clusters_populated(self, baseline):
+        counts = np.bincount(baseline.qoi.astype(int), minlength=SMALL["k"])
+        assert (counts > 0).all()
+
+    def test_converges_before_cap(self, baseline):
+        assert baseline.extra["iterations"] < SMALL["max_iters"]
+
+    def test_assignments_mostly_match_generating_runs(self, app, baseline):
+        # Locally ordered data: each run maps to one dominant cluster.
+        labels = baseline.qoi.astype(int)
+        run = SMALL["num_obs"] // SMALL["k"]
+        purity = []
+        for r in range(SMALL["k"]):
+            seg = labels[r * run:(r + 1) * run]
+            purity.append(np.bincount(seg).max() / len(seg))
+        assert np.mean(purity) > 0.85
+
+
+class TestApproximation:
+    def test_taf_early_convergence(self, app, baseline):
+        """§4.1: speedup comes primarily from early convergence."""
+        regs = app.build_regions("taf", hsize=1, psize=7, threshold=0.9)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        assert res.extra["iterations"] <= baseline.extra["iterations"]
+
+    def test_taf_speedup_tracks_convergence_speedup(self, app, baseline):
+        """Fig 12c: time speedup ≈ convergence speedup."""
+        regs = app.build_regions("taf", hsize=1, psize=7, threshold=0.9)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        time_speedup = baseline.seconds / res.seconds
+        conv_speedup = baseline.extra["iterations"] / res.extra["iterations"]
+        assert time_speedup == pytest.approx(conv_speedup, rel=0.4)
+
+    def test_herding_keeps_mcr_moderate(self, app, baseline):
+        regs = app.build_regions("taf", hsize=1, psize=3, threshold=0.9)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        assert mcr(baseline.qoi, res.qoi) < 0.25
+
+    def test_iact_low_error(self, app, baseline):
+        """Fig 12b: iACT's errors are small (insight 6)."""
+        regs = app.build_regions("iact", tsize=4, threshold=0.3)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        assert mcr(baseline.qoi, res.qoi) < 0.10
+
+    def test_mcr_metric_used(self, app):
+        assert app.error_metric == "mcr"
+
+    def test_zero_threshold_is_accurate(self, app, baseline):
+        regs = app.build_regions("taf", hsize=2, psize=4, threshold=0.0)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        assert mcr(baseline.qoi, res.qoi) == 0.0
+        assert res.extra["iterations"] == baseline.extra["iterations"]

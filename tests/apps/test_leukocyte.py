@@ -1,0 +1,73 @@
+"""Leukocyte benchmark tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.leukocyte import Leukocyte
+from repro.harness.metrics import mape
+
+SMALL = {"num_cells": 4, "window": 16, "iterations": 25}
+
+
+@pytest.fixture(scope="module")
+def app():
+    a = Leukocyte(problem=SMALL)
+    a.default_num_threads = 256  # 16² pixels per window
+    return a
+
+
+@pytest.fixture(scope="module")
+def baseline(app):
+    return app.run("v100_small")
+
+
+class TestTracking:
+    def test_finds_cells_near_true_centers(self, app, baseline):
+        app.rng = np.random.default_rng(2023)
+        _frames, true_centers = app._generate()
+        found = baseline.qoi.reshape(-1, 2)
+        err = np.linalg.norm(found - true_centers, axis=1)
+        assert err.max() < 2.0  # within 2 pixels
+
+    def test_one_block_per_cell(self, baseline):
+        assert baseline.extra["num_teams"] == SMALL["num_cells"]
+
+    def test_imgvf_converges_toward_smooth_field(self, baseline):
+        fields = baseline.extra["fields"]
+        # Converged field is smooth: laplacian magnitude small.
+        lap = np.abs(np.diff(fields, 2, axis=1)).mean()
+        assert lap < 0.05
+
+
+class TestApproximation:
+    def test_taf_speedup_with_low_qoi_error(self, app, baseline):
+        """Fig 9a: TAF ≈2× at ~1% error."""
+        regs = app.build_regions("taf", hsize=2, psize=16, threshold=0.1)
+        res = app.run("v100_small", regs)
+        assert baseline.seconds / res.seconds > 1.2
+        assert mape(baseline.qoi, res.qoi) < 0.05
+
+    def test_iact_always_slows_down(self, app, baseline):
+        """Fig 9b: 'iACT reduces error but always slows down the
+        application' — lookups cost more than the stencil update."""
+        regs = app.build_regions("iact", tsize=8, threshold=0.1, tperwarp=8)
+        res = app.run("v100_small", regs)
+        assert res.seconds > baseline.seconds
+        assert mape(baseline.qoi, res.qoi) < 0.05
+
+    def test_taf_frac_grows_with_threshold(self, app):
+        fracs = []
+        for thr in (0.001, 0.3):
+            regs = app.build_regions("taf", hsize=2, psize=16, threshold=thr)
+            res = app.run("v100_small", regs)
+            fracs.append(res.region_stats["imgvf_update"]["approx_fraction"])
+        assert fracs[1] > fracs[0]
+
+    def test_temporal_locality_beats_spatial(self, app, baseline):
+        """One thread per pixel (pure temporal walk) yields lower error
+        than multiple pixels per thread at the same parameters."""
+        regs = app.build_regions("taf", hsize=2, psize=16, threshold=0.1)
+        temporal = app.run("v100_small", regs, num_threads=256)
+        regs = app.build_regions("taf", hsize=2, psize=16, threshold=0.1)
+        spatial = app.run("v100_small", regs, num_threads=64)
+        assert mape(baseline.qoi, temporal.qoi) <= mape(baseline.qoi, spatial.qoi) + 1e-9

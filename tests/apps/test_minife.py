@@ -1,0 +1,86 @@
+"""MiniFE benchmark tests — the paper's negative result."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.minife import MiniFE, poisson_csr
+from repro.errors import UnsupportedApproximationError
+
+SMALL = {"nx": 8, "ny": 8, "nz": 8, "cg_iters": 30}
+
+
+@pytest.fixture(scope="module")
+def app():
+    return MiniFE(problem=SMALL)
+
+
+@pytest.fixture(scope="module")
+def baseline(app):
+    return app.run("v100_small", items_per_thread=8)
+
+
+class TestMatrix:
+    def test_seven_point_stencil(self):
+        A = poisson_csr(4, 4, 4)
+        nnz = np.diff(A.indptr)
+        assert nnz.max() == 7
+        assert nnz.min() >= 4  # corners couple to 3 neighbours + diagonal
+
+    def test_symmetric(self):
+        A = poisson_csr(5, 4, 3)
+        assert (A != A.T).nnz == 0
+
+    def test_positive_definite(self):
+        A = poisson_csr(4, 4, 4).toarray()
+        eigs = np.linalg.eigvalsh(A)
+        assert eigs.min() > 0
+
+    def test_row_lengths_vary(self):
+        # The structural reason iACT is inapplicable (§4.1).
+        A = poisson_csr(6, 6, 6)
+        assert len(np.unique(np.diff(A.indptr))) > 1
+
+
+class TestAccurateSolve:
+    def test_cg_converges(self, baseline):
+        assert baseline.qoi[0] < 1e-8
+
+    def test_solution_solves_system(self, app, baseline):
+        A = poisson_csr(8, 8, 8)
+        x = baseline.extra["solution"]
+        r = np.ones(A.shape[0]) - A @ x
+        assert np.linalg.norm(r) < 1e-6
+
+
+class TestNegativeResult:
+    def test_iact_rejected(self, app):
+        """§4.1: 'iACT is not suitable since input sizes vary across
+        threads due to the CSR matrix's non-zero values.'"""
+        with pytest.raises(UnsupportedApproximationError):
+            app.build_regions("iact", tsize=4, threshold=0.5)
+
+    def test_taf_error_explodes(self, app, baseline):
+        """Fig 9c: errors between 593% and 3.43e22%."""
+        regs = app.build_regions("taf", hsize=2, psize=8, threshold=0.9)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        rel = abs(res.qoi[0] - baseline.qoi[0]) / abs(baseline.qoi[0])
+        assert rel > 5.93  # ≥ 593%
+
+    def test_error_propagates_through_iterations(self, app, baseline):
+        """Shorter CG runs accumulate less corruption than longer ones."""
+        errs = []
+        for iters in (5, 30):
+            short = MiniFE(problem={**SMALL, "cg_iters": iters})
+            acc = short.run("v100_small", items_per_thread=8)
+            regs = short.build_regions("taf", hsize=2, psize=8, threshold=0.9)
+            res = short.run("v100_small", regs, items_per_thread=8)
+            errs.append(abs(res.qoi[0] - acc.qoi[0]))
+        assert errs[1] != errs[0]
+
+    def test_taf_never_excluded_from_sweep_by_speedup(self, app, baseline):
+        # Approximating SpMV does give some speedup — the problem is purely
+        # the error (which is why MiniFE is excluded from Fig 6).
+        regs = app.build_regions("taf", hsize=1, psize=8, threshold=3.0)
+        res = app.run("v100_small", regs, items_per_thread=8)
+        assert res.seconds <= baseline.seconds * 1.1

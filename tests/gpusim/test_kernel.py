@@ -1,0 +1,125 @@
+"""Kernel launch API tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.device import nvidia_v100
+from repro.gpusim.kernel import launch, round_up, validate_launch
+from repro.gpusim.shared import SharedMemoryPool
+
+
+@pytest.fixture
+def dev():
+    return nvidia_v100()
+
+
+class TestValidation:
+    def test_valid_launch_passes(self, dev):
+        validate_launch(dev, 10, 256)
+
+    @pytest.mark.parametrize(
+        "blocks,threads", [(0, 256), (-1, 256), (4, 0), (4, 100), (4, 2048)]
+    )
+    def test_invalid_launches(self, dev, blocks, threads):
+        with pytest.raises(LaunchError):
+            validate_launch(dev, blocks, threads)
+
+
+class TestRoundUp:
+    @pytest.mark.parametrize(
+        "value,mult,expect", [(1, 32, 32), (32, 32, 32), (33, 32, 64), (100, 64, 128)]
+    )
+    def test_round_up(self, value, mult, expect):
+        assert round_up(value, mult) == expect
+
+
+class TestLaunch:
+    def test_returns_value_and_timing(self, dev):
+        def k(ctx, x):
+            ctx.flops(1)
+            return x * 2
+
+        res = launch(k, dev, 2, 64, params={"x": 21})
+        assert res.value == 42
+        assert res.seconds > 0
+        assert res.timing.name == "k"
+
+    def test_name_override(self, dev):
+        res = launch(lambda ctx: None, dev, 1, 32, name="custom")
+        assert res.timing.name == "custom"
+
+    def test_shared_capacity_override(self, dev):
+        def k(ctx):
+            assert ctx.shared.capacity_per_block == 1024
+
+        launch(k, dev, 1, 32, shared_capacity=1024)
+
+    def test_shared_usage_feeds_occupancy(self, dev):
+        def k(ctx):
+            ctx.shared.alloc_per_block("s", (4096,), np.float64)  # 32 KB
+            ctx.flops(1)
+
+        res = launch(k, dev, 200, 128)
+        # 96KB/SM ÷ 32KB/block = 3 blocks per SM.
+        assert res.timing.occupancy.blocks_per_sm == 3
+
+    def test_kernel_exception_propagates(self, dev):
+        def k(ctx):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            launch(k, dev, 1, 32)
+
+
+class TestSharedPool:
+    def test_per_block_shape(self):
+        pool = SharedMemoryPool(4, 1024)
+        arr = pool.alloc_per_block("x", (8,), np.float32)
+        assert arr.shape == (4, 8)
+        assert pool.used_per_block == 32
+
+    def test_per_thread_flat_layout(self):
+        pool = SharedMemoryPool(2, 65536)
+        arr = pool.alloc_per_thread("x", 128, (3,), np.float32)
+        assert arr.shape == (256, 3)
+        assert pool.used_per_block == 128 * 3 * 4
+
+    def test_per_warp_layout(self):
+        pool = SharedMemoryPool(2, 65536)
+        arr = pool.alloc_per_warp("x", 4, (5,), np.float64)
+        assert arr.shape == (8, 5)
+        assert pool.used_per_block == 4 * 5 * 8
+
+    def test_capacity_enforced(self):
+        from repro.errors import SharedMemoryError
+
+        pool = SharedMemoryPool(1, 100)
+        pool.alloc_per_block("a", (10,), np.float64)  # 80 B
+        with pytest.raises(SharedMemoryError):
+            pool.alloc_per_block("b", (10,), np.float64)
+
+    def test_free_releases(self):
+        pool = SharedMemoryPool(1, 100)
+        pool.alloc_per_block("a", (10,), np.float64)
+        pool.free("a")
+        assert pool.used_per_block == 0
+        pool.alloc_per_block("b", (10,), np.float64)
+
+    def test_duplicate_name(self):
+        pool = SharedMemoryPool(1, 1000)
+        pool.alloc_per_block("a", (1,))
+        with pytest.raises(ValueError):
+            pool.alloc_per_block("a", (1,))
+
+    def test_fill_value(self):
+        pool = SharedMemoryPool(1, 1000)
+        arr = pool.alloc_per_block("a", (4,), np.int32, fill=7)
+        assert (arr == 7).all()
+
+    def test_reset(self):
+        pool = SharedMemoryPool(1, 1000)
+        pool.alloc_per_block("a", (4,))
+        pool.reset()
+        assert pool.used_per_block == 0
+        assert "a" not in pool

@@ -1,0 +1,162 @@
+"""Memory subsystem tests: allocator, coalescing model, transfers, Fig 3."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GlobalMemoryError
+from repro.gpusim.device import nvidia_v100
+from repro.gpusim.memory import (
+    DeviceMemory,
+    TransferModel,
+    coalesced_transactions,
+    global_memory_fraction_for_tables,
+    per_thread_table_bytes,
+)
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(nvidia_v100())
+
+
+class TestDeviceMemory:
+    def test_alloc_returns_zeroed_array(self, mem):
+        arr = mem.alloc("x", (100,), np.float64)
+        assert arr.shape == (100,)
+        assert (arr == 0).all()
+
+    def test_alloc_with_fill(self, mem):
+        arr = mem.alloc("x", (10,), np.float32, fill=3.0)
+        assert (arr == 3.0).all()
+
+    def test_usage_accounting(self, mem):
+        mem.alloc("x", (1000,), np.float64)
+        assert mem.in_use == 8000
+        assert mem.free == mem.capacity - 8000
+
+    def test_duplicate_name_rejected(self, mem):
+        mem.alloc("x", (10,))
+        with pytest.raises(ValueError, match="already allocated"):
+            mem.alloc("x", (10,))
+
+    def test_capacity_exceeded(self, mem):
+        with pytest.raises(GlobalMemoryError) as ei:
+            mem.alloc("huge", (mem.capacity,), np.float64)  # 8x capacity
+        assert ei.value.requested == mem.capacity * 8
+
+    def test_free_buffer_returns_capacity(self, mem):
+        mem.alloc("x", (1000,))
+        mem.free_buffer("x")
+        assert mem.in_use == 0
+        assert "x" not in mem
+
+    def test_upload_copies_host_data(self, mem):
+        host = np.arange(16, dtype=np.float32)
+        dev = mem.upload("x", host)
+        assert (dev == host).all()
+        dev[0] = -1
+        assert host[0] == 0  # distinct storage
+
+    def test_reset(self, mem):
+        mem.alloc("x", (10,))
+        mem.alloc("y", (10,))
+        mem.reset()
+        assert mem.in_use == 0
+        assert "x" not in mem and "y" not in mem
+
+    def test_get(self, mem):
+        arr = mem.alloc("x", (5,))
+        assert mem.get("x") is arr
+
+
+class TestCoalescing:
+    """The Fig-3/§3.1.5 memory model: distinct 32-byte segments per warp."""
+
+    def test_unit_stride_float64_is_eight_segments(self):
+        # 32 lanes × 8 B contiguous = 256 B = 8 segments.
+        addr = np.arange(32, dtype=np.int64) * 8
+        txns = coalesced_transactions(addr, np.ones(32, bool), 32)
+        assert txns.tolist() == [8]
+
+    def test_fully_scattered_is_one_per_lane(self):
+        addr = np.arange(32, dtype=np.int64) * 4096
+        txns = coalesced_transactions(addr, np.ones(32, bool), 32)
+        assert txns.tolist() == [32]
+
+    def test_broadcast_same_address_is_one(self):
+        addr = np.zeros(32, dtype=np.int64)
+        txns = coalesced_transactions(addr, np.ones(32, bool), 32)
+        assert txns.tolist() == [1]
+
+    def test_inactive_lanes_do_not_count(self):
+        addr = np.arange(32, dtype=np.int64) * 4096
+        mask = np.zeros(32, bool)
+        mask[:4] = True
+        txns = coalesced_transactions(addr, mask, 32)
+        assert txns.tolist() == [4]
+
+    def test_fully_inactive_warp_is_zero(self):
+        addr = np.zeros(64, dtype=np.int64)
+        mask = np.zeros(64, bool)
+        mask[32:] = True  # second warp only
+        txns = coalesced_transactions(addr, mask, 32)
+        assert txns.tolist() == [0, 1]
+
+    def test_strided_access_fragments(self):
+        # Stride-2 float64: same bytes span twice the segments of unit
+        # stride — the fragmentation effect of divergent perforation.
+        unit = coalesced_transactions(
+            np.arange(32, dtype=np.int64) * 8, np.ones(32, bool), 32
+        )
+        strided = coalesced_transactions(
+            np.arange(32, dtype=np.int64) * 16, np.ones(32, bool), 32
+        )
+        assert strided[0] == 2 * unit[0]
+
+    def test_multiple_warps_independent(self):
+        addr = np.concatenate(
+            [np.arange(32, dtype=np.int64) * 8, np.zeros(32, dtype=np.int64)]
+        )
+        txns = coalesced_transactions(addr, np.ones(64, bool), 32)
+        assert txns.tolist() == [8, 1]
+
+    def test_lane_count_must_be_warp_multiple(self):
+        with pytest.raises(ValueError):
+            coalesced_transactions(np.zeros(33, np.int64), np.ones(33, bool), 32)
+
+
+class TestTransferModel:
+    def test_htod_time_includes_latency_and_bandwidth(self):
+        dev = nvidia_v100()
+        tm = TransferModel(dev)
+        t = tm.htod(dev.interconnect_bandwidth)  # 1 second of payload
+        assert t == pytest.approx(1.0 + dev.transfer_latency_s)
+
+    def test_stats_accumulate(self):
+        tm = TransferModel(nvidia_v100())
+        tm.htod(1000)
+        tm.htod(2000)
+        tm.dtoh(500)
+        assert tm.stats.htod_bytes == 3000
+        assert tm.stats.htod_count == 2
+        assert tm.stats.dtoh_bytes == 500
+        assert tm.stats.dtoh_count == 1
+        assert tm.stats.seconds > 0
+
+
+class TestFig3Model:
+    def test_entry_size_matches_paper(self):
+        # Fig 3 caption: 5 entries of 36 bytes each.
+        assert per_thread_table_bytes(5, 36) == 180
+
+    def test_v100_exhausted_near_2_27_threads(self):
+        # Fig 3: tables fill the 16 GB V100 at ~2^27 threads.
+        below = global_memory_fraction_for_tables(2**26)
+        above = global_memory_fraction_for_tables(2**27)
+        assert below < 1.0 < above * 1.01
+        assert above == pytest.approx(2**27 * 180 / (16 * 1024**3))
+
+    def test_fraction_linear_in_threads(self):
+        f1 = global_memory_fraction_for_tables(2**20)
+        f2 = global_memory_fraction_for_tables(2**21)
+        assert f2 == pytest.approx(2 * f1)

@@ -1,0 +1,99 @@
+"""Occupancy / latency-hiding model tests (the Fig-8c machinery)."""
+
+import pytest
+
+from repro.gpusim.device import amd_mi250x, nvidia_v100
+from repro.gpusim.occupancy import (
+    blocks_resident_per_sm,
+    hiding_efficiency,
+    hiding_requirement,
+    occupancy,
+)
+
+
+class TestResidency:
+    def test_warp_limited(self):
+        dev = nvidia_v100()
+        per_sm, limiter = blocks_resident_per_sm(dev, 1024)
+        # 32 warps per 1024-thread block; 64 warps/SM → 2 blocks.
+        assert per_sm == 2
+        assert limiter in ("warps", "threads")
+
+    def test_block_limited_for_tiny_blocks(self):
+        dev = nvidia_v100()
+        per_sm, limiter = blocks_resident_per_sm(dev, 32)
+        assert per_sm == dev.max_blocks_per_sm
+        assert limiter == "blocks"
+
+    def test_shared_memory_limits_residency(self):
+        # Big AC state per block reduces co-residency — the real trade-off
+        # of keeping approximation tables in shared memory (§3.1.1).
+        dev = nvidia_v100()
+        free, _ = blocks_resident_per_sm(dev, 128, 0)
+        tight, limiter = blocks_resident_per_sm(dev, 128, 48 * 1024)
+        assert tight == 2  # 96KB per SM / 48KB per block
+        assert limiter == "shared_memory"
+        assert tight < free
+
+    def test_zero_residency_when_state_too_big(self):
+        dev = nvidia_v100()
+        per_sm, _ = blocks_resident_per_sm(dev, 128, dev.shared_mem_per_sm + 1)
+        assert per_sm == 0
+
+
+class TestOccupancy:
+    def test_underfilled_grid_idles_sms(self):
+        dev = nvidia_v100()
+        occ = occupancy(dev, num_blocks=8, threads_per_block=256)
+        assert occ.used_sms == 8
+        assert occ.sm_utilization == pytest.approx(8 / 80)
+
+    def test_saturated_grid_uses_all_sms(self):
+        dev = nvidia_v100()
+        occ = occupancy(dev, num_blocks=8000, threads_per_block=256)
+        assert occ.used_sms == 80
+        assert occ.sm_utilization == 1.0
+
+    def test_active_warps_grow_with_blocks(self):
+        dev = nvidia_v100()
+        small = occupancy(dev, 80, 256)
+        big = occupancy(dev, 800, 256)
+        assert big.active_warps_per_sm > small.active_warps_per_sm
+
+    def test_amd_needs_more_blocks_than_nvidia(self):
+        # The mechanism behind AMD's earlier Fig-8c decline: at equal block
+        # counts the 220-SM device is less utilized.
+        blocks = 100
+        nv = occupancy(nvidia_v100(), blocks, 256)
+        amd = occupancy(amd_mi250x(), blocks, 256)
+        assert amd.sm_utilization < nv.sm_utilization
+
+
+class TestHiding:
+    def test_requirement_interpolates_with_memory_fraction(self):
+        dev = nvidia_v100()
+        assert hiding_requirement(dev, 0.0) == dev.alu_hiding_warps
+        assert hiding_requirement(dev, 1.0) == dev.mem_hiding_warps
+        mid = hiding_requirement(dev, 0.5)
+        assert dev.alu_hiding_warps < mid < dev.mem_hiding_warps
+
+    def test_requirement_clamps_fraction(self):
+        dev = nvidia_v100()
+        assert hiding_requirement(dev, -1.0) == dev.alu_hiding_warps
+        assert hiding_requirement(dev, 2.0) == dev.mem_hiding_warps
+
+    def test_efficiency_saturates_at_one(self):
+        dev = nvidia_v100()
+        assert hiding_efficiency(dev, 1000.0, 0.5) == 1.0
+
+    def test_efficiency_zero_with_no_warps(self):
+        assert hiding_efficiency(nvidia_v100(), 0.0, 0.5) == 0.0
+
+    def test_efficiency_monotone_in_warps(self):
+        dev = nvidia_v100()
+        effs = [hiding_efficiency(dev, w, 0.8) for w in (1, 2, 4, 8, 16, 32)]
+        assert effs == sorted(effs)
+
+    def test_memory_bound_kernels_need_more_warps(self):
+        dev = nvidia_v100()
+        assert hiding_efficiency(dev, 8.0, 0.9) < hiding_efficiency(dev, 8.0, 0.1)

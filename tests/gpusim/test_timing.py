@@ -1,0 +1,106 @@
+"""Kernel and program timing tests."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost import CycleCounters
+from repro.gpusim.device import nvidia_v100
+from repro.gpusim.timing import ProgramTiming, time_kernel
+
+
+def _counters(alu=0.0, mem=0.0, dram_bytes=0):
+    c = CycleCounters()
+    c.alu_cycles = alu
+    c.mem_cycles = mem
+    c.dram_bytes = dram_bytes
+    return c
+
+
+class TestTimeKernel:
+    def test_compute_bound_kernel(self):
+        dev = nvidia_v100()
+        warp_cycles = np.full(80 * 8, 1000.0)
+        t = time_kernel(dev, "k", warp_cycles, _counters(alu=80e4), 80, 256)
+        assert t.bound == "compute"
+        assert t.seconds > dev.launch_latency_s
+
+    def test_bandwidth_bound_kernel(self):
+        dev = nvidia_v100()
+        warp_cycles = np.full(80, 1.0)
+        c = _counters(mem=80.0, dram_bytes=10**9)  # 1 GB moved, ~no compute
+        t = time_kernel(dev, "k", warp_cycles, c, 80, 32)
+        assert t.bound == "bandwidth"
+        assert t.bandwidth_seconds == pytest.approx(1e9 / dev.mem_bandwidth)
+
+    def test_fewer_sms_used_is_slower(self):
+        dev = nvidia_v100()
+        cyc = np.full(8, 1e6)
+        narrow = time_kernel(dev, "k", cyc, _counters(alu=8e6), 8, 32)
+        wide = time_kernel(dev, "k", cyc.repeat(10) / 10, _counters(alu=8e6), 80, 32)
+        assert narrow.seconds > wide.seconds
+
+    def test_launch_latency_floor(self):
+        dev = nvidia_v100()
+        t = time_kernel(dev, "k", np.zeros(1), _counters(), 1, 32)
+        assert t.seconds == pytest.approx(dev.launch_latency_s)
+
+    def test_includes_occupancy_report(self):
+        dev = nvidia_v100()
+        t = time_kernel(dev, "k", np.zeros(8), _counters(), 8, 32)
+        assert t.occupancy.used_sms == 8
+
+
+class TestProgramTiming:
+    def test_accumulates_components(self):
+        dev = nvidia_v100()
+        pt = ProgramTiming()
+        k = time_kernel(dev, "a", np.full(8, 100.0), _counters(alu=800.0), 8, 32)
+        pt.add_kernel(k)
+        pt.add_kernel(k)
+        pt.add_transfer(1e-3)
+        pt.add_host(2e-3)
+        assert pt.kernel_seconds == pytest.approx(2 * k.seconds)
+        assert pt.seconds == pytest.approx(2 * k.seconds + 3e-3)
+
+    def test_kernel_seconds_by_name(self):
+        dev = nvidia_v100()
+        pt = ProgramTiming()
+        a = time_kernel(dev, "a", np.full(8, 100.0), _counters(alu=800.0), 8, 32)
+        b = time_kernel(dev, "b", np.full(8, 100.0), _counters(alu=800.0), 8, 32)
+        pt.add_kernel(a)
+        pt.add_kernel(a)
+        pt.add_kernel(b)
+        by_name = pt.kernel_seconds_by_name()
+        assert by_name["a"] == pytest.approx(2 * a.seconds)
+        assert by_name["b"] == pytest.approx(b.seconds)
+
+    def test_merge(self):
+        pt1, pt2 = ProgramTiming(), ProgramTiming()
+        pt1.add_host(1.0)
+        pt2.add_host(2.0)
+        pt2.add_transfer(0.5)
+        pt1.merge(pt2)
+        assert pt1.seconds == pytest.approx(3.5)
+
+
+class TestCounters:
+    def test_memory_fraction(self):
+        c = _counters(alu=75.0, mem=25.0)
+        assert c.memory_fraction == pytest.approx(0.25)
+
+    def test_memory_fraction_empty(self):
+        assert CycleCounters().memory_fraction == 0.0
+
+    def test_merge(self):
+        a = _counters(alu=10.0, mem=5.0, dram_bytes=100)
+        b = _counters(alu=1.0, mem=2.0, dram_bytes=50)
+        a.merge(b)
+        assert a.alu_cycles == 11.0
+        assert a.mem_cycles == 7.0
+        assert a.dram_bytes == 150
+
+    def test_snapshot_keys(self):
+        snap = CycleCounters().snapshot()
+        assert "total_cycles" in snap
+        assert "dram_bytes" in snap
+        assert snap["total_cycles"] == 0.0

@@ -1,0 +1,99 @@
+"""Figure-reproduction entry-point tests (fast paths only; the full
+figure regenerations live in benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.figures import (
+    CANDIDATES,
+    FIG6_APPS,
+    candidates,
+    fig3_memory_scaling,
+    fig4_taf_variants,
+)
+from repro.harness.reporting import format_record, format_records_table, format_series
+from repro.harness.runner import RunRecord
+
+
+class TestFig3:
+    def test_exhaustion_at_2_27(self):
+        r = fig3_memory_scaling()
+        assert r.exhaust_threads == 2**27
+
+    def test_rows_monotone(self):
+        r = fig3_memory_scaling()
+        fracs = [f for _n, f in r.rows]
+        assert fracs == sorted(fracs)
+
+    def test_custom_entry_size(self):
+        # A 5× smaller table pushes exhaustion out by ~5× (next pow2: 2^29).
+        small = fig3_memory_scaling(entries=1, entry_bytes=36)
+        assert small.exhaust_threads > 2**27
+
+
+class TestFig4:
+    def test_serialized_slowdown_equals_thread_count(self):
+        r = fig4_taf_variants(num_threads=32)
+        # Full serialization: the chain is num_threads× slower than the
+        # lockstep grid-stride execution of the same work.
+        assert r.serialized_slowdown == pytest.approx(32, rel=0.2)
+
+    def test_grid_stride_relaxation_costs_accuracy(self):
+        r = fig4_taf_variants()
+        assert r.errors["gpu_grid_stride"] >= r.errors["cpu"]
+
+    def test_cpu_and_serialized_same_error(self):
+        r = fig4_taf_variants()
+        assert r.errors["cpu"] == pytest.approx(r.errors["gpu_serialized"], rel=0.5)
+
+    def test_all_variants_approximate(self):
+        r = fig4_taf_variants()
+        for v in r.variants.values():
+            assert v.approx_fraction > 0.1
+
+
+class TestCandidates:
+    def test_every_fig6_cell_has_candidates(self):
+        for app in FIG6_APPS:
+            assert (app, "taf") in CANDIDATES, app
+
+    def test_quick_candidates_are_curated(self):
+        pts = candidates("lulesh", "taf", "quick")
+        assert 0 < len(pts) < 10
+
+    def test_full_candidates_use_table2(self):
+        pts = candidates("lulesh", "taf", "full")
+        assert len(pts) > 50
+
+    def test_full_iact_thresholds_scaled(self):
+        pts = candidates("lulesh", "iact", "full")
+        # lulesh scales iACT thresholds by 0.1.
+        assert max(p.params["threshold"] for p in pts) <= 2.0 + 1e-9
+
+
+class TestReporting:
+    def _rec(self, feasible=True):
+        return RunRecord(
+            app="lulesh", device="NVIDIA Tesla V100", technique="taf",
+            params={"hsize": 2}, level="thread", items_per_thread=8,
+            feasible=feasible, speedup=1.5, kernel_speedup=1.6, error=0.02,
+            approx_fraction=0.7,
+        )
+
+    def test_format_record(self):
+        line = format_record(self._rec())
+        assert "lulesh" in line and "1.500" in line
+
+    def test_format_infeasible(self):
+        rec = self._rec(feasible=False)
+        rec.note = "SharedMemoryError: too big"
+        assert "INFEASIBLE" in format_record(rec)
+
+    def test_format_table_with_title(self):
+        out = format_records_table([self._rec()], title="Fig 7")
+        assert out.startswith("Fig 7")
+
+    def test_format_series(self):
+        out = format_series([(8, 1.5), (16, 2.0)], header="ipt speedup")
+        assert "ipt speedup" in out
+        assert "16" in out

@@ -1,0 +1,116 @@
+"""Error/speedup metric tests (paper eqs. 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.harness.metrics import (
+    convergence_speedup,
+    error,
+    geomean_speedup,
+    mape,
+    mcr,
+    r_squared,
+    speedup,
+)
+
+
+class TestMape:
+    def test_identical_is_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert mape(x, x) == 0.0
+
+    def test_matches_formula(self):
+        acc = np.array([10.0, 20.0])
+        ap = np.array([11.0, 18.0])
+        # (1/2)(1/10 + 2/20) = 0.1
+        assert mape(acc, ap) == pytest.approx(0.1)
+
+    def test_fraction_not_percent(self):
+        assert mape(np.array([100.0]), np.array([90.0])) == pytest.approx(0.1)
+
+    def test_nan_or_inf_output_is_inf_error(self):
+        assert mape(np.array([1.0]), np.array([np.nan])) == float("inf")
+        assert mape(np.array([1.0]), np.array([np.inf])) == float("inf")
+
+    def test_zero_denominator_guarded(self):
+        assert np.isfinite(mape(np.array([0.0]), np.array([0.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mape(np.array([]), np.array([]))
+
+    def test_flattens_nd(self):
+        acc = np.ones((2, 3))
+        ap = np.ones((2, 3)) * 1.1
+        assert mape(acc, ap) == pytest.approx(0.1)
+
+
+class TestMcr:
+    def test_identical_is_zero(self):
+        x = np.array([0, 1, 2, 1])
+        assert mcr(x, x) == 0.0
+
+    def test_counts_mismatches(self):
+        assert mcr(np.array([0, 1, 2, 3]), np.array([0, 1, 0, 0])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mcr(np.zeros(2), np.zeros(3))
+
+
+class TestDispatch:
+    def test_error_dispatch(self):
+        acc = np.array([1.0, 2.0])
+        assert error("mape", acc, acc) == 0.0
+        assert error("mcr", acc, acc) == 0.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            error("rmse", np.zeros(2), np.zeros(2))
+
+
+class TestSpeedups:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_speedup_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geomean(self):
+        assert geomean_speedup([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean_speedup([1.0, -1.0])
+
+    def test_geomean_empty(self):
+        with pytest.raises(ValueError):
+            geomean_speedup([])
+
+    def test_convergence_speedup(self):
+        # Fig 12c: n/a.
+        assert convergence_speedup(20, 5) == 4.0
+
+
+class TestRSquared:
+    def test_perfect_line(self):
+        x = np.arange(10.0)
+        assert r_squared(x, 3 * x + 1) == pytest.approx(1.0)
+
+    def test_no_correlation_low_r2(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(200)
+        y = rng.random(200)
+        assert r_squared(x, y) < 0.2
+
+    def test_constant_y(self):
+        assert r_squared(np.arange(5.0), np.ones(5)) == 1.0
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0])

@@ -1,0 +1,74 @@
+"""Table-2 sweep grid tests."""
+
+import pytest
+
+from repro.harness.sweep import (
+    IACT_TPERWARP_AMD,
+    MEMO_ITEMS_PER_THREAD,
+    PERFO_SKIP,
+    TAF_HSIZE,
+    TAF_PSIZE,
+    TAF_THRESH,
+    SweepPoint,
+    full_space_size,
+    table2_space,
+)
+
+
+class TestTable2Grids:
+    def test_taf_axes_match_table2(self):
+        assert TAF_HSIZE == [1, 2, 3, 4, 5]
+        assert TAF_PSIZE[0] == 2 and TAF_PSIZE[-1] == 512
+        assert all(b == 2 * a for a, b in zip(TAF_PSIZE, TAF_PSIZE[1:]))
+        assert {3.0, 5.0, 20.0}.issubset(TAF_THRESH)
+
+    def test_perfo_skip_axis(self):
+        assert PERFO_SKIP == [2, 4, 8, 16, 32, 64]
+
+    def test_items_axis(self):
+        assert MEMO_ITEMS_PER_THREAD[0] == 8 and MEMO_ITEMS_PER_THREAD[-1] == 512
+
+    def test_full_taf_space_size(self):
+        pts = table2_space("taf", thinned=False)
+        assert len(pts) == 5 * 9 * 8 * 2 * 7  # h × p × thr × level × items
+
+    def test_amd_gets_64_tables_per_warp(self):
+        # Table 2: "Only the AMD platform uses 64."
+        amd = table2_space("iact", "amd", thinned=False)
+        nv = table2_space("iact", "v100", thinned=False)
+        assert any(p.params["tperwarp"] == 64 for p in amd)
+        assert not any(p.params["tperwarp"] == 64 for p in nv)
+
+    def test_perfo_space_contains_all_kinds(self):
+        kinds = {p.params["kind"] for p in table2_space("perfo", thinned=False)}
+        assert kinds == {"small", "large", "ini", "fini"}
+
+    def test_perfo_small_has_herded_variants(self):
+        pts = [p for p in table2_space("perfo") if p.params["kind"] == "small"]
+        assert any(p.params["herded"] for p in pts)
+        assert any(not p.params["herded"] for p in pts)
+
+    def test_thinned_is_subset_scale(self):
+        assert len(table2_space("taf")) < len(table2_space("taf", thinned=False))
+
+    def test_threshold_scale_applied(self):
+        pts = table2_space("taf", threshold_scale=0.1)
+        assert max(p.params["threshold"] for p in pts) == pytest.approx(2.0)
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            table2_space("quantize")
+
+    def test_full_space_is_tens_of_thousands_across_suite(self):
+        # The paper's exhaustive exploration has 57,288 configurations
+        # across all benchmarks; one app's product is a few thousand.
+        per_app = full_space_size()
+        assert 2000 < per_app < 20000
+        assert per_app * 7 > 20000
+
+
+class TestSweepPoint:
+    def test_label(self):
+        p = SweepPoint("taf", {"hsize": 2, "psize": 8, "threshold": 0.5}, "warp", 16)
+        label = p.label()
+        assert "taf" in label and "warp" in label and "ipt=16" in label

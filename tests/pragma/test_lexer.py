@@ -1,0 +1,104 @@
+"""Lexer tests for the pragma clause language."""
+
+import pytest
+
+from repro.errors import PragmaSyntaxError
+from repro.pragma.lexer import TokenKind, TokenStream, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind is not TokenKind.END]
+
+
+class TestTokens:
+    def test_simple_clause(self):
+        toks = tokenize("level(warp)")
+        assert [t.kind for t in toks] == [
+            TokenKind.IDENT,
+            TokenKind.LPAREN,
+            TokenKind.IDENT,
+            TokenKind.RPAREN,
+            TokenKind.END,
+        ]
+
+    def test_numbers_with_f_suffix(self):
+        toks = tokenize("0.5f 1.5F 3 2e-3f")
+        nums = [t for t in toks if t.kind is TokenKind.NUMBER]
+        assert [t.number for t in nums] == [0.5, 1.5, 3.0, 2e-3]
+
+    def test_integer_detection(self):
+        toks = [t for t in tokenize("3 3.0 3f") if t.kind is TokenKind.NUMBER]
+        assert [t.is_integer for t in toks] == [True, False, False]
+
+    def test_array_section_punctuation(self):
+        assert texts("in(x[i*5:5:N])") == [
+            "in", "(", "x", "[", "i", "*", "5", ":", "5", ":", "N", "]", ")",
+        ]
+
+    def test_string_literal(self):
+        toks = tokenize('label("my region")')
+        strs = [t for t in toks if t.kind is TokenKind.STRING]
+        assert strs[0].text == '"my region"'
+
+    def test_operators(self):
+        ops = [t for t in tokenize("a+b-c*d/e%f") if t.kind is TokenKind.OP]
+        assert [t.text for t in ops] == ["+", "-", "*", "/", "%"]
+
+
+class TestPrefixes:
+    @pytest.mark.parametrize(
+        "prefix",
+        ["", "#pragma approx ", "#pragma omp approx ", "pragma approx ", "approx "],
+    )
+    def test_directive_prefixes_skipped(self, prefix):
+        toks = tokenize(prefix + "level(warp)")
+        assert toks[0].text == "level"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(PragmaSyntaxError) as ei:
+            tokenize("memo(in:2) @")
+        assert "@" in str(ei.value)
+
+    def test_error_shows_caret_position(self):
+        with pytest.raises(PragmaSyntaxError) as ei:
+            tokenize("abc $ def")
+        assert "^" in str(ei.value)
+
+
+class TestTokenStream:
+    def test_peek_does_not_advance(self):
+        ts = TokenStream("level(warp)")
+        assert ts.peek().text == "level"
+        assert ts.peek().text == "level"
+
+    def test_next_advances(self):
+        ts = TokenStream("level(warp)")
+        assert ts.next().text == "level"
+        assert ts.next().kind is TokenKind.LPAREN
+
+    def test_end_is_sticky(self):
+        ts = TokenStream("x")
+        ts.next()
+        assert ts.next().kind is TokenKind.END
+        assert ts.next().kind is TokenKind.END
+
+    def test_expect_success(self):
+        ts = TokenStream("level")
+        tok = ts.expect(TokenKind.IDENT)
+        assert tok.text == "level"
+
+    def test_expect_failure(self):
+        ts = TokenStream("(")
+        with pytest.raises(PragmaSyntaxError, match="expected"):
+            ts.expect(TokenKind.IDENT, "clause name")
+
+    def test_at_matches_text(self):
+        ts = TokenStream("herded")
+        assert ts.at(TokenKind.IDENT, "herded")
+        assert not ts.at(TokenKind.IDENT, "other")

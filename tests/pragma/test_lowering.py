@@ -1,0 +1,102 @@
+"""Lowering tests: directive text → RegionSpec, including Fig-5 examples."""
+
+import pytest
+
+from repro.approx.base import HierarchyLevel, Technique
+from repro.pragma.lowering import compile_pragma, compile_pragmas
+
+
+class TestPaperExamples:
+    def test_fig5_line9_iact(self):
+        # #pragma approx memo(in:2:0.5f:4) level(warp) \
+        #     in(input[i*5:5:N]) out(output1[i])
+        spec = compile_pragma(
+            "memo(in:2:0.5f:4) level(warp) in(input[i*5:5:N]) out(output1[i])",
+            name="foo",
+        )
+        assert spec.technique is Technique.IACT
+        assert spec.params.table_size == 2
+        assert spec.params.threshold == 0.5
+        assert spec.params.tables_per_warp == 4
+        assert spec.level is HierarchyLevel.WARP
+        assert spec.in_width == 5
+        assert spec.out_width == 1
+
+    def test_fig5_line13_taf(self):
+        # #pragma approx memo(out:3:5:1.5f) level(thread) out(output2[i])
+        spec = compile_pragma(
+            "memo(out:3:5:1.5f) level(thread) out(output2[i])", name="bar"
+        )
+        assert spec.technique is Technique.TAF
+        assert spec.params.history_size == 3
+        assert spec.params.prediction_size == 5
+        assert spec.params.rsd_threshold == 1.5
+        assert spec.level is HierarchyLevel.THREAD
+
+    def test_fig2_hpac_cpu_examples(self):
+        # Fig 2 composes perfo(small:4) and memo(in:10:0.5f).
+        p = compile_pragma("perfo(small:4)")
+        assert p.technique is Technique.PERFORATION
+        m = compile_pragma("memo(in:10:0.5f) in(input[i]) out(o[i])")
+        assert m.technique is Technique.IACT
+        assert m.params.table_size == 10
+
+
+class TestNaming:
+    def test_explicit_name_wins(self):
+        spec = compile_pragma('perfo(small:2) label("from_label")', name="explicit")
+        assert spec.name == "explicit"
+
+    def test_label_used_when_no_name(self):
+        spec = compile_pragma('perfo(small:2) label("from_label")')
+        assert spec.name == "from_label"
+
+    def test_fallback_name(self):
+        assert compile_pragma("perfo(small:2)").name == "perfo_region"
+
+    def test_pragma_text_kept_in_meta(self):
+        text = "memo(out:1:2:3.0) out(o)"
+        spec = compile_pragma(text)
+        assert spec.meta["pragma"] == text
+
+
+class TestCompilePragmas:
+    def test_mapping_compiles_all(self):
+        specs = compile_pragmas(
+            {
+                "a": "memo(out:1:2:0.5) out(o)",
+                "b": "perfo(fini:20)",
+            }
+        )
+        assert [s.name for s in specs] == ["a", "b"]
+        assert specs[0].technique is Technique.TAF
+        assert specs[1].technique is Technique.PERFORATION
+
+    def test_out_width_floor_is_one(self):
+        # perfo directives have no out clause; lowered specs keep width 1.
+        assert compile_pragma("perfo(small:2)").out_width == 1
+
+
+class TestEndToEndWithRuntime:
+    def test_compiled_spec_drives_runtime(self):
+        import numpy as np
+
+        from repro.approx.runtime import ApproxRuntime
+        from repro.gpusim import launch, nvidia_v100
+
+        spec = compile_pragma("memo(out:2:4:0.5) out(o[i])", name="r")
+        rt = ApproxRuntime([spec])
+        out = np.zeros(1024)
+
+        def kern(ctx):
+            for _s, idx, m in ctx.team_chunk_stride(1024):
+                def compute(am):
+                    ctx.flops(50, am)
+                    return np.full(ctx.total_threads, 3.0)
+
+                vals = rt.region(ctx, "r", compute, mask=m)
+                out[idx[m]] = vals[m]
+
+        launch(kern, nvidia_v100(), 2, 64)
+        assert (out == 3.0).all()
+        assert rt.stats["r"].approximated > 0

@@ -1,0 +1,114 @@
+"""Parser tests: clause structures and array sections."""
+
+import pytest
+
+from repro.errors import PragmaSyntaxError
+from repro.pragma.parser import parse
+
+
+class TestMemoClause:
+    def test_memo_in_with_args(self):
+        d = parse("memo(in:2:0.5f:4) in(x) out(o)")
+        assert d.memo.direction == "in"
+        assert [a.value for a in d.memo.args] == [2, 0.5, 4]
+
+    def test_memo_out(self):
+        d = parse("memo(out:3:5:1.5f) out(o)")
+        assert d.memo.direction == "out"
+        assert [a.value for a in d.memo.args] == [3, 5, 1.5]
+
+    def test_identifier_argument_kept_symbolic(self):
+        d = parse("memo(in:N:0.5) in(x) out(o)")
+        assert d.memo.args[0].value is None
+        assert d.memo.args[0].text == "N"
+
+
+class TestPerfoClause:
+    def test_perfo_small(self):
+        d = parse("perfo(small:4)")
+        assert d.perfo.kind == "small"
+        assert d.perfo.args[0].value == 4
+        assert not d.perfo.herded
+
+    def test_perfo_herded_modifier(self):
+        d = parse("perfo(large:8:herded)")
+        assert d.perfo.herded
+        assert d.perfo.args[0].value == 8
+
+    def test_perfo_fini(self):
+        d = parse("perfo(fini:30)")
+        assert d.perfo.kind == "fini"
+
+
+class TestSections:
+    def test_bare_name(self):
+        d = parse("perfo(small:2) out(result)")
+        sec = d.outs.sections[0]
+        assert sec.name == "result"
+        assert sec.start is None
+        assert sec.width == 1
+
+    def test_indexed_scalar(self):
+        d = parse("perfo(small:2) out(o[i])")
+        sec = d.outs.sections[0]
+        assert sec.start.text == "i"
+        assert sec.width == 1
+
+    def test_full_section_from_paper(self):
+        # Fig 5 line 10: in(input[i*5:5:N])
+        d = parse("memo(in:2:0.5f:4) in(input[i*5:5:N]) out(o[i])")
+        sec = d.ins.sections[0]
+        assert sec.name == "input"
+        assert sec.start.text == "i*5"
+        assert sec.length.text == "5"
+        assert sec.stride.text == "N"
+        assert sec.width == 5
+
+    def test_multiple_sections_sum_width(self):
+        d = parse("memo(in:2:0.5) in(a[i:2], b[j:3]) out(o)")
+        assert [s.width for s in d.ins.sections] == [2, 3]
+
+    def test_symbolic_length_flagged(self):
+        d = parse("memo(in:2:0.5) in(x[i:K]) out(o)")
+        assert d.ins.sections[0].width == -1
+
+    def test_expression_with_parens_rejected_inside_brackets(self):
+        # Nested brackets are tolerated; unbalanced ones are not.
+        with pytest.raises(PragmaSyntaxError):
+            parse("memo(in:1:1) in(x[i) out(o)")
+
+
+class TestOtherClauses:
+    def test_level(self):
+        assert parse("perfo(small:2) level(team)").level.level == "team"
+
+    def test_label(self):
+        assert parse('perfo(small:2) label("hg")').label.label == "hg"
+
+    def test_clause_order_irrelevant(self):
+        d1 = parse("level(warp) memo(out:1:2:3) out(o)")
+        d2 = parse("memo(out:1:2:3) out(o) level(warp)")
+        assert d1.level.level == d2.level.level
+        assert d1.memo.direction == d2.memo.direction
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "memo(in:2:0.5) in(x) in(y) out(o)",  # duplicate in
+            "level(warp) level(thread) perfo(small:2)",  # duplicate level
+            "bogus(1)",  # unknown clause
+            "memo in:2",  # missing parens
+            "perfo(small:2",  # unterminated
+            "in()",  # empty section list
+            "label(unquoted) perfo(small:2)",  # label must be quoted
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(PragmaSyntaxError):
+            parse(text)
+
+    def test_directive_text_preserved(self):
+        text = "perfo(small:4) level(warp)"
+        assert parse(text).text == text

@@ -1,0 +1,89 @@
+"""Property-based round-trip tests for the pragma front end."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.base import HierarchyLevel, Technique
+from repro.pragma.lowering import compile_pragma
+
+levels = st.sampled_from(["thread", "warp", "team"])
+
+
+@given(
+    h=st.integers(1, 64),
+    p=st.integers(1, 1024),
+    thr=st.floats(0.0, 100.0, allow_nan=False),
+    level=levels,
+    outw=st.integers(1, 4),
+)
+@settings(max_examples=100, deadline=None)
+def test_taf_roundtrip(h, p, thr, level, outw):
+    """Any valid memo(out) directive lowers to the exact parameters."""
+    outs = ", ".join(f"o{i}[i]" for i in range(outw))
+    spec = compile_pragma(
+        f"memo(out:{h}:{p}:{thr}) level({level}) out({outs})", name="r"
+    )
+    assert spec.technique is Technique.TAF
+    assert spec.params.history_size == h
+    assert spec.params.prediction_size == p
+    assert abs(spec.params.rsd_threshold - thr) < 1e-6 * max(thr, 1)
+    assert spec.level is HierarchyLevel(level)
+    assert spec.out_width == outw
+
+
+@given(
+    ts=st.integers(1, 64),
+    thr=st.floats(0.0, 100.0, allow_nan=False),
+    tpw=st.one_of(st.none(), st.integers(1, 64)),
+    inw=st.integers(1, 8),
+)
+@settings(max_examples=100, deadline=None)
+def test_iact_roundtrip(ts, thr, tpw, inw):
+    tail = f":{tpw}" if tpw is not None else ""
+    spec = compile_pragma(
+        f"memo(in:{ts}:{thr}{tail}) in(x[i*{inw}:{inw}:N]) out(o[i])", name="r"
+    )
+    assert spec.technique is Technique.IACT
+    assert spec.params.table_size == ts
+    assert abs(spec.params.threshold - thr) < 1e-6 * max(thr, 1)
+    assert spec.params.tables_per_warp == tpw
+    assert spec.in_width == inw
+
+
+@given(
+    kind=st.sampled_from(["small", "large"]),
+    m=st.integers(2, 128),
+    herded=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_perfo_skip_roundtrip(kind, m, herded):
+    text = f"perfo({kind}:{m}" + (":herded)" if herded else ")")
+    spec = compile_pragma(text)
+    assert spec.technique is Technique.PERFORATION
+    assert spec.params.kind.value == kind
+    assert spec.params.skip_factor == m
+    assert spec.params.herded == herded
+
+
+@given(
+    kind=st.sampled_from(["ini", "fini"]),
+    pct=st.integers(1, 99),
+)
+@settings(max_examples=50, deadline=None)
+def test_perfo_percent_roundtrip(kind, pct):
+    spec = compile_pragma(f"perfo({kind}:{pct})")
+    assert spec.params.kind.value == kind
+    assert spec.params.parameter == pct
+    assert 0.0 < spec.params.skip_fraction < 1.0
+
+
+@given(st.text(alphabet="abcxyz_ []():;,.0123456789*+-", max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_arbitrary_text_never_crashes_unhandled(text):
+    """The front end either compiles or raises a library error."""
+    from repro.errors import ReproError
+
+    try:
+        compile_pragma(text)
+    except ReproError:
+        pass

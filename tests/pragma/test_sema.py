@@ -1,0 +1,114 @@
+"""Semantic-analysis tests: the validation matrix of the clause language."""
+
+import pytest
+
+from repro.approx.base import HierarchyLevel, PerforationKind, Technique
+from repro.errors import PragmaSemanticError
+from repro.pragma.parser import parse
+from repro.pragma.sema import check
+
+
+def checked(text):
+    return check(parse(text))
+
+
+class TestTechniqueSelection:
+    def test_memo_in_is_iact(self):
+        c = checked("memo(in:2:0.5f) in(x) out(o)")
+        assert c.technique is Technique.IACT
+        assert c.params.table_size == 2
+        assert c.params.threshold == 0.5
+        assert c.params.tables_per_warp is None
+
+    def test_memo_in_with_tperwarp(self):
+        c = checked("memo(in:2:0.5f:4) in(x) out(o)")
+        assert c.params.tables_per_warp == 4
+
+    def test_memo_out_is_taf(self):
+        c = checked("memo(out:3:5:1.5f) out(o)")
+        assert c.technique is Technique.TAF
+        assert (c.params.history_size, c.params.prediction_size) == (3, 5)
+        assert c.params.rsd_threshold == 1.5
+
+    def test_perfo(self):
+        c = checked("perfo(small:4)")
+        assert c.technique is Technique.PERFORATION
+        assert c.params.kind is PerforationKind.SMALL
+        assert c.params.skip_factor == 4
+
+    def test_perfo_herded(self):
+        assert checked("perfo(large:8:herded)").params.herded
+
+    def test_perfo_percent(self):
+        c = checked("perfo(ini:30)")
+        assert c.params.kind is PerforationKind.INI
+        assert c.params.parameter == 30.0
+
+
+class TestLevels:
+    def test_default_level_is_thread(self):
+        # §3.2: "The default value is thread".
+        assert checked("perfo(small:2)").level is HierarchyLevel.THREAD
+
+    @pytest.mark.parametrize("name,level", [
+        ("thread", HierarchyLevel.THREAD),
+        ("warp", HierarchyLevel.WARP),
+        ("team", HierarchyLevel.TEAM),
+    ])
+    def test_levels(self, name, level):
+        assert checked(f"perfo(small:2) level({name})").level is level
+
+    def test_unknown_level(self):
+        with pytest.raises(PragmaSemanticError, match="hierarchy level"):
+            checked("perfo(small:2) level(grid)")
+
+
+class TestWidths:
+    def test_in_out_widths(self):
+        c = checked("memo(in:2:0.5) in(x[i*5:5:N]) out(a[i], b[i])")
+        assert c.in_width == 5
+        assert c.out_width == 2
+
+    def test_symbolic_width_rejected(self):
+        # Mirrors the MiniFE limitation: capture sizes must be uniform.
+        with pytest.raises(PragmaSemanticError, match="symbolic length"):
+            checked("memo(in:2:0.5) in(x[i:K]) out(o)")
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "text,match",
+        [
+            ("level(warp)", "memo or perfo"),
+            ("memo(out:3:5:1.5) perfo(small:2) out(o)", "mutually exclusive"),
+            ("memo(out:3:5) out(o)", "hSize:pSize:threshold"),
+            ("memo(out:3:5:1.5:9) out(o)", "hSize:pSize:threshold"),
+            ("memo(in:2) in(x) out(o)", "tsize:threshold"),
+            ("memo(out:0:5:1.5) out(o)", "positive integer"),
+            ("memo(out:3:0:1.5) out(o)", "positive integer"),
+            ("memo(out:3:5:-1) out(o)", "non-negative"),
+            ("memo(out:3.5:5:1.5) out(o)", "positive integer"),
+            ("memo(out:3:5:1.5)", "out\\(...\\) clause"),
+            ("memo(in:2:0.5) out(o)", "in\\(...\\) clause"),
+            ("memo(in:2:0.5) in(x)", "out\\(...\\) clause"),
+            ("memo(sideways:1:2) out(o)", "'in' or 'out'"),
+            ("perfo(tiny:2)", "unknown perforation kind"),
+            ("perfo(small:1)", ">= 2"),
+            ("perfo(small:2:3)", "exactly one parameter"),
+            ("perfo(ini:0)", "in \\(0, 100\\)"),
+            ("perfo(fini:100)", "in \\(0, 100\\)"),
+            ("perfo(ini:30:herded)", "small/large"),
+            ("memo(in:N:0.5) in(x) out(o)", "positive integer"),
+        ],
+    )
+    def test_semantic_errors(self, text, match):
+        with pytest.raises(PragmaSemanticError, match=match):
+            checked(text)
+
+
+class TestLabel:
+    def test_label_extracted(self):
+        assert checked('perfo(small:2) label("hg1")').label == "hg1"
+
+    def test_no_label_is_none(self):
+        assert checked("perfo(small:2)").label is None

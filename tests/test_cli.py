@@ -1,0 +1,72 @@
+"""CLI (`python -m repro`) tests."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDevices:
+    def test_lists_presets(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "MI250X" in out
+        assert "80 SMs" in out and "220 SMs" in out
+
+
+class TestRun:
+    def test_accurate_run(self, capsys):
+        assert main(["run", "blackscholes"]) == 0
+        out = capsys.readouterr().out
+        assert "accurate" in out
+
+    def test_taf_run_reports_speedup_and_error(self, capsys):
+        assert main([
+            "run", "blackscholes", "--technique", "taf",
+            "--hsize", "1", "--psize", "4", "--threshold", "0.3",
+            "--items-per-thread", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "taf:" in out
+        assert "MAPE" in out
+
+    def test_perfo_run(self, capsys):
+        assert main([
+            "run", "lulesh", "--technique", "perfo",
+            "--kind", "fini", "--skip-percent", "50",
+        ]) == 0
+        assert "perfo:" in capsys.readouterr().out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "hpcg"])
+
+
+class TestSweep:
+    def test_sweep_prints_table_and_best(self, capsys, tmp_path):
+        out_file = tmp_path / "db.jsonl"
+        assert main([
+            "sweep", "kmeans", "--technique", "taf", "--output", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best under 10% error" in out
+        assert out_file.exists()
+
+    def test_sweep_requires_technique(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "kmeans"])
+
+
+class TestSensitivity:
+    def test_sensitivity_table(self, capsys):
+        assert main(["sensitivity", "lulesh"]) == 0
+        out = capsys.readouterr().out
+        assert "hourglass_control" in out
+        assert "verdict" in out
+
+
+class TestFigures:
+    def test_fast_figures(self, capsys):
+        assert main(["figures", "fig3", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "2^27" in out
+        assert "Fig 4" in out
