@@ -5,8 +5,10 @@ Thin wrappers over the library for the common workflows:
 * ``python -m repro run <app> [--device D] [--technique T ...]`` — run one
   benchmark (accurate, or with one technique applied) and print
   speedup/error against the accurate baseline;
-* ``python -m repro sweep <app> --technique T [--effort quick|full]`` — a
-  DSE campaign with the results database, saved to JSONL;
+* ``python -m repro sweep <app> --technique T [--effort quick|full]
+  [--parallel N] [--checkpoint F]`` — a DSE campaign with the results
+  database, saved to JSONL; ``--parallel`` fans points across a process
+  pool and ``--checkpoint`` makes the sweep resumable;
 * ``python -m repro sensitivity <app>`` — rank the app's regions;
 * ``python -m repro figures [fig3 fig4 ...]`` — regenerate evaluation
   figures and print the paper-style rows;
@@ -94,6 +96,7 @@ def cmd_run(args) -> int:
 
 def cmd_sweep(args) -> int:
     from repro.harness.database import ResultsDB
+    from repro.harness.executor import run_sweep_parallel
     from repro.harness.figures import candidates
     from repro.harness.reporting import format_record, format_records_table
     from repro.harness.runner import ExperimentRunner
@@ -105,7 +108,19 @@ def cmd_sweep(args) -> int:
         print(f"no candidate grid for {args.app}/{args.technique}",
               file=sys.stderr)
         return 1
-    db.add(runner.run_sweep(args.app, args.device, points))
+    if args.parallel > 1 or args.checkpoint:
+        report = run_sweep_parallel(
+            args.app, args.device, points,
+            seed=args.seed, max_workers=args.parallel,
+            checkpoint=args.checkpoint, retries=args.retries,
+            progress=args.progress,
+        )
+        db.add(report.records)
+        print(f"evaluated {report.evaluated} points "
+              f"({report.skipped} resumed from checkpoint) "
+              f"in {report.elapsed:.2f}s with {args.parallel} worker(s)")
+    else:
+        db.add(runner.run_sweep(args.app, args.device, points))
     print(format_records_table(db.query(feasible=None),
                                title=f"{args.app} {args.technique} on {args.device}"))
     best = db.best_speedup(max_error=args.max_error)
@@ -189,6 +204,15 @@ def main(argv: list[str] | None = None) -> int:
                          choices=["quick", "full", "paper"])
     p_sweep.add_argument("--max-error", type=float, default=0.10)
     p_sweep.add_argument("--output", default=None)
+    p_sweep.add_argument("--parallel", type=int, default=1,
+                         help="process-pool workers (1 = in-process)")
+    p_sweep.add_argument("--checkpoint", default=None,
+                         help="JSONL checkpoint to stream records into and "
+                              "resume from (skips recorded points)")
+    p_sweep.add_argument("--retries", type=int, default=1,
+                         help="retries per point on unexpected worker errors")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="print a throughput/ETA line per completed chunk")
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_sens = sub.add_parser("sensitivity", help="rank regions by sensitivity")

@@ -6,7 +6,8 @@ and error into a queryable database; :mod:`repro.harness.figures` drives it
 to regenerate every evaluation figure.
 """
 
-from repro.harness.database import ResultsDB
+from repro.harness.database import CheckpointWriter, ResultsDB
+from repro.harness.executor import SweepReport, run_sweep_parallel
 from repro.harness.metrics import (
     convergence_speedup,
     error,
@@ -26,14 +27,19 @@ from repro.harness.sensitivity import (
 from repro.harness.sweep import (
     MEMO_ITEMS_PER_THREAD,
     SweepPoint,
+    chunk_points,
     full_space_size,
     table2_space,
 )
 
 __all__ = [
+    "CheckpointWriter",
     "ExperimentRunner",
     "MEMO_ITEMS_PER_THREAD",
     "ResultsDB",
+    "SweepReport",
+    "chunk_points",
+    "run_sweep_parallel",
     "RunRecord",
     "SearchResult",
     "SiteSensitivity",

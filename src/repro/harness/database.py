@@ -11,10 +11,93 @@ sweeps can be resumed or post-processed.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.harness.runner import RunRecord
+
+# --- portable JSON for non-finite floats --------------------------------
+# ``json.dumps(float("inf"))`` emits the non-standard literal ``Infinity``,
+# which strict parsers (and other languages) reject.  Infeasible/diverged
+# records legitimately carry ``inf``/``nan`` errors, so they are encoded as
+# sentinel strings and restored on load.
+_NONFINITE_ENCODE = {math.inf: "__inf__", -math.inf: "__-inf__"}
+_NONFINITE_DECODE = {
+    "__inf__": math.inf,
+    "__-inf__": -math.inf,
+    "__nan__": math.nan,
+}
+
+
+def _encode(obj):
+    if isinstance(obj, float):
+        if math.isnan(obj):
+            return "__nan__"
+        if math.isinf(obj):
+            return _NONFINITE_ENCODE[obj]
+        return obj
+    if isinstance(obj, dict):
+        return {k: _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    return obj
+
+
+def _decode(obj):
+    if isinstance(obj, str):
+        return _NONFINITE_DECODE.get(obj, obj)
+    if isinstance(obj, dict):
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def dumps_record(record: RunRecord) -> str:
+    """One strict-JSON line for a record (non-finite floats sentinelled)."""
+    return json.dumps(_encode(record.to_dict()), allow_nan=False)
+
+
+def loads_record(line: str) -> RunRecord:
+    """Inverse of :func:`dumps_record`."""
+    return RunRecord(**_decode(json.loads(line)))
+
+
+class CheckpointWriter:
+    """Append-mode JSONL sink for streaming records as a sweep runs.
+
+    Each record is written and flushed as one line, so an interrupted sweep
+    loses at most the line being written (:meth:`ResultsDB.load` discards a
+    truncated final line)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a")
+        # A crash can leave a truncated line with no trailing newline;
+        # appending straight after it would corrupt the next record too.
+        if self._fh.tell() > 0:
+            with self.path.open("rb") as fh:
+                fh.seek(-1, 2)
+                if fh.read(1) != b"\n":
+                    self._fh.write("\n")
+
+    def write(self, record: RunRecord | Iterable[RunRecord]) -> None:
+        records = [record] if isinstance(record, RunRecord) else record
+        for r in records:
+            self._fh.write(dumps_record(r) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ResultsDB:
@@ -105,20 +188,36 @@ class ResultsDB:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist as JSON Lines."""
+        """Persist as JSON Lines (strict JSON, see :func:`dumps_record`)."""
         p = Path(path)
         with p.open("w") as fh:
             for r in self.records:
-                fh.write(json.dumps(r.to_dict()) + "\n")
+                fh.write(dumps_record(r) + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "ResultsDB":
-        """Load a JSONL file written by :meth:`save`."""
+        """Load a JSONL file written by :meth:`save` or a checkpoint stream.
+
+        Lines torn by a crash mid-write (typically the last one; possibly
+        mid-file once a resumed writer appends after one) are skipped with
+        a warning — losing one point re-runs it, aborting loses the
+        campaign."""
         db = cls()
-        with Path(path).open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                db.add(RunRecord(**json.loads(line)))
+        torn = 0
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                db.add(loads_record(line))
+            except json.JSONDecodeError:
+                torn += 1
+        if torn:
+            import warnings
+
+            warnings.warn(
+                f"{path}: skipped {torn} torn record line(s); "
+                "the affected points will re-run",
+                stacklevel=2,
+            )
         return db

@@ -6,7 +6,42 @@ evaluation section: one block per table/figure with the same rows/series.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.harness.runner import RunRecord
+
+
+@dataclass
+class SweepProgress:
+    """Throughput snapshot emitted by the parallel sweep executor."""
+
+    total: int
+    done: int
+    feasible: int
+    infeasible: int
+    skipped: int
+    elapsed: float
+
+    @property
+    def points_per_sec(self) -> float:
+        return self.done / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        rate = self.points_per_sec
+        return (self.total - self.done) / rate if rate > 0 else float("inf")
+
+
+def format_progress(p: SweepProgress) -> str:
+    """One status line: ``[done/total] pct  rate  ETA  feas/infeas``."""
+    pct = 100.0 * p.done / p.total if p.total else 100.0
+    eta = p.eta_seconds
+    eta_s = f"{eta:6.1f}s" if eta != float("inf") else "     --"
+    return (
+        f"[{p.done}/{p.total}] {pct:5.1f}%  {p.points_per_sec:7.2f} pts/s  "
+        f"ETA {eta_s}  feasible={p.feasible} infeasible={p.infeasible}"
+        + (f" (resumed past {p.skipped})" if p.skipped else "")
+    )
 
 
 def format_record(r: RunRecord) -> str:

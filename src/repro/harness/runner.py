@@ -68,20 +68,28 @@ class ExperimentRunner:
         self.problems = problems or {}
         self.seed = seed
         self._baselines: dict[tuple, AppResult] = {}
-        self._apps: dict[str, Benchmark] = {}
+        self._apps: dict[tuple, Benchmark] = {}
 
     # ------------------------------------------------------------------
+    def _problem_key(self, app_name: str) -> str:
+        """Stable fingerprint of the app's problem override, so caches
+        invalidate when ``problems`` is mutated between sweeps."""
+        problem = self.problems.get(app_name)
+        return repr(sorted(problem.items())) if problem else ""
+
     def app(self, name: str) -> Benchmark:
-        if name not in self._apps:
+        key = (name, self._problem_key(name))
+        if key not in self._apps:
             from repro.apps import get_benchmark
 
-            self._apps[name] = get_benchmark(name, problem=self.problems.get(name))
-        return self._apps[name]
+            self._apps[key] = get_benchmark(name, problem=self.problems.get(name))
+        return self._apps[key]
 
     def baseline(self, app_name: str, device: str | DeviceSpec) -> AppResult:
-        """Accurate run at the app's best configuration (cached)."""
+        """Accurate run at the app's best configuration, cached per
+        (app, device, problem)."""
         dev = get_device(device)
-        key = (app_name, dev.name)
+        key = (app_name, dev.name, self._problem_key(app_name))
         if key not in self._baselines:
             app = self.app(app_name)
             self._baselines[key] = app.run(
@@ -133,7 +141,9 @@ class ExperimentRunner:
         )
         record.error = error(app.error_metric, base.qoi, result.qoi)
         stats = result.region_stats or {}
-        fractions = [s["approx_fraction"] for s in stats.values() if s["invocations"]]
+        fractions = [
+            s.get("approx_fraction", 0.0) for s in stats.values() if s.get("invocations")
+        ]
         record.approx_fraction = max(fractions) if fractions else 0.0
         record.region_stats = stats
         record.extra = {
@@ -155,6 +165,32 @@ class ExperimentRunner:
         device: str | DeviceSpec,
         points: list[SweepPoint],
         site: str | None = None,
+        *,
+        parallel: int | None = None,
+        checkpoint: str | None = None,
+        progress: bool = False,
+        retries: int = 1,
     ) -> list[RunRecord]:
-        """Run a list of sweep points, returning all records."""
+        """Run a list of sweep points, returning all records in input order.
+
+        ``parallel > 1`` fans the points out across a process pool;
+        ``checkpoint`` streams completed records to a JSONL file and skips
+        points already recorded there, so an interrupted sweep resumes where
+        it stopped (see :mod:`repro.harness.executor`)."""
+        if (parallel and parallel > 1) or checkpoint is not None:
+            from repro.harness.executor import run_sweep_parallel
+
+            report = run_sweep_parallel(
+                app_name,
+                device,
+                points,
+                site=site,
+                problems=self.problems,
+                seed=self.seed,
+                max_workers=parallel or 1,
+                checkpoint=checkpoint,
+                progress=progress,
+                retries=retries,
+            )
+            return report.records
         return [self.run_point(app_name, device, pt, site=site) for pt in points]

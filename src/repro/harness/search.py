@@ -62,8 +62,15 @@ def random_search(
     threshold_scale: float = 1.0,
     seed: int = 7,
     space: list[SweepPoint] | None = None,
+    max_workers: int = 1,
+    checkpoint: str | None = None,
 ) -> SearchResult:
-    """Uniform sampling of the Table-2 grid without replacement."""
+    """Uniform sampling of the Table-2 grid without replacement.
+
+    The whole sample is known up front, so with ``max_workers > 1`` it is
+    evaluated as one batch through the parallel executor (workers rebuild
+    the runner from its problems/seed); results are identical to the serial
+    path because the simulation is deterministic per seed."""
     rng = np.random.default_rng(seed)
     points = list(
         space
@@ -72,10 +79,21 @@ def random_search(
                           threshold_scale=threshold_scale)
     )
     rng.shuffle(points)
+    sample = points[: int(budget)]
     db = ResultsDB()
+    if max_workers > 1 or checkpoint is not None:
+        from repro.harness.executor import run_sweep_parallel
+
+        report = run_sweep_parallel(
+            app, device, sample,
+            problems=runner.problems, seed=runner.seed,
+            max_workers=max_workers, checkpoint=checkpoint,
+        )
+        records = report.records
+    else:
+        records = [runner.run_point(app, device, pt) for pt in sample]
     best, best_score = None, -float("inf")
-    for pt in points[: int(budget)]:
-        rec = runner.run_point(app, device, pt)
+    for rec in records:
         db.add(rec)
         score = _objective(rec, max_error)
         if score > best_score:
@@ -97,8 +115,13 @@ def _neighbors(point: SweepPoint, space: list[SweepPoint]) -> list[SweepPoint]:
     for cand in space:
         if cand.technique != point.technique:
             continue
+        # Diff over the UNION of key sets: perfo kinds carry different keys
+        # (skip/herded vs skip_percent), and iterating only cand's keys
+        # undercounts — and makes neighbourhood asymmetric — whenever one
+        # point's params are a subset of the other's.
+        keys = set(cand.params) | set(point.params)
         diffs = sum(
-            cand.params.get(k) != point.params.get(k) for k in cand.params
+            cand.params.get(k) != point.params.get(k) for k in keys
         )
         diffs += cand.level != point.level
         diffs += cand.items_per_thread != point.items_per_thread

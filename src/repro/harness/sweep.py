@@ -64,6 +64,28 @@ class SweepPoint:
         inner = ":".join(f"{k}={v}" for k, v in sorted(self.params.items()))
         return f"{self.technique}({inner}) level={self.level} ipt={self.items_per_thread}"
 
+    @classmethod
+    def of_record(cls, record) -> "SweepPoint":
+        """Reconstruct the point a :class:`~repro.harness.runner.RunRecord`
+        was run at — the checkpoint identity used to resume sweeps.  Params
+        survive the JSONL round-trip unchanged (ints/floats/bools), so
+        ``SweepPoint.of_record(rec).label()`` matches the original label."""
+        return cls(
+            record.technique,
+            dict(record.params),
+            level=record.level,
+            items_per_thread=record.items_per_thread,
+        )
+
+
+def chunk_points(
+    points: list[SweepPoint], chunk_size: int
+) -> list[list[SweepPoint]]:
+    """Contiguous chunks of at most ``chunk_size`` points (executor shards)."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [points[i : i + chunk_size] for i in range(0, len(points), chunk_size)]
+
 
 def _taf_axes(thinned: bool) -> tuple[list, list, list]:
     if thinned:

@@ -1,0 +1,236 @@
+"""Parallel, checkpointed sweep executor tests.
+
+The issue's acceptance bar: a thinned TAF sweep through the executor with
+``max_workers >= 2`` matches the serial path record-for-record, and
+re-running against its checkpoint evaluates zero new points.
+"""
+
+import pytest
+
+from repro.harness.database import ResultsDB
+from repro.harness.executor import (
+    SweepReport,
+    run_point_with_retry,
+    run_sweep_parallel,
+)
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.sweep import SweepPoint, chunk_points
+
+PROBLEMS = {"blackscholes": {"num_options": 2048, "num_runs": 4}}
+
+
+def _points():
+    """A small thinned TAF slice plus one infeasible iACT corner."""
+    pts = [
+        SweepPoint("taf", {"hsize": h, "psize": p, "threshold": t}, "thread", 2)
+        for h in (1, 2)
+        for p in (4, 16)
+        for t in (0.3, 3.0)
+    ]
+    pts.append(
+        SweepPoint("iact", {"tsize": 8, "threshold": 0.3, "tperwarp": 32}, "thread", 8)
+    )
+    return pts
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    runner = ExperimentRunner(problems=PROBLEMS)
+    return runner.run_sweep("blackscholes", "v100_small", _points())
+
+
+class TestEquivalence:
+    def test_parallel_matches_serial(self, serial_records):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=2,
+        )
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records
+        ]
+        assert report.evaluated == len(serial_records)
+        assert report.skipped == 0
+
+    def test_in_process_path_matches_serial(self, serial_records):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=1,
+        )
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_run_sweep_parallel_kwarg(self, serial_records):
+        runner = ExperimentRunner(problems=PROBLEMS)
+        records = runner.run_sweep(
+            "blackscholes", "v100_small", _points(), parallel=2
+        )
+        assert [r.to_dict() for r in records] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_report_counts(self, serial_records):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=2,
+        )
+        assert report.feasible == sum(r.feasible for r in serial_records)
+        assert report.infeasible == 1
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_labels(self, tmp_path, serial_records):
+        ck = tmp_path / "sweep.jsonl"
+        pts = _points()
+        first = run_sweep_parallel(
+            "blackscholes", "v100_small", pts[:4],
+            problems=PROBLEMS, max_workers=2, checkpoint=ck,
+        )
+        assert first.evaluated == 4 and ck.exists()
+        rest = run_sweep_parallel(
+            "blackscholes", "v100_small", pts,
+            problems=PROBLEMS, max_workers=2, checkpoint=ck,
+        )
+        assert rest.skipped == 4
+        assert rest.evaluated == len(pts) - 4
+        # Full rerun against the finished checkpoint evaluates nothing.
+        again = run_sweep_parallel(
+            "blackscholes", "v100_small", pts,
+            problems=PROBLEMS, max_workers=2, checkpoint=ck,
+        )
+        assert again.evaluated == 0
+        assert again.skipped == len(pts)
+        # Records still come back complete, ordered, and equal to serial.
+        assert [r.to_dict() for r in again.records] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_checkpoint_loadable_as_results_db(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        run_sweep_parallel(
+            "blackscholes", "v100_small", _points()[:3],
+            problems=PROBLEMS, max_workers=1, checkpoint=ck,
+        )
+        db = ResultsDB.load(ck)
+        assert len(db) == 3
+
+    def test_checkpoint_ignores_other_app_records(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        pts = _points()[:2]
+        ResultsDB(
+            [
+                RunRecord(
+                    app="lulesh", device="other", technique=p.technique,
+                    params=dict(p.params), level=p.level,
+                    items_per_thread=p.items_per_thread,
+                )
+                for p in pts
+            ]
+        ).save(ck)
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", pts,
+            problems=PROBLEMS, max_workers=1, checkpoint=ck,
+        )
+        assert report.skipped == 0 and report.evaluated == 2
+
+
+class _FailingRunner:
+    """Stub runner whose run_point always raises."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def run_point(self, app, device, point, site=None):
+        self.calls += 1
+        raise RuntimeError("injected worker crash")
+
+
+class _FlakyRunner(ExperimentRunner):
+    """Real runner that crashes on first contact with each point."""
+
+    def __init__(self, *a, **kw):
+        super().__init__(*a, **kw)
+        self._seen = set()
+
+    def run_point(self, app, device, point, site=None):
+        if point.label() not in self._seen:
+            self._seen.add(point.label())
+            raise OSError("transient failure")
+        return super().run_point(app, device, point, site=site)
+
+
+def _flaky_factory(problems, seed):
+    return _FlakyRunner(problems=problems, seed=seed)
+
+
+class TestRetry:
+    def test_persistent_failure_records_note(self):
+        runner = _FailingRunner()
+        rec = run_point_with_retry(
+            runner, "blackscholes", "v100_small", _points()[0], retries=2
+        )
+        assert runner.calls == 3
+        assert not rec.feasible
+        assert "WorkerError after 3 attempts" in rec.note
+        assert "injected worker crash" in rec.note
+
+    def test_transient_failure_retried_to_success(self):
+        flaky = _FlakyRunner(problems=PROBLEMS)
+        rec = run_point_with_retry(
+            flaky, "blackscholes", "v100_small", _points()[0], retries=1
+        )
+        assert rec.feasible
+
+    def test_sweep_survives_worker_exceptions(self, serial_records):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            max_workers=2, retries=1,
+            runner_factory=_flaky_factory, factory_args=(PROBLEMS, 2023),
+        )
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_no_retries_aborts_into_infeasible_records(self):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points()[:2],
+            max_workers=1, retries=0,
+            runner_factory=lambda: _FailingRunner(), factory_args=(),
+        )
+        assert report.evaluated == 2
+        assert all(not r.feasible for r in report.records)
+        assert all("WorkerError" in r.note for r in report.records)
+
+
+class TestProgress:
+    def test_progress_callback_streams_monotonically(self):
+        snaps = []
+        run_sweep_parallel(
+            "blackscholes", "v100_small", _points()[:4],
+            problems=PROBLEMS, max_workers=1, chunk_size=1,
+            progress=snaps.append,
+        )
+        assert [p.done for p in snaps] == [1, 2, 3, 4]
+        assert all(p.total == 4 for p in snaps)
+        assert snaps[-1].points_per_sec > 0
+        assert snaps[-1].eta_seconds == 0
+
+
+class TestChunking:
+    def test_chunk_points_partitions(self):
+        pts = _points()
+        chunks = chunk_points(pts, 4)
+        assert sum(len(c) for c in chunks) == len(pts)
+        assert all(len(c) <= 4 for c in chunks)
+        assert [p for c in chunks for p in c] == pts
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            chunk_points(_points(), 0)
+
+    def test_empty_sweep(self):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", [], problems=PROBLEMS, max_workers=2
+        )
+        assert isinstance(report, SweepReport)
+        assert report.records == [] and report.evaluated == 0

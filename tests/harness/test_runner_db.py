@@ -58,6 +58,33 @@ class TestRunner:
         recs = runner.run_sweep("blackscholes", "v100_small", pts)
         assert len(recs) == 2
 
+    def test_baseline_recomputed_when_problem_changes(self):
+        r = ExperimentRunner(
+            problems={"blackscholes": {"num_options": 2048, "num_runs": 4}}
+        )
+        a = r.baseline("blackscholes", "v100_small")
+        r.problems["blackscholes"] = {"num_options": 4096, "num_runs": 4}
+        b = r.baseline("blackscholes", "v100_small")
+        assert a is not b
+        assert r.baseline("blackscholes", "v100_small") is b
+
+    def test_partial_region_stats_do_not_crash(self, runner, monkeypatch):
+        # A region reporting partial stats (no approx_fraction) must not
+        # KeyError mid-sweep.
+        app = runner.app("blackscholes")
+        real_run = app.run
+
+        def partial_stats_run(*a, **kw):
+            res = real_run(*a, **kw)
+            res.region_stats = {"partial": {"invocations": 3}}
+            return res
+
+        monkeypatch.setattr(app, "run", partial_stats_run)
+        pt = SweepPoint("taf", {"hsize": 1, "psize": 4, "threshold": 0.3}, "thread", 2)
+        rec = runner.run_point("blackscholes", "v100_small", pt)
+        assert rec.feasible
+        assert rec.approx_fraction == 0.0
+
     def test_kmeans_records_convergence(self):
         r = ExperimentRunner(problems={"kmeans": {"num_obs": 4096, "max_iters": 30}})
         pt = SweepPoint("taf", {"hsize": 1, "psize": 7, "threshold": 0.9}, "thread", 8)
@@ -120,6 +147,51 @@ class TestResultsDB:
         assert len(loaded) == 1
         assert loaded.records[0].speedup == 1.7
         assert loaded.records[0].error == 0.03
+
+    def test_save_load_roundtrip_nonfinite_and_infeasible(self, tmp_path):
+        # Diverged records carry inf error; json would emit the
+        # non-standard `Infinity` literal without the sentinel encoding.
+        inf_rec = _rec(err=float("inf"), spd=0.0)
+        nan_rec = _rec(err=float("nan"), spd=1.0)
+        bad = _rec(feasible=False)
+        bad.note = "SharedMemoryError: AC state exceeds budget"
+        db = ResultsDB([inf_rec, nan_rec, bad, _rec(err=0.02)])
+        path = tmp_path / "results.jsonl"
+        db.save(path)
+        # The file itself is strict JSON, line by line.
+        import json
+        import math
+
+        for line in path.read_text().splitlines():
+            json.loads(line, parse_constant=lambda _: pytest.fail("non-standard JSON"))
+        loaded = ResultsDB.load(path)
+        assert loaded.records[0].error == float("inf")
+        assert math.isnan(loaded.records[1].error)
+        assert not loaded.records[2].feasible
+        assert loaded.records[2].note == bad.note
+        assert loaded.records[3].error == 0.02
+
+    def test_load_discards_truncated_final_line(self, tmp_path):
+        db = ResultsDB([_rec(), _rec()])
+        path = tmp_path / "results.jsonl"
+        db.save(path)
+        with path.open("a") as fh:
+            fh.write('{"app": "truncat')  # sweep killed mid-write
+        with pytest.warns(UserWarning, match="torn"):
+            assert len(ResultsDB.load(path)) == 2
+
+    def test_checkpoint_writer_heals_missing_newline(self, tmp_path):
+        from repro.harness.database import CheckpointWriter
+
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"app": "truncat')  # torn tail, no newline
+        with CheckpointWriter(path) as w:
+            w.write(_rec())
+        with pytest.warns(UserWarning, match="torn"):
+            loaded = ResultsDB.load(path)
+        # The appended record did not merge into the torn line.
+        assert len(loaded) == 1
+        assert loaded.records[0].app == "a"
 
     def test_len_iter_add(self):
         db = ResultsDB()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps import get_benchmark
 from repro.harness.runner import ExperimentRunner
-from repro.harness.search import evolutionary_search, random_search
+from repro.harness.search import _neighbors, evolutionary_search, random_search
 from repro.harness.sensitivity import (
     SiteSensitivity,
     analyze_sensitivity,
@@ -77,6 +77,35 @@ def _small_space():
     return pts
 
 
+class TestNeighbors:
+    def test_differing_key_sets_diff_over_union(self):
+        # perfo kinds carry different key sets: ini/fini have skip_percent,
+        # small/large have skip/herded.  Those points differ in many axes
+        # and must never be 1-axis neighbours.
+        ini = SweepPoint("perfo", {"kind": "ini", "skip_percent": 10}, "thread", 8)
+        small = SweepPoint(
+            "perfo", {"kind": "small", "skip": 2, "herded": False}, "thread", 8
+        )
+        assert small not in _neighbors(ini, [small])
+        assert ini not in _neighbors(small, [ini])
+
+    def test_neighborhood_is_symmetric(self):
+        # Pre-fix, diffs were summed over cand's keys only, so a point
+        # whose params are a superset of the other's was a neighbour in
+        # one direction but not the other.
+        a = SweepPoint("perfo", {"kind": "ini", "skip_percent": 10}, "thread", 8)
+        b = SweepPoint(
+            "perfo", {"kind": "ini", "skip_percent": 10, "herded": True}, "thread", 8
+        )
+        assert (b in _neighbors(a, [b])) == (a in _neighbors(b, [a]))
+
+    def test_same_axis_neighbors_kept(self):
+        p = SweepPoint("taf", {"hsize": 1, "psize": 4, "threshold": 0.3}, "thread", 2)
+        q = SweepPoint("taf", {"hsize": 2, "psize": 4, "threshold": 0.3}, "thread", 2)
+        r = SweepPoint("taf", {"hsize": 2, "psize": 8, "threshold": 0.3}, "thread", 2)
+        assert _neighbors(p, [q, r]) == [q]
+
+
 class TestSearch:
     def test_random_search_respects_budget(self, runner):
         res = random_search(
@@ -124,6 +153,18 @@ class TestSearch:
             budget=10, space=space,
         )
         assert res.evaluations < len(space)
+
+    def test_random_search_parallel_matches_serial(self, runner):
+        serial = random_search(
+            runner, "blackscholes", "v100_small", "taf",
+            budget=8, space=_small_space(), seed=11,
+        )
+        par = random_search(
+            runner, "blackscholes", "v100_small", "taf",
+            budget=8, space=_small_space(), seed=11, max_workers=2,
+        )
+        assert [r.to_dict() for r in par.db] == [r.to_dict() for r in serial.db]
+        assert par.best.to_dict() == serial.best.to_dict()
 
     def test_infeasible_points_do_not_crash_search(self, runner):
         # iACT corners of Table 2 overflow shared memory; the search must

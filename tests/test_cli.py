@@ -55,6 +55,20 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "kmeans"])
 
+    def test_sweep_parallel_with_checkpoint_resumes(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        argv = ["sweep", "kmeans", "--technique", "taf",
+                "--parallel", "2", "--checkpoint", str(ck)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 resumed from checkpoint" in first
+        assert ck.exists()
+        # Re-running the same campaign evaluates nothing new.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "evaluated 0 points" in second
+        assert "best under 10% error" in second
+
 
 class TestSensitivity:
     def test_sensitivity_table(self, capsys):
