@@ -25,7 +25,9 @@ Subpackages
 * :mod:`repro.approx` — the HPAC-Offload runtime (TAF, iACT, perforation,
   hierarchical decisions);
 * :mod:`repro.apps` — the seven Table-1 benchmarks;
-* :mod:`repro.harness` — DSE sweeps, metrics, and figure reproductions.
+* :mod:`repro.harness` — DSE sweeps, metrics, and figure reproductions;
+* :mod:`repro.analysis` — static checks: ``repro lint`` diagnostics with
+  stable ``HPAC0xx`` codes, and the sweep preflight built on them.
 """
 
 from repro.approx import (

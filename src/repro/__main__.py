@@ -9,6 +9,10 @@ Thin wrappers over the library for the common workflows:
   [--parallel N] [--checkpoint F]`` — a DSE campaign with the results
   database, saved to JSONL; ``--parallel`` fans points across a process
   pool and ``--checkpoint`` makes the sweep resumable;
+* ``python -m repro lint [files | --text "..." | --app A --device D]`` —
+  static analysis of approx pragmas / region configurations, clang-style
+  caret diagnostics with stable ``HPAC0xx`` codes; exit status reflects the
+  worst severity (0 clean/info, 1 warnings, 2 errors);
 * ``python -m repro sensitivity <app>`` — rank the app's regions;
 * ``python -m repro figures [fig3 fig4 ...]`` — regenerate evaluation
   figures and print the paper-style rows;
@@ -108,16 +112,17 @@ def cmd_sweep(args) -> int:
         print(f"no candidate grid for {args.app}/{args.technique}",
               file=sys.stderr)
         return 1
-    if args.parallel > 1 or args.checkpoint:
+    if args.parallel > 1 or args.checkpoint or args.preflight:
         report = run_sweep_parallel(
             args.app, args.device, points,
             seed=args.seed, max_workers=args.parallel,
             checkpoint=args.checkpoint, retries=args.retries,
-            progress=args.progress,
+            progress=args.progress, preflight=args.preflight,
         )
         db.add(report.records)
         print(f"evaluated {report.evaluated} points "
-              f"({report.skipped} resumed from checkpoint) "
+              f"({report.skipped} resumed from checkpoint, "
+              f"{report.pruned} pruned by preflight) "
               f"in {report.elapsed:.2f}s with {args.parallel} worker(s)")
     else:
         db.add(runner.run_sweep(args.app, args.device, points))
@@ -131,6 +136,45 @@ def cmd_sweep(args) -> int:
         db.save(args.output)
         print(f"saved {len(db)} records to {args.output}")
     return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis import (
+        RULES, exit_code, lint_file, lint_regions, lint_text, render_all,
+    )
+
+    diags = []
+    if args.text:
+        diags.extend(lint_text(args.text))
+    for path in args.files:
+        diags.extend(lint_file(path))
+    if args.app:
+        from repro.apps import get_benchmark
+        from repro.errors import ReproError
+        from repro.gpusim.device import get_device
+        from repro.gpusim.kernel import round_up
+
+        app = get_benchmark(args.app)
+        dev = get_device(args.device)
+        try:
+            regions = app.build_regions(
+                args.technique, level=args.level, site=args.site,
+                **_technique_kwargs(args),
+            )
+        except ReproError as exc:
+            diags.append(RULES["HPAC030"].diag(f"{type(exc).__name__}: {exc}"))
+        else:
+            tpb = args.threads or round_up(app.default_num_threads, dev.warp_size)
+            diags.extend(lint_regions(regions, dev, tpb))
+    if not args.text and not args.files and not args.app:
+        print("nothing to lint: pass files, --text, or --app", file=sys.stderr)
+        return 2
+    out = render_all(diags)
+    if out:
+        print(out)
+    else:
+        print("no issues found")
+    return exit_code(diags)
 
 
 def cmd_sensitivity(args) -> int:
@@ -213,7 +257,27 @@ def main(argv: list[str] | None = None) -> int:
                          help="retries per point on unexpected worker errors")
     p_sweep.add_argument("--progress", action="store_true",
                          help="print a throughput/ETA line per completed chunk")
+    p_sweep.add_argument("--preflight", action="store_true",
+                         help="statically vet points first; provably "
+                              "infeasible ones are recorded (with the HPAC "
+                              "diagnostic code) without simulating")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_lint = sub.add_parser("lint", help="static analysis of approx pragmas")
+    p_lint.add_argument("files", nargs="*",
+                        help=".pragmas files (one directive per line, "
+                             "// comments)")
+    p_lint.add_argument("--text", default=None,
+                        help="lint one directive string")
+    p_lint.add_argument("--app", default=None,
+                        help="lint an app's region specs on --device "
+                             "(combine with the technique flags)")
+    p_lint.add_argument("--device", default="v100_small")
+    p_lint.add_argument("--threads", type=int, default=None,
+                        help="threads per block (default: the app's "
+                             "num_threads, warp-rounded)")
+    _add_technique_args(p_lint)
+    p_lint.set_defaults(fn=cmd_lint)
 
     p_sens = sub.add_parser("sensitivity", help="rank regions by sensitivity")
     p_sens.add_argument("app")

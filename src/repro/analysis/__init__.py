@@ -1,0 +1,53 @@
+"""Static analysis for approx regions: diagnostics, lint rules, preflight.
+
+The compile-time half of the paper's toolchain (§3.3), restored as a
+library: clang-style caret diagnostics with stable ``HPAC0xx`` codes
+(:mod:`~repro.analysis.diagnostics`), a rule registry with directive-,
+unit-, and device-level passes (:mod:`~repro.analysis.lint`,
+:mod:`~repro.analysis.rules`), and a sweep preflight that prunes
+statically infeasible DSE points before they reach the simulator
+(:mod:`~repro.analysis.preflight`).  CLI: ``python -m repro lint``.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    exit_code,
+    max_severity,
+    render_all,
+)
+from repro.analysis.lint import (
+    RULES,
+    LaunchContext,
+    Rule,
+    lint_file,
+    lint_pragmas,
+    lint_regions,
+    lint_text,
+)
+from repro.analysis.preflight import (
+    make_preflight,
+    preflight_diagnostics,
+    preflight_point,
+)
+
+# Importing the rules package registers every rule in RULES.
+import repro.analysis.rules  # noqa: E402,F401
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "exit_code",
+    "max_severity",
+    "render_all",
+    "RULES",
+    "Rule",
+    "LaunchContext",
+    "lint_file",
+    "lint_pragmas",
+    "lint_regions",
+    "lint_text",
+    "make_preflight",
+    "preflight_diagnostics",
+    "preflight_point",
+]

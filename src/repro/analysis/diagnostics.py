@@ -1,0 +1,111 @@
+"""Clang-style diagnostics for the static analyzer.
+
+The paper's front end is a Clang extension (§3.3); rejected programs get
+compiler diagnostics, not runtime exceptions.  This module is the rendering
+half of that restoration: a :class:`Diagnostic` carries a stable rule code
+(``HPAC0xx``), a severity, and a source span taken from the ``position``
+fields the lexer/parser already track, and renders the way Clang does::
+
+    examples/pragmas/broken.pragmas:4:16: error: in section 'row' has a
+        symbolic length ('n') [HPAC005]
+      memo(in:4:0.5) in(row[i*n:n]) out(acc)
+                     ^~~~~~~~~~~~~~
+      note: make the capture length a literal so every thread captures the
+        same number of scalars
+
+Severities are ordered (info < warning < error) so ``max()`` picks the
+worst; :func:`exit_code` maps a diagnostic set onto the CLI convention
+(0 clean/info, 1 warnings, 2 errors).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` selects the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: CLI exit codes per worst severity (clang-ish: warnings don't fail the
+#: build by default, but lint exposes them as a distinct status).
+_EXIT_CODES = {Severity.ERROR: 2, Severity.WARNING: 1, Severity.INFO: 0}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer, with a stable rule code."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: Directive text the span indexes into ("" when no source is attached).
+    text: str = ""
+    #: 0-based column of the span start; -1 means "no span".
+    position: int = -1
+    length: int = 1
+    hint: str | None = None
+    #: Originating file (None for directive strings passed on the CLI).
+    file: str | None = None
+    #: 1-based line in ``file``.
+    line: int | None = None
+    #: Free-form payload (predicted bytes, occupancy numbers, ...).
+    data: dict = field(default_factory=dict, compare=False)
+
+    def at(self, file: str | None, line: int | None) -> "Diagnostic":
+        """Copy of this diagnostic re-anchored to a file location."""
+        return replace(self, file=file, line=line)
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` prefix; defaults mimic an anonymous buffer."""
+        col = self.position + 1 if self.position >= 0 else 1
+        return f"{self.file or '<pragma>'}:{self.line or 1}:{col}"
+
+    def render(self) -> str:
+        """Clang-style block: location, severity, message, caret, note."""
+        out = f"{self.location}: {self.severity.label}: {self.message} [{self.code}]"
+        if self.text and self.position >= 0:
+            underline = " " * self.position + "^" + "~" * max(self.length - 1, 0)
+            out += f"\n  {self.text}\n  {underline}"
+        if self.hint:
+            out += f"\n  note: {self.hint}"
+        return out
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """Worst severity present, or None for a clean result."""
+    sevs = [d.severity for d in diagnostics]
+    return max(sevs) if sevs else None
+
+
+def exit_code(diagnostics: Iterable[Diagnostic]) -> int:
+    """CLI exit status: 2 on errors, 1 on warnings, 0 on info/clean."""
+    worst = max_severity(diagnostics)
+    return _EXIT_CODES[worst] if worst is not None else 0
+
+
+def render_all(diagnostics: Iterable[Diagnostic]) -> str:
+    """All diagnostics, one blank line apart, plus a totals summary."""
+    diags = list(diagnostics)
+    blocks = [d.render() for d in diags]
+    errors = sum(1 for d in diags if d.severity is Severity.ERROR)
+    warnings = sum(1 for d in diags if d.severity is Severity.WARNING)
+    parts = []
+    if errors:
+        parts.append(f"{errors} error{'s' if errors != 1 else ''}")
+    if warnings:
+        parts.append(f"{warnings} warning{'s' if warnings != 1 else ''}")
+    if parts:
+        blocks.append(" and ".join(parts) + " generated")
+    return "\n".join(blocks)

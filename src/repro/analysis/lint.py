@@ -1,0 +1,252 @@
+"""Rule registry and lint passes over pragmas, units, and region specs.
+
+Three granularities, mirroring what the paper's toolchain checks at compile
+time (§3.3) and what a preflight-validating GPU runtime checks at launch:
+
+* **directive** rules see one parsed :class:`~repro.pragma.parser.ApproxDirective`
+  (:func:`lint_text`);
+* **unit** rules see every directive of a compilation unit together
+  (:func:`lint_pragmas`, :func:`lint_file`) — e.g. duplicate region labels;
+* **device** rules see lowered :class:`~repro.approx.base.RegionSpec` lists
+  plus a :class:`~repro.gpusim.device.DeviceSpec` and launch geometry
+  (:func:`lint_regions`) — shared-memory budgets, warp alignment,
+  occupancy.  Rules flagged ``preflight`` predict configurations the
+  runtime is guaranteed to reject, which is what lets the sweep executor
+  prune points without simulating them (:mod:`repro.analysis.preflight`).
+
+Rules register themselves via :func:`register`; importing
+:mod:`repro.analysis.rules` populates the table.  Codes are stable API:
+``HPAC001``/``HPAC002`` are the engine's own syntax/sema passthroughs,
+``HPAC00x`` are directive/unit rules, ``HPAC02x`` device rules, ``HPAC030``
+region construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.errors import PragmaSemanticError, PragmaSyntaxError
+from repro.gpusim.device import DeviceSpec
+from repro.pragma.parser import ApproxDirective, parse
+from repro.pragma.sema import CheckedDirective, check
+
+
+@dataclass(frozen=True)
+class LaunchContext:
+    """What the device-aware rules inspect: regions + device + geometry."""
+
+    specs: tuple
+    device: DeviceSpec
+    threads_per_block: int
+    #: Grid size when known (occupancy utilization); None = unknown.
+    num_blocks: int | None = None
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    #: "directive" | "unit" | "device" | "engine"
+    kind: str
+    description: str
+    fn: Callable | None = field(default=None, compare=False)
+    #: True when an ERROR from this rule proves the runtime must reject the
+    #: configuration — safe grounds for the sweep preflight to prune.
+    preflight: bool = False
+
+    def diag(
+        self,
+        message: str,
+        *,
+        text: str = "",
+        position: int = -1,
+        length: int = 1,
+        hint: str | None = None,
+        severity: Severity | None = None,
+        **data,
+    ) -> Diagnostic:
+        """Build a diagnostic carrying this rule's code and severity."""
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity if severity is None else severity,
+            message=message,
+            text=text,
+            position=position,
+            length=length,
+            hint=hint,
+            data=data,
+        )
+
+
+#: code -> Rule, populated by :func:`register` at import time.
+RULES: dict[str, Rule] = {}
+
+
+def register(
+    code: str,
+    name: str,
+    severity: Severity,
+    kind: str,
+    description: str,
+    *,
+    preflight: bool = False,
+):
+    """Decorator registering a rule function under a stable code."""
+
+    def wrap(fn: Callable) -> Callable:
+        if code in RULES:  # pragma: no cover - registration bug guard
+            raise ValueError(f"duplicate rule code {code}")
+        RULES[code] = Rule(code, name, severity, kind, description, fn, preflight)
+        return fn
+
+    return wrap
+
+
+# The engine's own passthrough codes: parse and sema failures surfaced as
+# diagnostics.  Registered without functions so `RULES` documents every code.
+register("HPAC001", "syntax-error", Severity.ERROR, "engine",
+         "the directive text failed to lex or parse")(None)
+register("HPAC002", "sema-error", Severity.ERROR, "engine",
+         "the directive parsed but failed semantic analysis")(None)
+
+
+def rules_of_kind(kind: str) -> list[Rule]:
+    """Registered rules of one kind, in stable code order."""
+    _ensure_rules_loaded()
+    return [r for r in sorted(RULES.values(), key=lambda r: r.code)
+            if r.kind == kind and r.fn is not None]
+
+
+def _ensure_rules_loaded() -> None:
+    # Deferred so `import repro.analysis.lint` from a rule module (for
+    # `register`) does not recurse.
+    import repro.analysis.rules  # noqa: F401
+
+
+def _from_error(
+    code: str, exc: PragmaSyntaxError | PragmaSemanticError
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=Severity.ERROR,
+        message=exc.message,
+        text=exc.text,
+        position=exc.position,
+        length=exc.length,
+        hint=exc.hint,
+    )
+
+
+def _sorted(diags: list[Diagnostic]) -> list[Diagnostic]:
+    return sorted(
+        diags, key=lambda d: (d.line or 0, d.position if d.position >= 0 else 1 << 30,
+                              d.code)
+    )
+
+
+# ----------------------------------------------------------------------
+def lint_text(text: str, file: str | None = None, line: int | None = None
+              ) -> list[Diagnostic]:
+    """Lint one directive string: parse, directive rules, then sema.
+
+    Sema failures surface as ``HPAC002`` *unless* a specific rule already
+    reported an error at the same source position (e.g. a symbolic section
+    length fires ``HPAC005`` and would also fail sema) — the specific code
+    wins, matching how a compiler suppresses cascaded diagnostics.
+    """
+    _ensure_rules_loaded()
+    try:
+        directive = parse(text)
+    except PragmaSyntaxError as exc:
+        return [_from_error("HPAC001", exc).at(file, line)]
+
+    diags: list[Diagnostic] = []
+    for rule in rules_of_kind("directive"):
+        diags.extend(rule.fn(rule, directive))
+
+    checked: CheckedDirective | None = None
+    try:
+        checked = check(directive)
+    except PragmaSemanticError as exc:
+        specific = any(
+            d.severity is Severity.ERROR and d.position == exc.position
+            for d in diags
+        )
+        if not specific:
+            diags.append(_from_error("HPAC002", exc))
+    if checked is not None:
+        for rule in rules_of_kind("checked"):
+            diags.extend(rule.fn(rule, checked))
+    return [d.at(file, line) for d in _sorted(diags)]
+
+
+def lint_pragmas(pragmas: dict[str, str] | Iterable[tuple[str, str]],
+                 file: str | None = None,
+                 lines: dict[str, int] | None = None) -> list[Diagnostic]:
+    """Lint a compilation unit: each directive, plus cross-directive rules.
+
+    ``pragmas`` maps region name (mapping key) -> directive text, the same
+    shape :func:`repro.pragma.lowering.compile_pragmas` takes; ``lines``
+    optionally maps keys to 1-based source lines for file-anchored output.
+    """
+    _ensure_rules_loaded()
+    entries = list(pragmas.items()) if isinstance(pragmas, dict) else list(pragmas)
+    lines = lines or {}
+    diags: list[Diagnostic] = []
+    for key, text in entries:
+        diags.extend(lint_text(text, file=file, line=lines.get(key)))
+    for rule in rules_of_kind("unit"):
+        diags.extend(
+            d.at(file, d.line) for d in rule.fn(rule, entries, lines)
+        )
+    return _sorted(diags)
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    """Lint a ``.pragmas`` file: one directive per line, ``//`` comments.
+
+    ``#`` cannot introduce comments here because directive lines may be
+    written with their full ``#pragma approx`` prefix (stripped before
+    parsing).
+    """
+    p = Path(path)
+    entries: list[tuple[str, str]] = []
+    lines: dict[str, int] = {}
+    for lineno, raw in enumerate(p.read_text().splitlines(), start=1):
+        stripped = raw.split("//", 1)[0].strip()
+        if not stripped:
+            continue
+        for prefix in ("#pragma approx", "#pragma omp approx"):
+            if stripped.startswith(prefix):
+                stripped = stripped[len(prefix):].strip()
+                break
+        key = f"{p.name}:{lineno}"
+        entries.append((key, stripped))
+        lines[key] = lineno
+    return lint_pragmas(entries, file=str(p), lines=lines)
+
+
+def lint_regions(
+    specs: Iterable,
+    device: DeviceSpec,
+    threads_per_block: int,
+    num_blocks: int | None = None,
+) -> list[Diagnostic]:
+    """Run the device-aware rules over lowered region specs."""
+    _ensure_rules_loaded()
+    ctx = LaunchContext(
+        specs=tuple(specs),
+        device=device,
+        threads_per_block=int(threads_per_block),
+        num_blocks=num_blocks,
+    )
+    diags: list[Diagnostic] = []
+    for rule in rules_of_kind("device"):
+        diags.extend(rule.fn(rule, ctx))
+    return _sorted(diags)

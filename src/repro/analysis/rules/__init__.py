@@ -1,0 +1,3 @@
+"""Lint rule implementations; importing this package registers them all."""
+
+from repro.analysis.rules import device, directive  # noqa: F401

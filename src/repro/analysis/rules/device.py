@@ -1,0 +1,172 @@
+"""Device-aware lint rules: region specs × device × launch geometry.
+
+These rules predict, before any simulation, the launch-time failures the
+runtime would produce — the static half of the paper's toolchain (§3.3,
+footnote 2: the shared-memory AC budget is fixed when the runtime is
+built).  Rules flagged ``preflight=True`` are *sound* predictions of a
+guaranteed runtime rejection, which lets the sweep executor record the
+point as infeasible without entering the simulator; the others are hazards
+or performance advisories.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import LaunchContext, Rule, register
+from repro.approx.base import HierarchyLevel, Technique
+from repro.approx.memory_layout import region_shared_bytes_per_block
+from repro.errors import ConfigurationError
+from repro.gpusim.occupancy import blocks_resident_per_sm
+
+_MEMO = (Technique.TAF, Technique.IACT)
+
+
+def _region_bytes(ctx: LaunchContext) -> dict[str, int]:
+    """Per-region AC footprint; regions with invalid table sharing are
+    omitted (HPAC023 reports those)."""
+    out: dict[str, int] = {}
+    for spec in ctx.specs:
+        try:
+            out[spec.name] = region_shared_bytes_per_block(
+                spec, ctx.threads_per_block, ctx.device.warp_size
+            )
+        except ConfigurationError:
+            continue
+    return out
+
+
+@register(
+    "HPAC020", "shared-memory-overflow", Severity.ERROR, "device",
+    "one region's AC state alone exceeds the device's per-block shared "
+    "memory; the allocation is guaranteed to fail at launch",
+    preflight=True,
+)
+def _rule_shared_overflow(rule: Rule, ctx: LaunchContext):
+    budget = ctx.device.shared_mem_per_block
+    for name, nbytes in _region_bytes(ctx).items():
+        if nbytes > budget:
+            yield rule.diag(
+                f"region {name!r} needs {nbytes} B of shared memory per "
+                f"block at {ctx.threads_per_block} threads/block, exceeding "
+                f"the {ctx.device.name} budget of {budget} B",
+                hint="shrink the table/history size, lower tables-per-warp, "
+                     "or launch fewer threads per block",
+                region=name, bytes=nbytes, budget=budget,
+            )
+
+
+@register(
+    "HPAC021", "aggregate-shared-pressure", Severity.WARNING, "device",
+    "the regions together exceed the per-block shared budget; infeasible "
+    "only if they are launched in the same kernel (not statically known)",
+)
+def _rule_aggregate_shared(rule: Rule, ctx: LaunchContext):
+    budget = ctx.device.shared_mem_per_block
+    per_region = _region_bytes(ctx)
+    total = sum(per_region.values())
+    # Only when each region fits alone — otherwise HPAC020 already fired.
+    if total > budget and all(b <= budget for b in per_region.values()):
+        yield rule.diag(
+            f"the {len(per_region)} regions together need {total} B of "
+            f"shared memory per block, over the {ctx.device.name} budget of "
+            f"{budget} B; a kernel running all of them cannot launch",
+            hint="regions in different kernels are unaffected; otherwise "
+                 "shrink the AC state",
+            bytes=total, budget=budget,
+        )
+
+
+@register(
+    "HPAC022", "warp-misaligned-group-decision", Severity.ERROR, "device",
+    "warp/team-level memoization on a launch whose threads-per-block is "
+    "not a warp multiple: the partial warp's group vote diverges and the "
+    "§3.1.2 barrier scenario deadlocks on real hardware",
+)
+def _rule_warp_misaligned(rule: Rule, ctx: LaunchContext):
+    if ctx.threads_per_block % ctx.device.warp_size == 0:
+        return
+    for spec in ctx.specs:
+        if spec.technique in _MEMO and spec.level is not HierarchyLevel.THREAD:
+            yield rule.diag(
+                f"region {spec.name!r} makes {spec.level.value}-level "
+                f"decisions but {ctx.threads_per_block} threads/block is "
+                f"not a multiple of the {ctx.device.warp_size}-wide warp; "
+                f"the trailing partial warp breaks the collective vote",
+                hint=f"round threads-per-block up to a multiple of "
+                     f"{ctx.device.warp_size}",
+                region=spec.name,
+            )
+
+
+@register(
+    "HPAC023", "invalid-table-sharing", Severity.ERROR, "device",
+    "tables-per-warp does not divide this device's warp size (or exceeds "
+    "it); the runtime rejects the configuration when building AC state",
+    preflight=True,
+)
+def _rule_table_sharing(rule: Rule, ctx: LaunchContext):
+    for spec in ctx.specs:
+        if spec.technique is not Technique.IACT:
+            continue
+        try:
+            spec.params.resolved_tables_per_warp(ctx.device.warp_size)
+        except ConfigurationError as exc:
+            yield rule.diag(
+                f"region {spec.name!r}: {exc}",
+                hint=f"use a power-of-two tables-per-warp dividing "
+                     f"{ctx.device.warp_size} on {ctx.device.name}",
+                region=spec.name,
+            )
+
+
+@register(
+    "HPAC024", "occupancy-killing-ac-state", Severity.INFO, "device",
+    "the AC state fits but reduces how many blocks each SM can host, "
+    "trading latency hiding for approximation (§3.1.1)",
+)
+def _rule_occupancy(rule: Rule, ctx: LaunchContext):
+    total = sum(_region_bytes(ctx).values())
+    if total <= 0 or total > ctx.device.shared_mem_per_block:
+        return
+    base, _ = blocks_resident_per_sm(ctx.device, ctx.threads_per_block, 0)
+    with_ac, limiter = blocks_resident_per_sm(
+        ctx.device, ctx.threads_per_block, total
+    )
+    if 0 < with_ac < base:
+        drop = 100.0 * (1.0 - with_ac / base)
+        yield rule.diag(
+            f"{total} B/block of AC state drops residency from {base} to "
+            f"{with_ac} blocks/SM ({drop:.0f}% fewer; limited by {limiter}) "
+            f"on {ctx.device.name}",
+            hint="smaller tables or lower tables-per-warp restore occupancy "
+                 "if the speedup does not materialize",
+            bytes=total, blocks_before=base, blocks_after=with_ac,
+        )
+
+
+@register(
+    "HPAC025", "unschedulable-launch", Severity.ERROR, "device",
+    "the launch shape itself violates a device limit, independent of any "
+    "approximation state",
+    preflight=True,
+)
+def _rule_launch_limit(rule: Rule, ctx: LaunchContext):
+    tpb = ctx.threads_per_block
+    if tpb > ctx.device.max_threads_per_block:
+        yield rule.diag(
+            f"{tpb} threads/block exceeds the {ctx.device.name} limit of "
+            f"{ctx.device.max_threads_per_block}",
+            hint="lower num_threads",
+        )
+
+
+# Registered without a pass function: the preflight and --app paths emit it
+# directly when `Benchmark.build_regions` rejects a (technique, level, site)
+# combination — e.g. iACT on a site with no declared inputs, or a level the
+# site forbids (Binomial's barrier region is team-only, §4.1).
+register(
+    "HPAC030", "region-construction-failed", Severity.ERROR, "engine",
+    "the app rejected the technique/level/site combination while building "
+    "region specs; the sweep point can never run",
+    preflight=True,
+)(None)

@@ -1,0 +1,211 @@
+"""Directive- and unit-level lint rules over the parsed pragma AST.
+
+These rules diagnose what the paper's Clang front end would reject or warn
+about from the pragma text alone — no device or launch knowledge needed.
+Codes are stable; see :data:`repro.analysis.lint.RULES`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import Rule, register
+from repro.pragma.parser import ApproxDirective, ArraySection, clause_extent
+
+#: Widest wavefront of any supported device (MI250X, §4).
+_MAX_WARP = 64
+
+
+def _section_label(s: ArraySection) -> str:
+    if s.start is None:
+        return s.name
+    parts = [s.start.text]
+    if s.length is not None:
+        parts.append(s.length.text)
+    if s.stride is not None:
+        parts.append(s.stride.text)
+    return f"{s.name}[{':'.join(parts)}]"
+
+
+def _sections_alias(a: ArraySection, b: ArraySection) -> bool | None:
+    """True/False when overlap is statically decidable, None otherwise."""
+    if a.name != b.name:
+        return False
+    if a.start is None or b.start is None:
+        return True  # a bare name captures the whole variable
+    sa, sb = a.start.as_int, b.start.as_int
+    if sa is None or sb is None:
+        return None
+    la, lb = a.width, b.width
+    if la < 0 or lb < 0:
+        return None  # symbolic length; HPAC005 territory
+    # Strides: decidable only when absent on both or literal and equal.
+    if a.stride is None and b.stride is None:
+        step = 1
+    else:
+        ka = a.stride.as_int if a.stride is not None else 1
+        kb = b.stride.as_int if b.stride is not None else 1
+        if ka is None or kb is None or ka != kb:
+            return None
+        step = max(ka, 1)
+    # Two arithmetic progressions with the same step collide iff their
+    # phases match and their covering intervals intersect.
+    if (sa - sb) % step:
+        return False
+    return sa <= sb + step * (lb - 1) and sb <= sa + step * (la - 1)
+
+
+@register(
+    "HPAC003", "in-out-aliasing", Severity.WARNING, "directive",
+    "an out(...) section overlaps an in(...) section of the same directive; "
+    "replayed outputs would feed back into the memoization key",
+)
+def _rule_aliasing(rule: Rule, d: ApproxDirective):
+    if d.ins is None or d.outs is None:
+        return
+    for o in d.outs.sections:
+        for i in d.ins.sections:
+            if _sections_alias(o, i):
+                yield rule.diag(
+                    f"out section '{_section_label(o)}' aliases in section "
+                    f"'{_section_label(i)}'; approximated writes would be "
+                    f"read back as memoization inputs",
+                    text=d.text,
+                    position=o.position,
+                    length=max(o.end - o.position, 1),
+                    hint="capture disjoint ranges, or drop the aliased "
+                         "section from in(...)",
+                )
+
+
+@register(
+    "HPAC004", "unused-in", Severity.WARNING, "directive",
+    "an in(...) clause on a technique that never reads captured inputs "
+    "(TAF memoizes outputs, perforation skips iterations)",
+)
+def _rule_unused_in(rule: Rule, d: ApproxDirective):
+    if d.ins is None:
+        return
+    technique = None
+    if d.perfo is not None:
+        technique = "perfo"
+    elif d.memo is not None and d.memo.direction == "out":
+        technique = "memo(out:...)"
+    if technique is None:
+        return
+    yield rule.diag(
+        f"in(...) clause is dead: {technique} never reads captured inputs",
+        text=d.text,
+        position=d.ins.position,
+        length=clause_extent(d.text, d.ins.position),
+        hint="drop the in(...) clause, or switch to memo(in:...) if input "
+             "memoization was intended",
+    )
+
+
+@register(
+    "HPAC005", "symbolic-section-length", Severity.ERROR, "directive",
+    "an array-section length is not a literal; HPAC-Offload requires "
+    "statically uniform capture sizes (the §4.1 MiniFE/iACT limitation)",
+)
+def _rule_symbolic_length(rule: Rule, d: ApproxDirective):
+    clauses = [c for c in (d.ins, d.outs) if c is not None]
+    for clause in clauses:
+        for s in clause.sections:
+            if s.length is not None and s.length.as_int is None:
+                yield rule.diag(
+                    f"section {s.name!r} has a symbolic length "
+                    f"({s.length.text!r}); every thread must capture the "
+                    f"same number of scalars",
+                    text=d.text,
+                    position=s.position,
+                    length=max(s.end - s.position, 1),
+                    hint="make the capture length a literal so every thread "
+                         "captures the same number of scalars",
+                )
+
+
+@register(
+    "HPAC006", "degenerate-threshold", Severity.WARNING, "directive",
+    "a memoization threshold of 0 disables the approximation it configures "
+    "(iACT hits only on exact matches; TAF activates only on zero RSD)",
+)
+def _rule_degenerate_threshold(rule: Rule, d: ApproxDirective):
+    m = d.memo
+    if m is None:
+        return
+    idx = 1 if m.direction == "in" else 2
+    if len(m.args) <= idx:
+        return
+    arg = m.args[idx]
+    if arg.value == 0:
+        what = (
+            "iACT threshold 0 accepts only exact input matches"
+            if m.direction == "in"
+            else "TAF RSD threshold 0 activates only on perfectly constant outputs"
+        )
+        yield rule.diag(
+            f"{what}; the region will effectively never approximate",
+            text=d.text,
+            position=arg.position,
+            length=max(len(arg.text), 1),
+            hint="raise the threshold (Table 2 sweeps 0.01..0.5) or remove "
+                 "the pragma",
+        )
+
+
+@register(
+    "HPAC008", "tperwarp-unsatisfiable", Severity.WARNING, "directive",
+    "a tables-per-warp value that cannot divide any supported warp size "
+    "(warp widths are powers of two: 32 on V100, 64 on MI250X)",
+)
+def _rule_tperwarp_static(rule: Rule, d: ApproxDirective):
+    m = d.memo
+    if m is None or m.direction != "in" or len(m.args) < 3:
+        return
+    arg = m.args[2]
+    v = arg.value
+    if v is None or not arg.is_integer or v < 1:
+        return  # sema rejects these
+    tpw = int(v)
+    if tpw > _MAX_WARP or tpw & (tpw - 1):
+        yield rule.diag(
+            f"tables-per-warp {tpw} cannot divide any supported warp size "
+            f"(32 or 64); the runtime will reject this on every device",
+            text=d.text,
+            position=arg.position,
+            length=max(len(arg.text), 1),
+            hint="use a power of two no larger than the warp size",
+        )
+
+
+@register(
+    "HPAC007", "duplicate-region-label", Severity.ERROR, "unit",
+    "two directives of one compilation unit lower to the same region name "
+    "(a label(...) clause overrides the mapping key), which would silently "
+    "merge their AC state",
+)
+def _rule_duplicate_label(rule: Rule, entries, lines):
+    from repro.errors import PragmaSyntaxError
+    from repro.pragma.parser import parse
+
+    owners: dict[str, str] = {}
+    for key, text in entries:
+        try:
+            directive = parse(text)
+        except PragmaSyntaxError:
+            continue  # already diagnosed per-directive
+        lbl = directive.label
+        name = lbl.label if lbl is not None else key
+        if name in owners:
+            position = lbl.position if lbl is not None else -1
+            yield rule.diag(
+                f"region name {name!r} already used by entry "
+                f"{owners[name]!r}; region names must be unique",
+                text=text,
+                position=position,
+                length=(clause_extent(text, position) if position >= 0 else 1),
+                hint="rename the label(...) clause or drop it to use the "
+                     "mapping key",
+            ).at(None, lines.get(key))
+        else:
+            owners[name] = key

@@ -69,21 +69,48 @@ class UnsupportedApproximationError(ReproError):
     """The requested AC technique cannot be applied to this region."""
 
 
+def _render_span(message: str, text: str, position: int, length: int,
+                 hint: str | None = None) -> str:
+    """Clang-style rendering: message, source line, caret underline."""
+    if position < 0 or not text:
+        return message
+    underline = " " * position + "^" + "~" * max(length - 1, 0)
+    rendered = f"{message}\n  {text}\n  {underline}"
+    if hint:
+        rendered += f"\n  note: {hint}"
+    return rendered
+
+
 class PragmaSyntaxError(ReproError):
     """The ``#pragma approx`` clause text failed to lex or parse."""
 
-    def __init__(self, message: str, text: str = "", position: int = -1) -> None:
+    def __init__(self, message: str, text: str = "", position: int = -1,
+                 length: int = 1, hint: str | None = None) -> None:
+        self.message = message
         self.text = text
         self.position = position
-        if position >= 0:
-            caret = " " * position + "^"
-            message = f"{message}\n  {text}\n  {caret}"
-        super().__init__(message)
+        self.length = max(int(length), 1)
+        self.hint = hint
+        super().__init__(_render_span(message, text, position, self.length, hint))
 
 
 class PragmaSemanticError(ReproError):
     """The clause text parsed but is semantically invalid (bad parameter
-    values, missing in/out declarations, conflicting clauses, ...)."""
+    values, missing in/out declarations, conflicting clauses, ...).
+
+    Like :class:`PragmaSyntaxError`, carries a source span (``text``,
+    ``position``, ``length``) so sema failures render with the same caret
+    diagnostics pointing at the offending clause or argument.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = -1,
+                 length: int = 1, hint: str | None = None) -> None:
+        self.message = message
+        self.text = text
+        self.position = position
+        self.length = max(int(length), 1)
+        self.hint = hint
+        super().__init__(_render_span(message, text, position, self.length, hint))
 
 
 class HarnessError(ReproError):

@@ -51,6 +51,8 @@ class SweepReport:
     evaluated: int
     #: Points satisfied from the checkpoint without running.
     skipped: int
+    #: Points recorded as infeasible by the static preflight, unsimulated.
+    pruned: int = 0
     elapsed: float = 0.0
     checkpoint: str | None = None
     extra: dict = field(default_factory=dict)
@@ -156,6 +158,7 @@ def run_sweep_parallel(
     checkpoint: str | Path | None = None,
     retries: int = 1,
     progress: bool | Callable[[SweepProgress], None] = False,
+    preflight: bool | Callable[..., RunRecord | None] = False,
     runner_factory: Callable[..., ExperimentRunner] | None = None,
     factory_args: tuple | None = None,
 ) -> SweepReport:
@@ -176,6 +179,15 @@ def run_sweep_parallel(
     ``progress`` is ``True`` for a stderr status line per chunk, or a
     callable receiving :class:`~repro.harness.reporting.SweepProgress`.
 
+    ``preflight`` statically vets each pending point before dispatch:
+    ``True`` uses :func:`repro.analysis.preflight.make_preflight`; a
+    callable ``(app, device, point, site=...) -> RunRecord | None`` is used
+    directly.  A non-None return is recorded as an infeasible row (the
+    diagnostic code in its note) without entering the simulator; feasible
+    points are unaffected, so the surviving records are byte-identical to a
+    preflight-disabled run.  Pruned records are checkpointed like any
+    other, so a resumed sweep does not re-vet them.
+
     ``runner_factory``/``factory_args`` override worker construction (it
     must be a picklable top-level callable); the default builds
     ``ExperimentRunner(problems=problems, seed=seed)``.
@@ -192,6 +204,24 @@ def run_sweep_parallel(
     pending = [pt for pt, label in wanted if label not in done]
     skipped = len(points) - len(pending)
 
+    # Static preflight: vet pending points in the parent (cheap — no
+    # simulation) and divert the statically infeasible ones straight to the
+    # results, so the pool only ever sees points that might run.
+    pruned_records: list[RunRecord] = []
+    if preflight:
+        if preflight is True:
+            from repro.analysis.preflight import make_preflight
+
+            preflight = make_preflight(problems)
+        survivors: list[SweepPoint] = []
+        for pt in pending:
+            rec = preflight(app, device, pt, site=site)
+            if rec is None:
+                survivors.append(pt)
+            else:
+                pruned_records.append(rec)
+        pending = survivors
+
     if progress is True:
         def report_progress(p: SweepProgress) -> None:
             print(format_progress(p), file=sys.stderr)
@@ -206,6 +236,11 @@ def run_sweep_parallel(
 
     writer = CheckpointWriter(checkpoint) if checkpoint is not None else None
     evaluated = feasible = infeasible = 0
+    if pruned_records:
+        if writer is not None:
+            writer.write(pruned_records)
+        for rec in pruned_records:
+            done[SweepPoint.of_record(rec).label()] = rec
 
     def absorb(records: list[RunRecord]) -> None:
         nonlocal evaluated, feasible, infeasible
@@ -264,6 +299,7 @@ def run_sweep_parallel(
         records=[done[label] for _pt, label in wanted],
         evaluated=evaluated,
         skipped=skipped,
+        pruned=len(pruned_records),
         elapsed=time.monotonic() - t0,
         checkpoint=str(checkpoint) if checkpoint is not None else None,
     )

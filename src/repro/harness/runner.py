@@ -170,14 +170,17 @@ class ExperimentRunner:
         checkpoint: str | None = None,
         progress: bool = False,
         retries: int = 1,
+        preflight: bool = False,
     ) -> list[RunRecord]:
         """Run a list of sweep points, returning all records in input order.
 
         ``parallel > 1`` fans the points out across a process pool;
         ``checkpoint`` streams completed records to a JSONL file and skips
         points already recorded there, so an interrupted sweep resumes where
-        it stopped (see :mod:`repro.harness.executor`)."""
-        if (parallel and parallel > 1) or checkpoint is not None:
+        it stopped (see :mod:`repro.harness.executor`).  ``preflight=True``
+        statically vets each point first (:mod:`repro.analysis.preflight`)
+        and records the provably infeasible ones without simulating them."""
+        if (parallel and parallel > 1) or checkpoint is not None or preflight:
             from repro.harness.executor import run_sweep_parallel
 
             report = run_sweep_parallel(
@@ -191,6 +194,7 @@ class ExperimentRunner:
                 checkpoint=checkpoint,
                 progress=progress,
                 retries=retries,
+                preflight=preflight,
             )
             return report.records
         return [self.run_point(app_name, device, pt, site=site) for pt in points]

@@ -48,5 +48,34 @@ def compile_pragma(text: str, name: str | None = None) -> RegionSpec:
 
 
 def compile_pragmas(pragmas: dict[str, str]) -> list[RegionSpec]:
-    """Compile a mapping of region name → directive text."""
-    return [compile_pragma(text, name=name) for name, text in pragmas.items()]
+    """Compile a mapping of region name → directive text.
+
+    A ``label("...")`` clause overrides the mapping key (it is the region
+    name the runtime will see), so two entries may lower to the same final
+    region name even though their keys differ.  That would silently merge
+    their AC state at runtime; it is rejected here, mirroring Clang's
+    duplicate-symbol check.
+    """
+    from repro.errors import PragmaSemanticError
+    from repro.pragma.parser import clause_extent
+
+    specs: list[RegionSpec] = []
+    owners: dict[str, str] = {}
+    for key, text in pragmas.items():
+        checked = check(parse(text))
+        spec = lower(checked, name=None if checked.label else key)
+        if spec.name in owners:
+            lbl = checked.directive.label
+            position = lbl.position if lbl else -1
+            raise PragmaSemanticError(
+                f"region name {spec.name!r} (entry {key!r}) already lowered "
+                f"from entry {owners[spec.name]!r}; region names must be "
+                f"unique within one compilation unit",
+                text, position,
+                clause_extent(text, position) if position >= 0 else 1,
+                hint="rename the label(...) clause or drop it to use the "
+                     "mapping key",
+            )
+        owners[spec.name] = key
+        specs.append(spec)
+    return specs

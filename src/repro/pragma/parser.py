@@ -34,6 +34,8 @@ class ScalarArg:
     text: str
     value: float | None  # None for identifier arguments
     is_integer: bool
+    #: Offset of the argument in the directive text (diagnostics span).
+    position: int = field(default=-1, compare=False)
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return self.text
@@ -67,6 +69,9 @@ class ArraySection:
     start: SectionExpr | None = None
     length: SectionExpr | None = None
     stride: SectionExpr | None = None
+    #: Source span of the section in the directive text (diagnostics).
+    position: int = field(default=-1, compare=False)
+    end: int = field(default=-1, compare=False)
 
     @property
     def width(self) -> int:
@@ -138,35 +143,45 @@ def _parse_scalar(ts: TokenStream) -> ScalarArg:
             raise PragmaSyntaxError(
                 f"expected number after '-', found {num.text!r}", ts.text, num.position
             )
-        return ScalarArg("-" + num.text, -num.number, num.is_integer)
+        return ScalarArg("-" + num.text, -num.number, num.is_integer, tok.position)
     if tok.kind is TokenKind.NUMBER:
-        return ScalarArg(tok.text, tok.number, tok.is_integer)
+        return ScalarArg(tok.text, tok.number, tok.is_integer, tok.position)
     if tok.kind is TokenKind.IDENT:
-        return ScalarArg(tok.text, None, False)
+        return ScalarArg(tok.text, None, False, tok.position)
     raise PragmaSyntaxError(
         f"expected clause argument, found {tok.text!r}", ts.text, tok.position
     )
 
 
 def _parse_expr(ts: TokenStream) -> SectionExpr:
-    """Collect an opaque expression until ``:``, ``]`` or ``,``."""
+    """Collect an opaque expression until ``:``, ``]``, ``,`` or ``)``.
+
+    Brackets *and* parentheses are tracked, so a comma or colon inside a
+    call such as ``idx(i,3)`` stays part of the expression instead of
+    terminating it.
+    """
     parts: list[str] = []
     start = ts.peek().position
-    depth = 0
+    brackets = parens = 0
     while True:
         tok = ts.peek()
         if tok.kind is TokenKind.END:
             raise PragmaSyntaxError("unterminated array section", ts.text, tok.position)
-        if depth == 0 and tok.kind in (
+        if brackets == 0 and parens == 0 and tok.kind in (
             TokenKind.COLON,
             TokenKind.RBRACKET,
             TokenKind.COMMA,
+            TokenKind.RPAREN,
         ):
             break
         if tok.kind is TokenKind.LBRACKET:
-            depth += 1
+            brackets += 1
         elif tok.kind is TokenKind.RBRACKET:
-            depth -= 1
+            brackets -= 1
+        elif tok.kind is TokenKind.LPAREN:
+            parens += 1
+        elif tok.kind is TokenKind.RPAREN:
+            parens -= 1
         parts.append(tok.text)
         ts.next()
     if not parts:
@@ -175,9 +190,12 @@ def _parse_expr(ts: TokenStream) -> SectionExpr:
 
 
 def _parse_section(ts: TokenStream) -> ArraySection:
-    name = ts.expect(TokenKind.IDENT, "array name").text
+    head = ts.expect(TokenKind.IDENT, "array name")
+    name = head.text
     if not ts.at(TokenKind.LBRACKET):
-        return ArraySection(name)
+        return ArraySection(
+            name, position=head.position, end=head.position + len(name)
+        )
     ts.next()
     start = _parse_expr(ts)
     length = stride = None
@@ -187,8 +205,10 @@ def _parse_section(ts: TokenStream) -> ArraySection:
         if ts.at(TokenKind.COLON):
             ts.next()
             stride = _parse_expr(ts)
-    ts.expect(TokenKind.RBRACKET, "']'")
-    return ArraySection(name, start, length, stride)
+    close = ts.expect(TokenKind.RBRACKET, "']'")
+    return ArraySection(
+        name, start, length, stride, position=head.position, end=close.position + 1
+    )
 
 
 def _parse_section_list(ts: TokenStream) -> tuple[ArraySection, ...]:
@@ -197,6 +217,32 @@ def _parse_section_list(ts: TokenStream) -> tuple[ArraySection, ...]:
         ts.next()
         sections.append(_parse_section(ts))
     return tuple(sections)
+
+
+def clause_extent(text: str, position: int) -> int:
+    """Length of the clause starting at ``position``: ident + balanced parens.
+
+    Used to turn the single ``position`` the AST clauses carry into a full
+    source span for caret diagnostics (``level(warp)`` underlines all 11
+    characters, not just the ``l``).
+    """
+    if position < 0 or position >= len(text):
+        return 1
+    i, n = position, len(text)
+    while i < n and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    if i < n and text[i] == "(":
+        depth = 0
+        while i < n:
+            if text[i] == "(":
+                depth += 1
+            elif text[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    i += 1
+                    break
+            i += 1
+    return max(i - position, 1)
 
 
 def parse(text: str) -> ApproxDirective:

@@ -13,6 +13,10 @@ Enforces the rules the paper's Clang extension checks during sema (§3.3):
 * iACT requires an ``in(...)`` clause (it memoizes on inputs); memoized
   regions require ``out(...)``.
 
+Every rejection raises :class:`PragmaSemanticError` carrying a source span
+(the clause or argument position the parser recorded), so sema failures
+render with the same caret diagnostics as syntax errors.
+
 The result is a :class:`CheckedDirective` carrying typed parameters, ready
 for lowering into a :class:`~repro.approx.base.RegionSpec`.
 """
@@ -30,21 +34,35 @@ from repro.approx.base import (
     Technique,
 )
 from repro.errors import PragmaSemanticError
-from repro.pragma.parser import ApproxDirective, ScalarArg
+from repro.pragma.parser import ApproxDirective, ScalarArg, clause_extent
 
 _LEVELS = {level.value: level for level in HierarchyLevel}
 _PERFO_KINDS = {kind.value: kind for kind in PerforationKind}
 
 
-def _require_positive_int(arg: ScalarArg, what: str) -> int:
+def _clause_error(message: str, text: str, position: int,
+                  hint: str | None = None) -> PragmaSemanticError:
+    """Error spanning a whole clause (``memo(...)``, ``level(...)``, ...)."""
+    return PragmaSemanticError(
+        message, text, position, clause_extent(text, position), hint
+    )
+
+
+def _require_positive_int(arg: ScalarArg, what: str, text: str) -> int:
     if arg.value is None or not arg.is_integer or arg.value < 1:
-        raise PragmaSemanticError(f"{what} must be a positive integer, got {arg.text!r}")
+        raise PragmaSemanticError(
+            f"{what} must be a positive integer, got {arg.text!r}",
+            text, arg.position, len(arg.text),
+        )
     return int(arg.value)
 
 
-def _require_threshold(arg: ScalarArg, what: str) -> float:
+def _require_threshold(arg: ScalarArg, what: str, text: str) -> float:
     if arg.value is None or arg.value < 0:
-        raise PragmaSemanticError(f"{what} must be a non-negative number, got {arg.text!r}")
+        raise PragmaSemanticError(
+            f"{what} must be a non-negative number, got {arg.text!r}",
+            text, arg.position, len(arg.text),
+        )
     return float(arg.value)
 
 
@@ -61,7 +79,7 @@ class CheckedDirective:
     directive: ApproxDirective
 
 
-def _section_width(sections, what: str) -> int:
+def _section_width(sections, what: str, text: str) -> int:
     """Total statically-known scalar width of an in/out clause."""
     total = 0
     for s in sections:
@@ -70,7 +88,10 @@ def _section_width(sections, what: str) -> int:
             raise PragmaSemanticError(
                 f"{what} section {s.name!r} has a symbolic length "
                 f"({s.length.text!r}); HPAC-Offload requires statically "
-                f"uniform capture sizes (cf. the MiniFE/iACT limitation, §4.1)"
+                f"uniform capture sizes (cf. the MiniFE/iACT limitation, §4.1)",
+                text, s.position, max(s.end - s.position, 1),
+                hint="make the capture length a literal so every thread "
+                     "captures the same number of scalars",
             )
         total += w
     return total
@@ -78,51 +99,66 @@ def _section_width(sections, what: str) -> int:
 
 def check(directive: ApproxDirective) -> CheckedDirective:
     """Validate a parsed directive; raises :class:`PragmaSemanticError`."""
+    text = directive.text
     if directive.memo is not None and directive.perfo is not None:
-        raise PragmaSemanticError(
-            "memo and perfo clauses are mutually exclusive on one directive"
+        raise _clause_error(
+            "memo and perfo clauses are mutually exclusive on one directive",
+            text, max(directive.memo.position, directive.perfo.position),
         )
     if directive.memo is None and directive.perfo is None:
-        raise PragmaSemanticError("directive needs a memo or perfo clause")
+        raise PragmaSemanticError(
+            "directive needs a memo or perfo clause",
+            text, 0, max(len(text.rstrip()), 1) if text else 0,
+        )
 
     level = HierarchyLevel.THREAD
     if directive.level is not None:
         try:
             level = _LEVELS[directive.level.level]
         except KeyError:
-            raise PragmaSemanticError(
+            raise _clause_error(
                 f"unknown hierarchy level {directive.level.level!r}; "
-                f"allowed: thread, warp, team"
+                f"allowed: thread, warp, team",
+                text, directive.level.position,
             ) from None
 
-    in_width = _section_width(directive.ins.sections, "in") if directive.ins else 0
-    out_width = _section_width(directive.outs.sections, "out") if directive.outs else 0
+    in_width = (
+        _section_width(directive.ins.sections, "in", text) if directive.ins else 0
+    )
+    out_width = (
+        _section_width(directive.outs.sections, "out", text) if directive.outs else 0
+    )
     label = directive.label.label if directive.label else None
 
     if directive.memo is not None:
         m = directive.memo
         if m.direction == "in":
             if len(m.args) not in (2, 3):
-                raise PragmaSemanticError(
+                raise _clause_error(
                     "memo(in:...) takes tsize:threshold[:tperwarp], got "
-                    f"{len(m.args)} arguments"
+                    f"{len(m.args)} arguments",
+                    text, m.position,
                 )
-            tsize = _require_positive_int(m.args[0], "iACT table size")
-            thresh = _require_threshold(m.args[1], "iACT threshold")
+            tsize = _require_positive_int(m.args[0], "iACT table size", text)
+            thresh = _require_threshold(m.args[1], "iACT threshold", text)
             tpw = (
-                _require_positive_int(m.args[2], "tables per warp")
+                _require_positive_int(m.args[2], "tables per warp", text)
                 if len(m.args) == 3
                 else None
             )
             if directive.ins is None:
-                raise PragmaSemanticError(
+                raise _clause_error(
                     "memo(in:...) requires an in(...) clause declaring the "
-                    "region inputs to memoize on"
+                    "region inputs to memoize on",
+                    text, m.position,
+                    hint="add in(<array sections>) naming the memoization key",
                 )
             if directive.outs is None:
-                raise PragmaSemanticError(
+                raise _clause_error(
                     "memo(in:...) requires an out(...) clause declaring the "
-                    "region outputs to cache"
+                    "region outputs to cache",
+                    text, m.position,
+                    hint="add out(<array sections>) naming the cached outputs",
                 )
             return CheckedDirective(
                 Technique.IACT,
@@ -135,17 +171,20 @@ def check(directive: ApproxDirective) -> CheckedDirective:
             )
         if m.direction == "out":
             if len(m.args) != 3:
-                raise PragmaSemanticError(
+                raise _clause_error(
                     "memo(out:...) takes hSize:pSize:threshold, got "
-                    f"{len(m.args)} arguments"
+                    f"{len(m.args)} arguments",
+                    text, m.position,
                 )
-            hsize = _require_positive_int(m.args[0], "TAF history size")
-            psize = _require_positive_int(m.args[1], "TAF prediction size")
-            thresh = _require_threshold(m.args[2], "TAF RSD threshold")
+            hsize = _require_positive_int(m.args[0], "TAF history size", text)
+            psize = _require_positive_int(m.args[1], "TAF prediction size", text)
+            thresh = _require_threshold(m.args[2], "TAF RSD threshold", text)
             if directive.outs is None:
-                raise PragmaSemanticError(
+                raise _clause_error(
                     "memo(out:...) requires an out(...) clause; TAF memoizes "
-                    "region outputs (no in(...) is needed, §3.2)"
+                    "region outputs (no in(...) is needed, §3.2)",
+                    text, m.position,
+                    hint="add out(<array sections>) naming the memoized outputs",
                 )
             return CheckedDirective(
                 Technique.TAF,
@@ -156,8 +195,9 @@ def check(directive: ApproxDirective) -> CheckedDirective:
                 label,
                 directive,
             )
-        raise PragmaSemanticError(
-            f"memo direction must be 'in' or 'out', got {m.direction!r}"
+        raise _clause_error(
+            f"memo direction must be 'in' or 'out', got {m.direction!r}",
+            text, m.position,
         )
 
     # --- perforation -------------------------------------------------------
@@ -165,24 +205,37 @@ def check(directive: ApproxDirective) -> CheckedDirective:
     try:
         kind = _PERFO_KINDS[p.kind]
     except KeyError:
-        raise PragmaSemanticError(
+        raise _clause_error(
             f"unknown perforation kind {p.kind!r}; allowed: "
-            f"{sorted(_PERFO_KINDS)}"
+            f"{sorted(_PERFO_KINDS)}",
+            text, p.position,
         ) from None
     if len(p.args) != 1:
-        raise PragmaSemanticError(
-            f"perfo({p.kind}:...) takes exactly one parameter, got {len(p.args)}"
+        raise _clause_error(
+            f"perfo({p.kind}:...) takes exactly one parameter, got {len(p.args)}",
+            text, p.position,
         )
     if kind in (PerforationKind.SMALL, PerforationKind.LARGE):
-        param: float = _require_positive_int(p.args[0], "perforation skip factor")
+        param: float = _require_positive_int(
+            p.args[0], "perforation skip factor", text
+        )
         if param < 2:
-            raise PragmaSemanticError("perforation skip factor must be >= 2")
+            raise PragmaSemanticError(
+                "perforation skip factor must be >= 2",
+                text, p.args[0].position, len(p.args[0].text),
+            )
     else:
         if p.herded:
-            raise PragmaSemanticError("herded applies to small/large perforation only")
-        param = _require_threshold(p.args[0], "perforation skip percent")
+            raise _clause_error(
+                "herded applies to small/large perforation only",
+                text, p.position,
+            )
+        param = _require_threshold(p.args[0], "perforation skip percent", text)
         if not 0 < param < 100:
-            raise PragmaSemanticError("ini/fini skip percent must be in (0, 100)")
+            raise PragmaSemanticError(
+                "ini/fini skip percent must be in (0, 100)",
+                text, p.args[0].position, len(p.args[0].text),
+            )
     return CheckedDirective(
         Technique.PERFORATION,
         PerfoParams(kind, param, herded=p.herded),

@@ -1,0 +1,72 @@
+"""Diagnostics engine: severity ordering, exit codes, caret rendering."""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    exit_code,
+    max_severity,
+    render_all,
+)
+
+
+def diag(sev=Severity.ERROR, **kw):
+    defaults = dict(code="HPAC099", severity=sev, message="boom")
+    defaults.update(kw)
+    return Diagnostic(**defaults)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_max_severity(self):
+        assert max_severity([diag(Severity.INFO), diag(Severity.ERROR)]) is Severity.ERROR
+        assert max_severity([]) is None
+
+    def test_exit_codes(self):
+        assert exit_code([]) == 0
+        assert exit_code([diag(Severity.INFO)]) == 0
+        assert exit_code([diag(Severity.WARNING)]) == 1
+        assert exit_code([diag(Severity.WARNING), diag(Severity.ERROR)]) == 2
+
+
+class TestRender:
+    def test_golden_caret_block(self):
+        d = Diagnostic(
+            code="HPAC005",
+            severity=Severity.ERROR,
+            message="section 'x' has a symbolic length",
+            text="memo(in:2:0.5) in(x[i:K]) out(o)",
+            position=18,
+            length=6,
+            hint="make the capture length a literal",
+            file="demo.pragmas",
+            line=3,
+        )
+        assert d.render() == (
+            "demo.pragmas:3:19: error: section 'x' has a symbolic length"
+            " [HPAC005]\n"
+            "  memo(in:2:0.5) in(x[i:K]) out(o)\n"
+            "                    ^~~~~~\n"
+            "  note: make the capture length a literal"
+        )
+
+    def test_spanless_diagnostic_renders_one_line(self):
+        d = diag(message="device-level finding", position=-1)
+        assert d.render() == "<pragma>:1:1: error: device-level finding [HPAC099]"
+
+    def test_anonymous_location_defaults(self):
+        d = diag(text="perfo(small:1)", position=12, length=1)
+        assert d.render().startswith("<pragma>:1:13: error:")
+
+    def test_at_reanchors(self):
+        d = diag().at("f.pragmas", 7)
+        assert d.file == "f.pragmas" and d.line == 7
+        assert d.render().startswith("f.pragmas:7:")
+
+    def test_render_all_summary(self):
+        out = render_all([diag(Severity.ERROR), diag(Severity.WARNING),
+                          diag(Severity.WARNING)])
+        assert out.endswith("1 error and 2 warnings generated")
+        assert render_all([]) == ""
+        assert "generated" not in render_all([diag(Severity.INFO)])

@@ -1,0 +1,68 @@
+"""`python -m repro lint` exit codes and output, over the shipped examples."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "pragmas"
+
+
+class TestExamples:
+    def test_clean_example_passes(self, capsys):
+        assert main(["lint", str(EXAMPLES / "table2.pragmas")]) == 0
+        assert "no issues found" in capsys.readouterr().out
+
+    def test_broken_example_fails_with_codes(self, capsys):
+        assert main(["lint", str(EXAMPLES / "broken.pragmas")]) == 2
+        out = capsys.readouterr().out
+        for code in ["HPAC001", "HPAC002", "HPAC003", "HPAC004", "HPAC005",
+                     "HPAC006", "HPAC007", "HPAC008"]:
+            assert f"[{code}]" in out
+        assert "broken.pragmas:" in out  # file-anchored locations
+        assert "^" in out  # caret underline
+
+
+class TestTextMode:
+    def test_clean_text(self, capsys):
+        assert main(["lint", "--text", "perfo(small:4)"]) == 0
+
+    def test_warning_exit_one(self, capsys):
+        assert main(["lint", "--text", "memo(out:2:8:0) out(o)"]) == 1
+        assert "[HPAC006]" in capsys.readouterr().out
+
+    def test_error_exit_two(self, capsys):
+        assert main(["lint", "--text", "memo(in:4"]) == 2
+        assert "[HPAC001]" in capsys.readouterr().out
+
+
+class TestAppMode:
+    def test_overflow_on_v100_only(self, capsys):
+        argv = ["lint", "--app", "blackscholes", "--technique", "iact",
+                "--tsize", "8", "--threshold", "0.3", "--tperwarp", "32"]
+        assert main(argv + ["--device", "v100_small"]) == 2
+        assert "[HPAC020]" in capsys.readouterr().out
+        # Same configuration fits MI250X's 64 KiB budget (info at most).
+        assert main(argv + ["--device", "mi250x_small"]) == 0
+
+    def test_unsupported_combination_reports_hpac030(self, capsys):
+        assert main(["lint", "--app", "binomial", "--technique", "taf",
+                     "--level", "thread"]) == 2
+        assert "[HPAC030]" in capsys.readouterr().out
+
+    def test_accurate_app_is_clean(self, capsys):
+        assert main(["lint", "--app", "blackscholes"]) == 0
+
+
+class TestArgs:
+    def test_no_input_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+
+class TestSweepPreflightFlag:
+    def test_sweep_reports_pruned_count(self, capsys):
+        assert main(["sweep", "kmeans", "--technique", "taf",
+                     "--preflight"]) == 0
+        assert "pruned by preflight" in capsys.readouterr().out

@@ -1,0 +1,201 @@
+"""Preflight-pruned sweeps: same feasible records, fewer simulations.
+
+The acceptance bar: with ``preflight=`` enabled the executor records every
+statically infeasible point (diagnostic code in the note) without invoking
+the simulator, and the surviving feasible records are byte-identical to a
+preflight-disabled run.
+"""
+
+import pytest
+
+from repro.harness.database import ResultsDB, dumps_record
+from repro.harness.executor import run_sweep_parallel
+from repro.harness.runner import ExperimentRunner
+from repro.harness.sweep import SweepPoint
+
+PROBLEMS = {"blackscholes": {"num_options": 2048, "num_runs": 4}}
+
+
+def _points():
+    """Two feasible TAF points + two statically infeasible iACT corners."""
+    return [
+        SweepPoint("taf", {"hsize": 1, "psize": 4, "threshold": 0.3}, "thread", 2),
+        # Over V100's 48 KiB: 8 warps x 32 tables x 200 B = 51200 B.
+        SweepPoint("iact", {"tsize": 8, "threshold": 0.3, "tperwarp": 32}, "thread", 8),
+        SweepPoint("taf", {"hsize": 2, "psize": 16, "threshold": 0.3}, "thread", 2),
+        # tperwarp 48 divides no power-of-two warp: rejected at state build.
+        SweepPoint("iact", {"tsize": 2, "threshold": 0.3, "tperwarp": 48}, "thread", 2),
+    ]
+
+
+class _CountingRunner(ExperimentRunner):
+    """Counts simulator entries (class-level: workers==1 shares the process)."""
+
+    calls = 0
+
+    def run_point(self, app, device, point, site=None):
+        type(self).calls += 1
+        return super().run_point(app, device, point, site=site)
+
+
+def _counting_factory(problems, seed):
+    return _CountingRunner(problems=problems, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Preflight-disabled reference records."""
+    report = run_sweep_parallel(
+        "blackscholes", "v100_small", _points(),
+        problems=PROBLEMS, max_workers=1,
+    )
+    return report.records
+
+
+class TestPointLevel:
+    def test_feasible_point_passes(self):
+        from repro.analysis import preflight_point
+
+        assert preflight_point(
+            "blackscholes", "v100_small", _points()[0], problems=PROBLEMS
+        ) is None
+
+    def test_overflow_pruned_with_code(self):
+        from repro.analysis import preflight_point
+
+        rec = preflight_point(
+            "blackscholes", "v100_small", _points()[1], problems=PROBLEMS
+        )
+        assert rec is not None and not rec.feasible
+        assert rec.note.startswith("preflight HPAC020:")
+
+    def test_bad_sharing_pruned_with_code(self):
+        from repro.analysis import preflight_point
+
+        rec = preflight_point(
+            "blackscholes", "v100_small", _points()[3], problems=PROBLEMS
+        )
+        assert rec.note.startswith("preflight HPAC023:")
+
+    def test_unsupported_level_pruned_as_construction_failure(self):
+        from repro.analysis import preflight_point
+
+        # Binomial's region contains barriers: team-level only (§4.1).
+        rec = preflight_point(
+            "binomial", "v100_small",
+            SweepPoint("taf", {"hsize": 2, "psize": 8, "threshold": 0.3},
+                       "thread", 2),
+        )
+        assert rec is not None
+        assert rec.note.startswith("preflight HPAC030:")
+
+    def test_prediction_matches_simulator_verdict(self, baseline):
+        # Every pruned point is one the simulator also found infeasible.
+        from repro.analysis import preflight_point
+
+        for pt, ref in zip(_points(), baseline):
+            rec = preflight_point(
+                "blackscholes", "v100_small", pt, problems=PROBLEMS
+            )
+            if rec is not None:
+                assert not ref.feasible
+
+    def test_aggregate_pressure_does_not_prune(self):
+        # LavaMD's two regions run in different kernels: their combined
+        # footprint over-budget must NOT prune (HPAC021 is a warning).
+        from repro.analysis import RULES, Severity, preflight_diagnostics
+
+        diags = preflight_diagnostics(
+            "lavamd", "v100_small",
+            SweepPoint("iact", {"tsize": 4, "threshold": 0.3, "tperwarp": 16},
+                       "thread", 2),
+        )
+        blockers = [d for d in diags
+                    if d.severity is Severity.ERROR and RULES[d.code].preflight]
+        assert blockers == []
+
+
+class TestExecutorIntegration:
+    def test_feasible_records_byte_identical(self, baseline):
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=1, preflight=True,
+        )
+        assert report.pruned == 2
+        ref_feasible = [dumps_record(r) for r in baseline if r.feasible]
+        got_feasible = [dumps_record(r) for r in report.records if r.feasible]
+        assert got_feasible == ref_feasible
+        # Pruned rows keep the input ordering and carry the HPAC code.
+        assert [r.feasible for r in report.records] == [
+            r.feasible for r in baseline
+        ]
+        notes = [r.note for r in report.records if not r.feasible]
+        assert notes[0].startswith("preflight HPAC020:")
+        assert notes[1].startswith("preflight HPAC023:")
+
+    def test_pruned_points_never_reach_simulator(self):
+        _CountingRunner.calls = 0
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            max_workers=1, preflight=True,
+            runner_factory=_counting_factory, factory_args=(PROBLEMS, 2023),
+        )
+        assert _CountingRunner.calls == 2  # only the feasible TAF points
+        assert report.evaluated == 2 and report.pruned == 2
+
+    def test_disabled_preflight_simulates_everything(self):
+        _CountingRunner.calls = 0
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            max_workers=1, preflight=False,
+            runner_factory=_counting_factory, factory_args=(PROBLEMS, 2023),
+        )
+        assert _CountingRunner.calls == len(_points())
+        assert report.pruned == 0
+
+    def test_custom_preflight_callable(self):
+        from repro.harness.runner import RunRecord
+
+        def veto_iact(app, device, point, site=None):
+            if point.technique != "iact":
+                return None
+            return RunRecord(
+                app=app, device="stub", technique=point.technique,
+                params=dict(point.params), level=point.level,
+                items_per_thread=point.items_per_thread,
+                feasible=False, note="preflight STUB",
+            )
+
+        report = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=1, preflight=veto_iact,
+        )
+        assert report.pruned == 2
+        assert all(r.note == "preflight STUB"
+                   for r in report.records if not r.feasible)
+
+    def test_pruned_records_checkpointed(self, tmp_path):
+        ck = tmp_path / "sweep.jsonl"
+        first = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=1, preflight=True, checkpoint=ck,
+        )
+        assert first.pruned == 2
+        db = ResultsDB.load(ck)
+        assert len(db) == len(_points())
+        # Resume: pruned rows are trusted records, not re-vetted points.
+        again = run_sweep_parallel(
+            "blackscholes", "v100_small", _points(),
+            problems=PROBLEMS, max_workers=1, preflight=True, checkpoint=ck,
+        )
+        assert again.skipped == len(_points())
+        assert again.pruned == 0 and again.evaluated == 0
+
+    def test_runner_run_sweep_preflight_kwarg(self, baseline):
+        runner = ExperimentRunner(problems=PROBLEMS)
+        records = runner.run_sweep(
+            "blackscholes", "v100_small", _points(), preflight=True
+        )
+        assert [dumps_record(r) for r in records if r.feasible] == [
+            dumps_record(r) for r in baseline if r.feasible
+        ]

@@ -1,0 +1,267 @@
+"""Per-rule tests: each rule fires on its positive case and stays silent on
+a clean one."""
+
+import pytest
+
+from repro.analysis import (
+    RULES,
+    Severity,
+    lint_pragmas,
+    lint_regions,
+    lint_text,
+)
+from repro.approx.base import (
+    HierarchyLevel,
+    IACTParams,
+    RegionSpec,
+    TAFParams,
+    Technique,
+)
+from repro.gpusim.device import get_device
+
+V100 = get_device("v100_small")
+MI250X = get_device("mi250x_small")
+
+CLEAN = "memo(in:4:0.5:4) level(warp) in(input[i*5:5:N]) out(price[i])"
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+class TestRegistry:
+    def test_at_least_eight_rules(self):
+        # Engine codes (HPAC001/002/030) do not count as lint rules.
+        lint_rules = [r for r in RULES.values() if r.fn is not None]
+        assert len(lint_rules) >= 8
+
+    def test_codes_are_stable_api(self):
+        for code in ["HPAC001", "HPAC002", "HPAC003", "HPAC004", "HPAC005",
+                     "HPAC006", "HPAC007", "HPAC008", "HPAC020", "HPAC021",
+                     "HPAC022", "HPAC023", "HPAC024", "HPAC025", "HPAC030"]:
+            assert code in RULES
+
+    def test_preflight_flags(self):
+        for code in ["HPAC020", "HPAC023", "HPAC025", "HPAC030"]:
+            assert RULES[code].preflight
+        for code in ["HPAC021", "HPAC022", "HPAC024"]:
+            assert not RULES[code].preflight
+
+
+class TestCleanPass:
+    def test_clean_directive(self):
+        assert lint_text(CLEAN) == []
+
+    def test_clean_unit(self):
+        assert lint_pragmas({"a": CLEAN, "b": "perfo(small:4)"}) == []
+
+
+class TestEngineCodes:
+    def test_hpac001_syntax(self):
+        diags = lint_text("memo(in:4")
+        assert codes(diags) == ["HPAC001"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_hpac002_sema(self):
+        diags = lint_text("perfo(small:1)")
+        assert codes(diags) == ["HPAC002"]
+
+    def test_hpac002_suppressed_when_specific_rule_fired(self):
+        # Symbolic length fails sema too; only HPAC005 must surface.
+        diags = lint_text("memo(in:2:0.5) in(x[i:K]) out(o)")
+        assert codes(diags) == ["HPAC005"]
+
+
+class TestDirectiveRules:
+    def test_hpac003_aliasing_literal_overlap(self):
+        diags = lint_text("memo(in:4:0.5) in(buf[0:8]) out(buf[4:8])")
+        assert "HPAC003" in codes(diags)
+
+    def test_hpac003_bare_name_aliases(self):
+        assert "HPAC003" in codes(lint_text("memo(in:4:0.5) in(x) out(x)"))
+
+    def test_hpac003_matching_stride_phase(self):
+        # Same stride, aligned phases: a hit at stride 2.
+        diags = lint_text("memo(in:4:0.5) in(b[0:4:2]) out(b[2:4:2])")
+        assert "HPAC003" in codes(diags)
+        # Offset by one: interleaved, never collide.
+        diags = lint_text("memo(in:4:0.5) in(b[0:4:2]) out(b[1:4:2])")
+        assert "HPAC003" not in codes(diags)
+
+    def test_hpac003_clean_disjoint(self):
+        assert "HPAC003" not in codes(
+            lint_text("memo(in:4:0.5) in(buf[0:4]) out(buf[4:4])")
+        )
+
+    def test_hpac003_undecidable_is_silent(self):
+        # Symbolic starts: statically undecidable, no warning.
+        diags = lint_text("memo(in:4:0.5) in(b[i*2:2]) out(b[j*2:2])")
+        assert "HPAC003" not in codes(diags)
+
+    def test_hpac004_unused_in_on_taf(self):
+        diags = lint_text("memo(out:2:8:0.3) in(dead[i]) out(o[i])")
+        assert "HPAC004" in codes(diags)
+
+    def test_hpac004_unused_in_on_perfo(self):
+        assert "HPAC004" in codes(lint_text("perfo(small:4) in(dead[i])"))
+
+    def test_hpac004_clean_on_iact(self):
+        assert "HPAC004" not in codes(lint_text(CLEAN))
+
+    def test_hpac005_symbolic_length_span(self):
+        text = "memo(in:4:0.5) in(row[i*n:n]) out(acc)"
+        diags = lint_text(text)
+        (d,) = [d for d in diags if d.code == "HPAC005"]
+        assert text[d.position:d.position + d.length] == "row[i*n:n]"
+        assert d.hint
+
+    def test_hpac006_zero_threshold_iact(self):
+        assert "HPAC006" in codes(lint_text("memo(in:4:0) in(k[i]) out(v[i])"))
+
+    def test_hpac006_zero_threshold_taf(self):
+        assert "HPAC006" in codes(lint_text("memo(out:2:8:0) out(o)"))
+
+    def test_hpac006_clean_nonzero(self):
+        assert "HPAC006" not in codes(lint_text("memo(out:2:8:0.01) out(o)"))
+
+    def test_hpac008_non_power_of_two(self):
+        diags = lint_text("memo(in:4:0.5:6) in(k[i]) out(v[i])")
+        assert "HPAC008" in codes(diags)
+
+    def test_hpac008_over_widest_warp(self):
+        assert "HPAC008" in codes(
+            lint_text("memo(in:4:0.5:128) in(k[i]) out(v[i])")
+        )
+
+    def test_hpac008_clean_power_of_two(self):
+        assert "HPAC008" not in codes(
+            lint_text("memo(in:4:0.5:16) in(k[i]) out(v[i])")
+        )
+
+
+class TestUnitRules:
+    def test_hpac007_duplicate_labels(self):
+        diags = lint_pragmas(
+            {"a": 'perfo(small:2) label("r")', "b": 'perfo(large:4) label("r")'}
+        )
+        assert "HPAC007" in codes(diags)
+
+    def test_hpac007_label_vs_key(self):
+        diags = lint_pragmas(
+            {"r": "perfo(small:2)", "b": 'perfo(large:4) label("r")'}
+        )
+        assert "HPAC007" in codes(diags)
+
+    def test_hpac007_clean_unique(self):
+        assert lint_pragmas(
+            {"a": "perfo(small:2)", "b": 'perfo(large:4) label("c")'}
+        ) == []
+
+
+def iact_spec(name="r", tsize=8, tperwarp=32, level=HierarchyLevel.THREAD,
+              in_width=5, out_width=1):
+    return RegionSpec(name, Technique.IACT,
+                      IACTParams(tsize, 0.3, tperwarp), level,
+                      in_width=in_width, out_width=out_width)
+
+
+def taf_spec(name="r", hsize=2, psize=8, level=HierarchyLevel.THREAD,
+             out_width=1):
+    return RegionSpec(name, Technique.TAF, TAFParams(hsize, psize, 0.3),
+                      level, out_width=out_width)
+
+
+class TestDeviceRules:
+    def test_hpac020_per_region_overflow(self):
+        # 8 warps x 32 tables x 200 B = 51200 B > 48 KiB.
+        diags = lint_regions([iact_spec()], V100, 256)
+        (d,) = [d for d in diags if d.code == "HPAC020"]
+        assert d.severity is Severity.ERROR
+        assert d.data["bytes"] == 51200
+
+    def test_hpac020_device_asymmetry(self):
+        # The same config fits MI250X's 64 KiB budget (4 wavefronts x 32
+        # tables x 200 B = 25600 B) but not V100's 48 KiB: flagged for
+        # exactly one device.
+        spec = iact_spec()
+        v100 = codes(lint_regions([spec], V100, 256))
+        mi = codes(lint_regions([spec], MI250X, 256))
+        assert "HPAC020" in v100
+        assert "HPAC020" not in mi
+
+    def test_hpac021_aggregate_only(self):
+        # Each region fits alone; together they exceed the budget.
+        specs = [iact_spec("a", tperwarp=16), iact_spec("b", tperwarp=16)]
+        diags = lint_regions(specs, V100, 256)
+        assert "HPAC021" in codes(diags)
+        assert "HPAC020" not in codes(diags)
+
+    def test_hpac021_silent_when_fits(self):
+        assert "HPAC021" not in codes(
+            lint_regions([taf_spec("a"), taf_spec("b")], V100, 256)
+        )
+
+    def test_hpac022_misaligned_group_level(self):
+        diags = lint_regions([taf_spec(level=HierarchyLevel.WARP)], V100, 96 + 8)
+        assert "HPAC022" in codes(diags)
+
+    def test_hpac022_clean_when_aligned_or_thread_level(self):
+        assert "HPAC022" not in codes(
+            lint_regions([taf_spec(level=HierarchyLevel.WARP)], V100, 128)
+        )
+        assert "HPAC022" not in codes(
+            lint_regions([taf_spec(level=HierarchyLevel.THREAD)], V100, 104)
+        )
+
+    def test_hpac023_invalid_sharing(self):
+        diags = lint_regions([iact_spec(tperwarp=48)], V100, 256)
+        assert "HPAC023" in codes(diags)
+        # 48 divides nothing on V100 but is also > warp on neither; on
+        # MI250X (warp 64) 48 does not divide evenly either.
+        assert "HPAC023" in codes(lint_regions([iact_spec(tperwarp=48)],
+                                               MI250X, 256))
+
+    def test_hpac023_clean_valid_sharing(self):
+        assert "HPAC023" not in codes(
+            lint_regions([iact_spec(tsize=2, tperwarp=8)], V100, 256)
+        )
+
+    def test_hpac024_occupancy_info(self):
+        # Fits the block budget but halves residency via per-SM shared mem.
+        diags = lint_regions([iact_spec(tsize=4, tperwarp=16)], V100, 256)
+        (d,) = [d for d in diags if d.code == "HPAC024"]
+        assert d.severity is Severity.INFO
+        assert d.data["blocks_after"] < d.data["blocks_before"]
+
+    def test_hpac024_silent_without_pressure(self):
+        assert "HPAC024" not in codes(
+            lint_regions([taf_spec(hsize=1, psize=2)], V100, 256)
+        )
+
+    def test_hpac025_oversize_block(self):
+        diags = lint_regions([taf_spec()], V100, 2048)
+        assert "HPAC025" in codes(diags)
+
+    def test_accurate_regions_are_clean(self):
+        specs = [RegionSpec.accurate("a"), RegionSpec.accurate("b")]
+        assert lint_regions(specs, V100, 256) == []
+
+
+class TestFileLint:
+    def test_example_files(self, tmp_path):
+        from repro.analysis import lint_file
+
+        clean = tmp_path / "ok.pragmas"
+        clean.write_text(
+            "// comment only\n"
+            "#pragma approx perfo(small:4) label(\"a\")\n"
+            "memo(out:2:8:0.3) out(o) label(\"b\")  // trailing comment\n"
+        )
+        assert lint_file(clean) == []
+
+        broken = tmp_path / "bad.pragmas"
+        broken.write_text("perfo(small:1)\n\nmemo(in:4:0) in(k) out(v)\n")
+        diags = lint_file(broken)
+        assert codes(diags) == ["HPAC002", "HPAC006"]
+        assert [d.line for d in diags] == [1, 3]
+        assert all(d.file == str(broken) for d in diags)

@@ -76,6 +76,42 @@ class TestCompilePragmas:
         # perfo directives have no out clause; lowered specs keep width 1.
         assert compile_pragma("perfo(small:2)").out_width == 1
 
+    def test_label_overrides_mapping_key(self):
+        specs = compile_pragmas({"key": 'perfo(small:2) label("real_name")'})
+        assert specs[0].name == "real_name"
+
+    def test_duplicate_final_names_rejected(self):
+        from repro.errors import PragmaSemanticError
+
+        with pytest.raises(PragmaSemanticError, match="unique"):
+            compile_pragmas(
+                {
+                    "a": 'perfo(small:2) label("r")',
+                    "b": 'perfo(large:4) label("r")',
+                }
+            )
+
+    def test_label_colliding_with_key_rejected(self):
+        from repro.errors import PragmaSemanticError
+
+        with pytest.raises(PragmaSemanticError, match="unique"):
+            compile_pragmas(
+                {
+                    "r": "perfo(small:2)",
+                    "b": 'perfo(large:4) label("r")',
+                }
+            )
+
+    def test_duplicate_error_carries_label_span(self):
+        from repro.errors import PragmaSemanticError
+
+        text = 'perfo(large:4) label("r")'
+        with pytest.raises(PragmaSemanticError) as ei:
+            compile_pragmas({"a": 'perfo(small:2) label("r")', "b": text})
+        exc = ei.value
+        assert exc.text == text
+        assert text[exc.position:exc.position + exc.length] == 'label("r")'
+
 
 class TestEndToEndWithRuntime:
     def test_compiled_spec_drives_runtime(self):

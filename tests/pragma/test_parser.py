@@ -77,6 +77,32 @@ class TestSections:
         with pytest.raises(PragmaSyntaxError):
             parse("memo(in:1:1) in(x[i) out(o)")
 
+    def test_call_expression_inside_section(self):
+        # Regression: the comma and parens of idx(i,3) must stay part of
+        # the start expression instead of terminating it.
+        d = parse("memo(in:2:0.5) in(a[idx(i,3):5]) out(o)")
+        sec = d.ins.sections[0]
+        assert sec.start.text == "idx(i,3)"
+        assert sec.length.text == "5"
+        assert sec.width == 5
+
+    def test_parenthesized_colon_stays_in_expression(self):
+        d = parse("perfo(small:2) out(o[f(a,b):2])")
+        assert d.outs.sections[0].start.text == "f(a,b)"
+        assert d.outs.sections[0].width == 2
+
+    def test_section_positions_recorded(self):
+        text = "memo(in:2:0.5) in(x[i:K]) out(o)"
+        d = parse(text)
+        sec = d.ins.sections[0]
+        assert (sec.position, sec.end) == (18, 24)
+        assert text[sec.position:sec.end] == "x[i:K]"
+
+    def test_scalar_arg_positions_recorded(self):
+        text = "memo(out:3:5:1.5) out(o)"
+        d = parse(text)
+        assert [text[a.position] for a in d.memo.args] == ["3", "5", "1"]
+
 
 class TestOtherClauses:
     def test_level(self):

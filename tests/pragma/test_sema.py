@@ -112,3 +112,41 @@ class TestLabel:
 
     def test_no_label_is_none(self):
         assert checked("perfo(small:2)").label is None
+
+
+class TestErrorSpans:
+    """Sema errors carry source spans and render caret diagnostics."""
+
+    def capture(self, text):
+        with pytest.raises(PragmaSemanticError) as ei:
+            checked(text)
+        return ei.value
+
+    def test_argument_span_points_at_value(self):
+        text = "memo(out:0:5:1.5) out(o)"
+        exc = self.capture(text)
+        assert exc.text == text
+        assert (exc.position, exc.length) == (9, 1)
+        assert text[exc.position] == "0"
+
+    def test_symbolic_section_span(self):
+        text = "memo(in:2:0.5) in(x[i:K]) out(o)"
+        exc = self.capture(text)
+        assert (exc.position, exc.length) == (18, 6)
+        assert text[exc.position:exc.position + exc.length] == "x[i:K]"
+        assert exc.hint  # carries the fix-it
+
+    def test_clause_span_covers_whole_clause(self):
+        text = "memo(out:3:5:1.5)"
+        exc = self.capture(text)  # missing out(...)
+        assert (exc.position, exc.length) == (0, len("memo(out:3:5:1.5)"))
+
+    def test_rendered_message_has_caret(self):
+        exc = self.capture("memo(out:3:5:-1) out(o)")
+        rendered = str(exc)
+        lines = rendered.splitlines()
+        assert lines[1].strip() == "memo(out:3:5:-1) out(o)"
+        caret = lines[2]
+        assert caret.lstrip().startswith("^")
+        # The underline sits under the offending "-1" argument.
+        assert caret.index("^") - lines[1].index("m") == exc.position
