@@ -2,17 +2,25 @@
 
 One session-scoped :class:`ExperimentRunner` caches the accurate baselines
 across figures, matching how the paper's harness reuses its non-approximated
-reference runs.
+reference runs.  The session :class:`BatchEngine` wraps it: figures route
+their simulation grids through the batch layer, so overlapping grids (Fig 6
+and Fig 7 share the LULESH points) evaluate once per session.
 """
 
 import pytest
 
+from repro.harness.batch import BatchEngine
 from repro.harness.runner import ExperimentRunner
 
 
 @pytest.fixture(scope="session")
 def runner():
     return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def engine(runner):
+    return BatchEngine(runner=runner)
 
 
 def emit(title: str, body: str) -> None:

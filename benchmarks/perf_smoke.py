@@ -1,0 +1,111 @@
+"""Perf smoke for the batch-evaluation layer: quick Fig 6, serial vs batched.
+
+Run as a script (``python benchmarks/perf_smoke.py``).  It times the
+quick-effort Fig 6 grid twice — the legacy serial path and the batch
+engine at ``min(4, cpu_count)`` workers — verifies the outputs are
+identical, counts evaluated points and baseline computations on both
+paths, and writes the measurement to ``BENCH_harness.json``.
+
+Exit status is the CI contract:
+
+* nonzero if the batched path *evaluated more points than serial* (the
+  batch layer must never add work — dedupe and baseline sharing can only
+  remove it);
+* nonzero if the batched best-speedup output differs from serial;
+* the >= 2x wall-clock criterion applies only on >= 4-core runners (a
+  1-core laptop cannot demonstrate it); below that the timing is recorded
+  but not enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.harness.batch import BatchEngine  # noqa: E402
+from repro.harness.figures import fig6_best_speedup, fig7_lulesh  # noqa: E402
+from repro.harness.runner import ExperimentRunner  # noqa: E402
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_harness.json"
+
+
+def _best_dicts(result):
+    return {
+        f"{dkey}/{app}/{tech}": (rec.to_dict() if rec is not None else None)
+        for (dkey, app, tech), rec in result.best.items()
+    }
+
+
+def main() -> int:
+    workers = min(4, os.cpu_count() or 1)
+
+    runner = ExperimentRunner()
+    t0 = time.monotonic()
+    serial = fig6_best_speedup(runner=runner)
+    serial_seconds = time.monotonic() - t0
+    serial_points = len(serial.db)
+    serial_baselines = runner.baseline_computes
+
+    engine = BatchEngine(max_workers=workers)
+    t0 = time.monotonic()
+    batched = fig6_best_speedup(engine=engine)
+    batched_seconds = time.monotonic() - t0
+    # Fig 7 re-sweeps the LULESH grid Fig 6 evaluated: the engine serves
+    # the overlap from its cache.  Count it as the cross-figure saving.
+    fig7_lulesh(engine=engine)
+    cross_figure_hits = engine.stats.cache_hits
+
+    failures = []
+    if engine.stats.executed > serial_points:
+        failures.append(
+            f"batched path evaluated {engine.stats.executed} points, serial "
+            f"evaluated {serial_points} — the batch layer added work"
+        )
+    if _best_dicts(serial) != _best_dicts(batched):
+        failures.append("batched Fig 6 best-speedup output differs from serial")
+    if serial.geomean != batched.geomean:
+        failures.append(
+            f"geomean mismatch: serial {serial.geomean} vs batched "
+            f"{batched.geomean}"
+        )
+    speedup = serial_seconds / batched_seconds if batched_seconds else 0.0
+    if workers >= 4 and speedup < 2.0:
+        failures.append(
+            f"{workers}-worker batched Fig 6 only {speedup:.2f}x faster "
+            f"than serial (>= 2x required on >= 4-core runners)"
+        )
+
+    payload = {
+        "benchmark": "fig6_quick_serial_vs_batched",
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial": {
+            "seconds": round(serial_seconds, 3),
+            "points": serial_points,
+            "baseline_computes": serial_baselines,
+        },
+        "batched": {
+            "seconds": round(batched_seconds, 3),
+            "points": engine.stats.executed,
+            "baseline_computes": engine.stats.baseline_runs,
+            "worker_baseline_computes": engine.stats.worker_baseline_runs,
+        },
+        "wall_clock_speedup": round(speedup, 3),
+        "fig7_cache_hits_after_fig6": cross_figure_hits,
+        "identical_output": _best_dicts(serial) == _best_dicts(batched),
+        "failures": failures,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,13 +14,13 @@ from repro.harness.reporting import format_fig6
 
 
 @pytest.fixture(scope="module")
-def fig6(runner):
-    return fig6_best_speedup(runner=runner)
+def fig6(engine):
+    return fig6_best_speedup(engine=engine)
 
 
-def test_fig6_best_speedup(benchmark, runner):
+def test_fig6_best_speedup(benchmark, engine):
     result = benchmark.pedantic(
-        lambda: fig6_best_speedup(runner=runner), rounds=1, iterations=1
+        lambda: fig6_best_speedup(engine=engine), rounds=1, iterations=1
     )
     emit("Fig 6 — highest speedup with error < 10%",
          format_fig6(result, FIG6_APPS, ["nvidia", "amd"]))

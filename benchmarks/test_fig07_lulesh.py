@@ -14,12 +14,12 @@ from repro.harness.reporting import format_records_table
 
 
 @pytest.fixture(scope="module")
-def fig7(runner):
-    return fig7_lulesh(runner=runner)
+def fig7(engine):
+    return fig7_lulesh(engine=engine)
 
 
-def test_fig7_lulesh_scatter(benchmark, runner):
-    result = benchmark.pedantic(lambda: fig7_lulesh(runner=runner),
+def test_fig7_lulesh_scatter(benchmark, engine):
+    result = benchmark.pedantic(lambda: fig7_lulesh(engine=engine),
                                 rounds=1, iterations=1)
     for (dkey, tech), recs in result.records.items():
         emit(f"Fig 7 — LULESH {tech} on {dkey}", format_records_table(recs))
@@ -37,14 +37,14 @@ def test_fig7_lulesh_scatter(benchmark, runner):
         assert min(taf.error, iact.error) < perfo.error or perfo.error < 0.01
 
 
-def test_fini_less_error_than_ini(benchmark, runner):
+def test_fini_less_error_than_ini(benchmark, engine):
     """Fig 7 / §4.1: 'fini perforation induces less error than ini'."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
     from repro.harness.sweep import SweepPoint
 
     errs = {}
     for kind in ("ini", "fini"):
-        rec = runner.run_point(
+        rec = engine.run_point(
             "lulesh", "v100_small",
             SweepPoint("perfo", {"kind": kind, "skip_percent": 50}, "thread", 8),
         )

@@ -15,12 +15,12 @@ from repro.harness.reporting import format_records_table, format_series
 
 
 @pytest.fixture(scope="module")
-def fig8(runner):
-    return fig8_binomial(runner=runner)
+def fig8(engine):
+    return fig8_binomial(engine=engine)
 
 
-def test_fig8_scatter(benchmark, runner):
-    result = benchmark.pedantic(lambda: fig8_binomial(runner=runner),
+def test_fig8_scatter(benchmark, engine):
+    result = benchmark.pedantic(lambda: fig8_binomial(engine=engine),
                                 rounds=1, iterations=1)
     for (dkey, tech), recs in result.scatter.records.items():
         emit(f"Fig 8 — Binomial {tech} on {dkey}", format_records_table(recs))

@@ -16,13 +16,13 @@ from repro.harness.reporting import format_records_table
 
 
 @pytest.fixture(scope="module")
-def fig9(runner):
-    return fig9_leukocyte_minife(runner=runner)
+def fig9(engine):
+    return fig9_leukocyte_minife(engine=engine)
 
 
-def test_fig9_leukocyte(benchmark, runner):
+def test_fig9_leukocyte(benchmark, engine):
     result = benchmark.pedantic(
-        lambda: fig9_leukocyte_minife(runner=runner), rounds=1, iterations=1
+        lambda: fig9_leukocyte_minife(engine=engine), rounds=1, iterations=1
     )
     for (dkey, tech), recs in result.leukocyte.records.items():
         emit(f"Fig 9 — Leukocyte {tech} on {dkey}", format_records_table(recs))
@@ -57,9 +57,9 @@ def test_fig9c_minife_error_blowup(benchmark, fig9):
             assert r.error > 5.93, r.params
 
 
-def test_minife_iact_structurally_impossible(benchmark, runner):
+def test_minife_iact_structurally_impossible(benchmark, engine):
     """§4.1: 'iACT is not suitable since input sizes vary across threads'."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # register with --benchmark-only
-    app = runner.app("minife")
+    app = engine.runner.app("minife")
     with pytest.raises(UnsupportedApproximationError):
         app.build_regions("iact", tsize=4, threshold=0.5)

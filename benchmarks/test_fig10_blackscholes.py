@@ -14,13 +14,13 @@ from repro.harness.reporting import format_records_table
 
 
 @pytest.fixture(scope="module")
-def fig10(runner):
-    return fig10_blackscholes(runner=runner)
+def fig10(engine):
+    return fig10_blackscholes(engine=engine)
 
 
-def test_fig10_scatter(benchmark, runner):
+def test_fig10_scatter(benchmark, engine):
     result = benchmark.pedantic(
-        lambda: fig10_blackscholes(runner=runner), rounds=1, iterations=1
+        lambda: fig10_blackscholes(engine=engine), rounds=1, iterations=1
     )
     for (dkey, tech), recs in result.scatter.records.items():
         emit(f"Fig 10 — Blackscholes {tech} on {dkey} (kernel-only)",

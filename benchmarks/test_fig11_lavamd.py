@@ -14,13 +14,13 @@ from repro.harness.reporting import format_records_table
 
 
 @pytest.fixture(scope="module")
-def fig11(runner):
-    return fig11_lavamd(runner=runner)
+def fig11(engine):
+    return fig11_lavamd(engine=engine)
 
 
-def test_fig11_scatter(benchmark, runner):
+def test_fig11_scatter(benchmark, engine):
     result = benchmark.pedantic(
-        lambda: fig11_lavamd(runner=runner), rounds=1, iterations=1
+        lambda: fig11_lavamd(engine=engine), rounds=1, iterations=1
     )
     for (dkey, tech), recs in result.scatter.records.items():
         emit(f"Fig 11 — LavaMD {tech} on {dkey}", format_records_table(recs))

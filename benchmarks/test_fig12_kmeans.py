@@ -13,13 +13,13 @@ from repro.harness.reporting import format_records_table, format_series
 
 
 @pytest.fixture(scope="module")
-def fig12(runner):
-    return fig12_kmeans(runner=runner)
+def fig12(engine):
+    return fig12_kmeans(engine=engine)
 
 
-def test_fig12_scatter(benchmark, runner):
+def test_fig12_scatter(benchmark, engine):
     result = benchmark.pedantic(
-        lambda: fig12_kmeans(runner=runner), rounds=1, iterations=1
+        lambda: fig12_kmeans(engine=engine), rounds=1, iterations=1
     )
     for (dkey, tech), recs in result.scatter.records.items():
         emit(f"Fig 12 — K-Means {tech} on {dkey}", format_records_table(recs))

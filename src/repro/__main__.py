@@ -14,8 +14,12 @@ Thin wrappers over the library for the common workflows:
   caret diagnostics with stable ``HPAC0xx`` codes; exit status reflects the
   worst severity (0 clean/info, 1 warnings, 2 errors);
 * ``python -m repro sensitivity <app>`` — rank the app's regions;
-* ``python -m repro figures [fig3 fig4 ...]`` — regenerate evaluation
-  figures and print the paper-style rows;
+* ``python -m repro figures [fig3 fig4 ...] [--parallel N]`` — regenerate
+  evaluation figures and print the paper-style rows; all requested figures
+  share one batch engine (``--parallel`` fans their simulation grids
+  across a process pool, and overlapping grids evaluate once);
+* ``python -m repro checkpoint compact <file>`` — dedupe a checkpoint's
+  re-run labels, keeping the latest record per point;
 * ``python -m repro devices`` — list the device presets.
 """
 
@@ -116,6 +120,7 @@ def cmd_sweep(args) -> int:
         report = run_sweep_parallel(
             args.app, args.device, points,
             seed=args.seed, max_workers=args.parallel,
+            chunk_size=args.chunk_size,
             checkpoint=args.checkpoint, retries=args.retries,
             progress=args.progress, preflight=args.preflight,
         )
@@ -190,10 +195,16 @@ def cmd_sensitivity(args) -> int:
 
 def cmd_figures(args) -> int:
     from repro.harness import figures as F
-    from repro.harness.reporting import format_fig6
+    from repro.harness.batch import BatchEngine
+    from repro.harness.reporting import format_engine_stats, format_fig6
     from repro.harness.runner import ExperimentRunner
 
     runner = ExperimentRunner(seed=args.seed)
+    # One engine across every requested figure: shared baselines, and
+    # overlapping grids (Fig 6 / Fig 7 share LULESH points) evaluate once.
+    engine = BatchEngine(
+        seed=args.seed, max_workers=max(1, args.parallel), runner=runner
+    )
     wanted = set(args.names or ["fig3", "fig4", "fig6"])
     if "fig3" in wanted:
         r = F.fig3_memory_scaling()
@@ -203,16 +214,31 @@ def cmd_figures(args) -> int:
         print(f"Fig 4: serialized-GPU TAF {r.serialized_slowdown:.0f}x slower "
               f"than HPAC-Offload TAF")
     if "fig6" in wanted:
-        r = F.fig6_best_speedup(runner=runner)
+        r = F.fig6_best_speedup(engine=engine)
         print(format_fig6(r, F.FIG6_APPS, ["nvidia", "amd"]))
     for name, fn in (("fig7", F.fig7_lulesh), ("fig8", F.fig8_binomial),
                      ("fig9", F.fig9_leukocyte_minife),
                      ("fig10", F.fig10_blackscholes),
                      ("fig11", F.fig11_lavamd), ("fig12", F.fig12_kmeans)):
         if name in wanted:
-            fn(runner=runner)
+            fn(engine=engine)
             print(f"{name}: regenerated (see benchmarks/ for the asserted rows)")
+    if engine.stats.submitted:
+        print(format_engine_stats(engine.stats))
     return 0
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.harness.database import compact_checkpoint
+
+    if args.action == "compact":
+        kept, dropped = compact_checkpoint(args.file, output=args.output)
+        dest = args.output or args.file
+        print(f"{dest}: kept {kept} record(s), dropped {dropped} stale "
+              f"duplicate(s)")
+        return 0
+    print(f"unknown checkpoint action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_devices(args) -> int:
@@ -255,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
                               "resume from (skips recorded points)")
     p_sweep.add_argument("--retries", type=int, default=1,
                          help="retries per point on unexpected worker errors")
+    p_sweep.add_argument("--chunk-size", type=int, default=None,
+                         help="pin points per worker chunk (default: sized "
+                              "adaptively from observed throughput)")
     p_sweep.add_argument("--progress", action="store_true",
                          help="print a throughput/ETA line per completed chunk")
     p_sweep.add_argument("--preflight", action="store_true",
@@ -288,7 +317,21 @@ def main(argv: list[str] | None = None) -> int:
     p_fig = sub.add_parser("figures", help="regenerate evaluation figures")
     p_fig.add_argument("names", nargs="*",
                        help="fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12")
+    p_fig.add_argument("--parallel", type=int, default=1,
+                       help="process-pool workers for the simulation grids "
+                            "(1 = in-process; figures share one batch "
+                            "engine either way)")
     p_fig.set_defaults(fn=cmd_figures)
+
+    p_ckpt = sub.add_parser("checkpoint", help="checkpoint file maintenance")
+    p_ckpt.add_argument("action", choices=["compact"],
+                        help="compact: drop stale duplicate labels, keeping "
+                             "the latest record per (app, device, point)")
+    p_ckpt.add_argument("file", help="JSONL / .jsonl.gz checkpoint")
+    p_ckpt.add_argument("--output", default=None,
+                        help="write here instead of replacing FILE in place "
+                             "(a .gz suffix also converts the compression)")
+    p_ckpt.set_defaults(fn=cmd_checkpoint)
 
     p_dev = sub.add_parser("devices", help="list device presets")
     p_dev.set_defaults(fn=cmd_devices)

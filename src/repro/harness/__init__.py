@@ -6,8 +6,17 @@ and error into a queryable database; :mod:`repro.harness.figures` drives it
 to regenerate every evaluation figure.
 """
 
-from repro.harness.database import CheckpointWriter, ResultsDB
+from repro.harness.batch import (
+    AdaptiveChunker,
+    BatchEngine,
+    BatchJob,
+    BatchReport,
+    EngineStats,
+    run_batch,
+)
+from repro.harness.database import CheckpointWriter, ResultsDB, compact_checkpoint
 from repro.harness.executor import SweepReport, run_sweep_parallel
+from repro.harness.reporting import format_engine_stats
 from repro.harness.metrics import (
     convergence_speedup,
     error,
@@ -33,8 +42,16 @@ from repro.harness.sweep import (
 )
 
 __all__ = [
+    "AdaptiveChunker",
+    "BatchEngine",
+    "BatchJob",
+    "BatchReport",
     "CheckpointWriter",
+    "EngineStats",
     "ExperimentRunner",
+    "compact_checkpoint",
+    "format_engine_stats",
+    "run_batch",
     "MEMO_ITEMS_PER_THREAD",
     "ResultsDB",
     "SweepReport",

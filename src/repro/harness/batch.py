@@ -1,0 +1,643 @@
+"""Heterogeneous batch evaluation: one adaptive parallel engine above ``run_point``.
+
+PR 1 parallelized *single* sweeps — one (app, device) pair per call, a fresh
+process pool per call, every worker privately recomputing every baseline it
+touches, and a fixed 16-point chunk size whether a point costs 4 ms
+(Blackscholes) or 250 ms (LULESH).  The paper's actual hot path is wider
+than one sweep: a figure regeneration is a ``device × app × technique ×
+point`` grid, an evolutionary-search generation is a population of
+independent points, and the Fig 6/Fig 7 grids overlap on their LULESH
+points.  This module is the single execution layer all of those route
+through:
+
+* :func:`run_batch` accepts arbitrary heterogeneous :class:`BatchJob`
+  tuples — any mix of apps, devices, points, and sites in one call — and
+  fans them out over one process pool.
+* Unique (app, device) baselines are resolved **once in the parent** and
+  shipped to workers through the pool initializer, so the old
+  N-workers × M-pairs redundant baseline runs disappear (counted and
+  reported, so tests can assert "exactly once").
+* Chunks are sized by a throughput feedback controller
+  (:class:`AdaptiveChunker`): each (app, device) group's observed
+  points/sec decides how many of its points the next chunk carries, so
+  long-running apps get small chunks (fast failure recovery, good load
+  balance) and cheap apps get large ones (amortized dispatch).
+* Identical jobs are deduplicated through the checkpoint label space
+  ``(app, device, point label)`` — within a batch, across callers via
+  :class:`BatchEngine`'s session cache, and across runs via the JSONL
+  checkpoint.
+
+The serial path (``max_workers=1``) runs the same code in-process and
+produces byte-identical records (the simulation is deterministic per
+seed), so every caller keeps a ``parallel=0`` escape hatch that matches
+the old behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.gpusim.device import DeviceSpec, get_device
+from repro.harness.database import CheckpointWriter, ResultsDB
+from repro.harness.reporting import SweepProgress, format_progress
+from repro.harness.runner import ExperimentRunner, RunRecord
+from repro.harness.sweep import SweepPoint
+
+#: Chunk size used for a group before any throughput has been observed —
+#: deliberately small so the controller gets feedback after little work.
+INITIAL_CHUNK_SIZE = 2
+#: Wall-clock one chunk should cost once a group's rate is known.
+TARGET_CHUNK_SECONDS = 0.8
+MIN_CHUNK_SIZE = 1
+MAX_CHUNK_SIZE = 64
+
+
+def _default_factory(problems: dict | None, seed: int) -> ExperimentRunner:
+    return ExperimentRunner(problems=problems, seed=seed)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of work: evaluate ``point`` for ``app`` on ``device``."""
+
+    app: str
+    device: str | DeviceSpec
+    point: SweepPoint
+    site: str | None = None
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one :func:`run_batch` invocation."""
+
+    #: One record per input job, in job order (checkpointed + fresh; a
+    #: deduplicated slot shares its record with the slot it collapsed into).
+    records: list[RunRecord]
+    #: Points actually simulated by this invocation.
+    evaluated: int
+    #: Job slots satisfied from the checkpoint without running.
+    skipped: int
+    #: Duplicate job slots collapsed within this batch.
+    deduped: int = 0
+    #: Points recorded as infeasible by the static preflight, unsimulated.
+    pruned: int = 0
+    #: Unique (app, device) baselines computed in the parent for sharing.
+    baseline_runs: int = 0
+    #: Baselines computed inside pool workers (0 when sharing is on).
+    worker_baseline_runs: int = 0
+    elapsed: float = 0.0
+    checkpoint: str | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> int:
+        return sum(1 for r in self.records if r.feasible)
+
+    @property
+    def infeasible(self) -> int:
+        return len(self.records) - self.feasible
+
+
+class AdaptiveChunker:
+    """Feedback controller sizing chunks from observed points/sec.
+
+    Each (app, device) group keeps an exponentially-smoothed throughput
+    estimate; the next chunk for a group carries
+    ``rate × target_seconds`` points, clamped to
+    [``min_size``, ``max_size``].  Until a group has been observed it gets
+    ``initial`` points, so the first measurement arrives quickly even for
+    slow apps."""
+
+    def __init__(
+        self,
+        target_seconds: float = TARGET_CHUNK_SECONDS,
+        initial: int = INITIAL_CHUNK_SIZE,
+        min_size: int = MIN_CHUNK_SIZE,
+        max_size: int = MAX_CHUNK_SIZE,
+        smoothing: float = 0.5,
+    ) -> None:
+        self.target_seconds = target_seconds
+        self.initial = initial
+        self.min_size = min_size
+        self.max_size = max_size
+        self.smoothing = smoothing
+        self.rates: dict = {}
+        #: (group, points, seconds) per observed chunk, for introspection.
+        self.log: list[tuple] = []
+
+    def next_size(self, group=None) -> int:
+        rate = self.rates.get(group)
+        if rate is None:
+            return self.initial
+        want = int(round(rate * self.target_seconds)) or 1
+        return max(self.min_size, min(self.max_size, want))
+
+    def observe(self, group, points: int, seconds: float) -> None:
+        if points <= 0:
+            return
+        rate = points / max(seconds, 1e-9)
+        prev = self.rates.get(group)
+        self.rates[group] = (
+            rate if prev is None
+            else self.smoothing * rate + (1.0 - self.smoothing) * prev
+        )
+        self.log.append((group, points, seconds))
+
+
+# ----------------------------------------------------------------------
+# Retry wrapper.  Shared by the serial and worker paths.
+def run_point_with_retry(
+    runner,
+    app: str,
+    device: str | DeviceSpec,
+    point: SweepPoint,
+    site: str | None = None,
+    retries: int = 1,
+    rebuild: Callable[[], object] | None = None,
+) -> RunRecord:
+    """``runner.run_point`` hardened for sweep duty.
+
+    ``run_point`` already records infeasible configurations gracefully;
+    this catches everything else (harness bugs, partial region stats, a
+    poisoned worker), retries ``retries`` times, and on persistent failure
+    returns an infeasible record carrying the exception so one bad point
+    cannot abort a 57k-point campaign.
+
+    ``rebuild`` is called before each retry to replace the runner: an
+    unexpected exception can leave the per-process runner's baseline/app
+    caches or region state half-mutated, and retrying on the poisoned
+    instance can fail for the wrong reason.  The callable should also
+    update whatever slot the caller reuses across points (the worker
+    global, a closure variable) so later points get the fresh instance."""
+    last: Exception | None = None
+    for attempt in range(max(0, retries) + 1):
+        if attempt and rebuild is not None:
+            try:
+                runner = rebuild()
+            except Exception:  # noqa: BLE001 — keep the old instance over losing the point
+                pass
+        try:
+            return runner.run_point(app, device, point, site=site)
+        except Exception as exc:  # noqa: BLE001 — sweep must survive anything
+            last = exc
+    return RunRecord(
+        app=app,
+        device=get_device(device).name,
+        technique=point.technique,
+        params=dict(point.params),
+        level=point.level,
+        items_per_thread=point.items_per_thread,
+        feasible=False,
+        note=(
+            f"WorkerError after {retries + 1} attempts: "
+            f"{type(last).__name__}: {last}"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side.  Each pool process builds one runner in its initializer,
+# primes it with the baselines the parent shipped, and reuses it for every
+# chunk; a retry rebuild replaces it (and re-primes) via the stored factory.
+_BATCH_FACTORY: Callable | None = None
+_BATCH_ARGS: tuple = ()
+_BATCH_BASELINES: dict | None = None
+_BATCH_RUNNER = None
+_BATCH_RETIRED_COMPUTES = 0
+
+
+def _build_worker_runner():
+    runner = _BATCH_FACTORY(*_BATCH_ARGS)
+    if _BATCH_BASELINES and hasattr(runner, "prime_baselines"):
+        runner.prime_baselines(_BATCH_BASELINES)
+    return runner
+
+
+def _rebuild_batch_runner():
+    """Replace a possibly-poisoned worker runner with a fresh, primed one."""
+    global _BATCH_RUNNER, _BATCH_RETIRED_COMPUTES
+    _BATCH_RETIRED_COMPUTES += getattr(_BATCH_RUNNER, "baseline_computes", 0)
+    _BATCH_RUNNER = _build_worker_runner()
+    return _BATCH_RUNNER
+
+
+def _init_batch_worker(factory: Callable, args: tuple, baselines: dict | None) -> None:
+    global _BATCH_FACTORY, _BATCH_ARGS, _BATCH_BASELINES
+    _BATCH_FACTORY, _BATCH_ARGS, _BATCH_BASELINES = factory, args, baselines
+    _rebuild_batch_runner()
+
+
+def _worker_baseline_computes() -> int:
+    return _BATCH_RETIRED_COMPUTES + getattr(_BATCH_RUNNER, "baseline_computes", 0)
+
+
+def _run_batch_chunk(chunk: list[tuple], retries: int) -> tuple[list, float, int]:
+    """Run one heterogeneous chunk; returns (records, seconds, baseline runs).
+
+    ``seconds`` is measured in the worker so the adaptive controller sees
+    compute time, not queue wait."""
+    assert _BATCH_RUNNER is not None, "pool initializer did not run"
+    before = _worker_baseline_computes()
+    t0 = time.monotonic()
+    records = [
+        run_point_with_retry(
+            _BATCH_RUNNER, app, device, point, site=site,
+            retries=retries, rebuild=_rebuild_batch_runner,
+        )
+        for app, device, point, site in chunk
+    ]
+    return records, time.monotonic() - t0, _worker_baseline_computes() - before
+
+
+# ----------------------------------------------------------------------
+def run_batch(
+    jobs: list[BatchJob],
+    *,
+    problems: dict | None = None,
+    seed: int = 2023,
+    max_workers: int | None = None,
+    chunk_size: int | None = None,
+    target_chunk_seconds: float = TARGET_CHUNK_SECONDS,
+    checkpoint: str | Path | None = None,
+    retries: int = 1,
+    progress: bool | Callable[[SweepProgress], None] = False,
+    preflight: bool | Callable[..., RunRecord | None] = False,
+    share_baselines: bool = True,
+    baseline_source: ExperimentRunner | None = None,
+    serial_runner: ExperimentRunner | None = None,
+    runner_factory: Callable[..., ExperimentRunner] | None = None,
+    factory_args: tuple | None = None,
+) -> BatchReport:
+    """Execute heterogeneous ``jobs``, in parallel, resumably, deduplicated.
+
+    Identity of a job is ``(app, device name, point label)`` — the same
+    label space the PR-1 checkpoints use — so duplicate jobs within the
+    batch evaluate once, and ``checkpoint`` (a JSONL or ``.jsonl.gz`` file,
+    shared across any mix of apps and devices) satisfies previously-run
+    jobs without simulating.  ``site`` overrides are honoured per job but
+    are *not* part of the identity (records do not store them); do not mix
+    site variants of the same point in one label space.
+
+    With the default runner factory, each unique (app, device) baseline a
+    pending job needs is resolved exactly once — in ``baseline_source`` /
+    ``serial_runner`` if given, else a parent-local runner — and shipped to
+    every worker through the pool initializer; ``share_baselines=False``
+    restores the old behaviour of workers lazily computing their own.
+
+    ``chunk_size`` fixes the shard size; the default sizes each group's
+    chunks adaptively from observed throughput (:class:`AdaptiveChunker`,
+    ``target_chunk_seconds`` of work per chunk).
+
+    ``progress``/``preflight``/``retries``/``runner_factory`` behave as in
+    :func:`repro.harness.executor.run_sweep_parallel`.
+    """
+    t0 = time.monotonic()
+    factory = runner_factory or _default_factory
+    args = factory_args if factory_args is not None else (problems, seed)
+    default_runner = runner_factory is None
+
+    # Resolve each job's identity once (device presets memoized by name).
+    dev_names: dict[str, str] = {}
+    slot_keys: list[tuple] = []
+    for job in jobs:
+        if isinstance(job.device, DeviceSpec):
+            name = job.device.name
+        else:
+            name = dev_names.get(job.device)
+            if name is None:
+                name = get_device(job.device).name
+                dev_names[job.device] = name
+        slot_keys.append((job.app, name, job.point.label()))
+
+    # Checkpointed jobs are trusted and never dispatched.
+    done: dict[tuple, RunRecord] = {}
+    if checkpoint is not None and Path(checkpoint).exists():
+        index: dict[tuple, RunRecord] = {}
+        for rec in ResultsDB.load(checkpoint):
+            index[(rec.app, rec.device, SweepPoint.of_record(rec).label())] = rec
+        for key in slot_keys:
+            if key in index:
+                done[key] = index[key]
+    skipped = sum(1 for key in slot_keys if key in done)
+
+    # In-batch dedupe: first job per identity wins, later slots share it.
+    pending: OrderedDict[tuple, BatchJob] = OrderedDict()
+    for job, key in zip(jobs, slot_keys):
+        if key not in done and key not in pending:
+            pending[key] = job
+    deduped = (len(jobs) - skipped) - len(pending)
+
+    # Static preflight: vet pending jobs in the parent (cheap — no
+    # simulation) and divert the statically infeasible ones straight to the
+    # results, so the pool only ever sees points that might run.
+    pruned: list[tuple[tuple, RunRecord]] = []
+    if preflight:
+        if preflight is True:
+            from repro.analysis.preflight import make_preflight
+
+            preflight = make_preflight(problems)
+        survivors: OrderedDict[tuple, BatchJob] = OrderedDict()
+        for key, job in pending.items():
+            rec = preflight(job.app, job.device, job.point, site=job.site)
+            if rec is None:
+                survivors[key] = job
+            else:
+                pruned.append((key, rec))
+        pending = survivors
+
+    # Baseline pre-resolution: every unique (app, device) among the pending
+    # jobs, computed exactly once, shipped to workers via the initializer.
+    baseline_runs = 0
+    shipped: dict | None = None
+    src: ExperimentRunner | None = None
+    if share_baselines and default_runner and pending:
+        src = baseline_source or serial_runner or ExperimentRunner(
+            problems=problems, seed=seed
+        )
+        before = src.baseline_computes
+        pairs: OrderedDict[tuple, BatchJob] = OrderedDict()
+        for key, job in pending.items():
+            pairs.setdefault((job.app, key[1]), job)
+        for (_app, _dev), job in pairs.items():
+            src.baseline(job.app, job.device)
+        baseline_runs = src.baseline_computes - before
+        shipped = {
+            k: v for k, v in src.export_baselines().items()
+            if (k[0], k[1]) in pairs
+        }
+
+    if progress is True:
+        def report_progress(p: SweepProgress) -> None:
+            print(format_progress(p), file=sys.stderr)
+    elif callable(progress):
+        report_progress = progress
+    else:
+        report_progress = None
+
+    writer = CheckpointWriter(checkpoint) if checkpoint is not None else None
+    evaluated = feasible = infeasible = 0
+    worker_baseline_runs = 0
+    if pruned:
+        if writer is not None:
+            writer.write([rec for _key, rec in pruned])
+        for key, rec in pruned:
+            done[key] = rec
+
+    def absorb(keys: Iterable[tuple], records: list[RunRecord]) -> None:
+        nonlocal evaluated, feasible, infeasible
+        if writer is not None:
+            writer.write(records)
+        for key, rec in zip(keys, records):
+            done[key] = rec
+            evaluated += 1
+            feasible += rec.feasible
+            infeasible += not rec.feasible
+        if report_progress is not None:
+            report_progress(
+                SweepProgress(
+                    total=len(pending),
+                    done=evaluated,
+                    feasible=feasible,
+                    infeasible=infeasible,
+                    skipped=skipped,
+                    elapsed=time.monotonic() - t0,
+                    deduped=deduped,
+                )
+            )
+
+    # Group pending jobs by (app, device): the adaptive controller's unit
+    # of throughput, and the worker's unit of app-cache locality.
+    chunker = AdaptiveChunker(target_seconds=target_chunk_seconds)
+    groups: OrderedDict[tuple, deque] = OrderedDict()
+    for key, job in pending.items():
+        groups.setdefault((job.app, key[1]), deque()).append((key, job))
+
+    def next_chunk() -> tuple[tuple | None, list]:
+        """Pop the next chunk, round-robin across groups for fair mixing."""
+        if not groups:
+            return None, []
+        group = next(iter(groups))
+        queue = groups[group]
+        size = chunk_size or chunker.next_size(group)
+        chunk = [queue.popleft() for _ in range(min(size, len(queue)))]
+        if queue:
+            groups.move_to_end(group)
+        else:
+            del groups[group]
+        return group, chunk
+
+    workers = max(1, int(max_workers or 1))
+    try:
+        if workers == 1:
+            runner = serial_runner or src or factory(*args)
+            if shipped and runner is not src and hasattr(runner, "prime_baselines"):
+                runner.prime_baselines(shipped)
+
+            def rebuild():
+                nonlocal runner
+                runner = factory(*args)
+                if shipped and hasattr(runner, "prime_baselines"):
+                    runner.prime_baselines(shipped)
+                return runner
+
+            while True:
+                group, chunk = next_chunk()
+                if not chunk:
+                    break
+                t_chunk = time.monotonic()
+                records = [
+                    run_point_with_retry(
+                        runner, job.app, job.device, job.point, site=job.site,
+                        retries=retries, rebuild=rebuild,
+                    )
+                    for _key, job in chunk
+                ]
+                chunker.observe(group, len(chunk), time.monotonic() - t_chunk)
+                absorb([key for key, _job in chunk], records)
+        elif pending:
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)),
+                initializer=_init_batch_worker,
+                initargs=(factory, args, shipped),
+            )
+            try:
+                # Keep exactly `workers` chunks in flight: each completion
+                # feeds the controller before the next chunk is sized, so
+                # chunk sizes track throughput while the pool stays busy.
+                inflight: dict = {}
+                while groups or inflight:
+                    while len(inflight) < workers and groups:
+                        group, chunk = next_chunk()
+                        if not chunk:
+                            break
+                        payload = [
+                            (job.app, job.device, job.point, job.site)
+                            for _key, job in chunk
+                        ]
+                        fut = pool.submit(_run_batch_chunk, payload, retries)
+                        inflight[fut] = (group, [key for key, _job in chunk])
+                    if not inflight:
+                        break
+                    finished, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        group, keys = inflight.pop(fut)
+                        records, seconds, computes = fut.result()
+                        worker_baseline_runs += computes
+                        chunker.observe(group, len(keys), seconds)
+                        absorb(keys, records)
+            finally:
+                # Never block on queued chunks: a Ctrl-C mid-campaign must
+                # tear down promptly, keeping what the checkpoint absorbed.
+                pool.shutdown(wait=False, cancel_futures=True)
+    finally:
+        if writer is not None:
+            writer.close()
+
+    return BatchReport(
+        records=[done[key] for key in slot_keys],
+        evaluated=evaluated,
+        skipped=skipped,
+        deduped=deduped,
+        pruned=len(pruned),
+        baseline_runs=baseline_runs,
+        worker_baseline_runs=worker_baseline_runs,
+        elapsed=time.monotonic() - t0,
+        checkpoint=str(checkpoint) if checkpoint is not None else None,
+        extra={"chunk_log": list(chunker.log)},
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class EngineStats:
+    """Cumulative counters across one :class:`BatchEngine`'s lifetime."""
+
+    #: Job slots requested through the engine.
+    submitted: int = 0
+    #: Points actually simulated.
+    executed: int = 0
+    #: Slots served from the engine's session cache (cross-call dedupe).
+    cache_hits: int = 0
+    #: Duplicate slots collapsed inside single calls.
+    deduped: int = 0
+    #: Slots served from the checkpoint file.
+    skipped: int = 0
+    #: Slots recorded by the static preflight without simulating.
+    pruned: int = 0
+    #: Unique (app, device) baselines computed, session-wide.
+    baseline_runs: int = 0
+    #: Baselines recomputed inside workers (0 when sharing works).
+    worker_baseline_runs: int = 0
+    elapsed: float = 0.0
+
+
+class BatchEngine:
+    """Session-scoped front-end to :func:`run_batch`.
+
+    Holds one parent :class:`ExperimentRunner` (the baseline cache and the
+    serial executor) and one in-memory record cache keyed by the checkpoint
+    label space, so *independent callers* — Fig 6 and Fig 7, a search and a
+    figure — share overlapping points instead of simulating them twice.
+    ``stats`` exposes the exact dedupe/baseline counters, so "computed
+    exactly once" is assertable rather than assumed."""
+
+    def __init__(
+        self,
+        *,
+        problems: dict | None = None,
+        seed: int = 2023,
+        max_workers: int | None = None,
+        chunk_size: int | None = None,
+        target_chunk_seconds: float = TARGET_CHUNK_SECONDS,
+        checkpoint: str | Path | None = None,
+        retries: int = 1,
+        progress: bool | Callable[[SweepProgress], None] = False,
+        preflight: bool | Callable[..., RunRecord | None] = False,
+        runner: ExperimentRunner | None = None,
+    ) -> None:
+        self.runner = runner or ExperimentRunner(problems=problems, seed=seed)
+        self.max_workers = max(1, int(max_workers or 1))
+        self.chunk_size = chunk_size
+        self.target_chunk_seconds = target_chunk_seconds
+        self.checkpoint = checkpoint
+        self.retries = retries
+        self.progress = progress
+        self.preflight = preflight
+        self.stats = EngineStats()
+        self._cache: dict[tuple, RunRecord] = {}
+        self._dev_names: dict[str, str] = {}
+
+    def _key(self, job: BatchJob) -> tuple:
+        if isinstance(job.device, DeviceSpec):
+            name = job.device.name
+        else:
+            name = self._dev_names.get(job.device)
+            if name is None:
+                name = get_device(job.device).name
+                self._dev_names[job.device] = name
+        return (job.app, name, job.point.label())
+
+    def run_jobs(self, jobs: list[BatchJob]) -> list[RunRecord]:
+        """Evaluate ``jobs``, returning one record per job in job order."""
+        keys = [self._key(job) for job in jobs]
+        self.stats.submitted += len(jobs)
+        fresh: OrderedDict[tuple, BatchJob] = OrderedDict()
+        hits = 0
+        for job, key in zip(jobs, keys):
+            if key in self._cache:
+                hits += 1
+            elif key not in fresh:
+                fresh[key] = job
+        self.stats.cache_hits += hits
+        self.stats.deduped += (len(jobs) - hits) - len(fresh)
+        if fresh:
+            before = self.runner.baseline_computes
+            report = run_batch(
+                list(fresh.values()),
+                problems=self.runner.problems,
+                seed=self.runner.seed,
+                max_workers=self.max_workers,
+                chunk_size=self.chunk_size,
+                target_chunk_seconds=self.target_chunk_seconds,
+                checkpoint=self.checkpoint,
+                retries=self.retries,
+                progress=self.progress,
+                preflight=self.preflight,
+                baseline_source=self.runner,
+                serial_runner=self.runner if self.max_workers == 1 else None,
+            )
+            for key, rec in zip(fresh, report.records):
+                self._cache[key] = rec
+            self.stats.executed += report.evaluated
+            self.stats.skipped += report.skipped
+            self.stats.pruned += report.pruned
+            self.stats.baseline_runs += self.runner.baseline_computes - before
+            self.stats.worker_baseline_runs += report.worker_baseline_runs
+            self.stats.elapsed += report.elapsed
+        return [self._cache[key] for key in keys]
+
+    def run_sweep(
+        self,
+        app: str,
+        device: str | DeviceSpec,
+        points: list[SweepPoint],
+        site: str | None = None,
+    ) -> list[RunRecord]:
+        """Drop-in for :meth:`ExperimentRunner.run_sweep` through the engine."""
+        return self.run_jobs([BatchJob(app, device, pt, site=site) for pt in points])
+
+    def run_point(
+        self,
+        app: str,
+        device: str | DeviceSpec,
+        point: SweepPoint,
+        site: str | None = None,
+    ) -> RunRecord:
+        """Drop-in for :meth:`ExperimentRunner.run_point` through the engine."""
+        return self.run_jobs([BatchJob(app, device, point, site=site)])[0]

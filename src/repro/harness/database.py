@@ -10,12 +10,30 @@ sweeps can be resumed or post-processed.
 
 from __future__ import annotations
 
+import gzip
 import json
 import math
+import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.harness.runner import RunRecord
+
+#: Version of the checkpoint line format.  New checkpoints start with a
+#: one-line JSON header ``{"__checkpoint_schema__": N}`` so future format
+#: changes can be detected instead of mis-parsed; readers skip the header
+#: (and tolerate header-less PR-1 files).
+CHECKPOINT_SCHEMA_VERSION = 1
+SCHEMA_KEY = "__checkpoint_schema__"
+
+
+def schema_header_line() -> str:
+    return json.dumps({SCHEMA_KEY: CHECKPOINT_SCHEMA_VERSION})
+
+
+def _is_gz(path: str | Path) -> bool:
+    return Path(path).suffix == ".gz"
 
 # --- portable JSON for non-finite floats --------------------------------
 # ``json.dumps(float("inf"))`` emits the non-standard literal ``Infinity``,
@@ -69,20 +87,42 @@ class CheckpointWriter:
 
     Each record is written and flushed as one line, so an interrupted sweep
     loses at most the line being written (:meth:`ResultsDB.load` discards a
-    truncated final line)."""
+    truncated final line).  A ``.jsonl.gz`` path writes gzip-compressed
+    lines instead (million-record campaigns compress ~10×); appends to an
+    existing ``.gz`` file add a new gzip member, which readers concatenate
+    transparently.  New files begin with the schema-version header line."""
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         if self.path.parent != Path(""):
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("a")
-        # A crash can leave a truncated line with no trailing newline;
-        # appending straight after it would corrupt the next record too.
-        if self._fh.tell() > 0:
-            with self.path.open("rb") as fh:
-                fh.seek(-1, 2)
-                if fh.read(1) != b"\n":
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if _is_gz(self.path):
+            self._fh = gzip.open(self.path, "at", encoding="utf-8")
+            if existing:
+                # A crash can leave a truncated final line; appending
+                # straight after it would corrupt the next record too.
+                # (The tail is found by decompressing — acceptable for the
+                # rare resume-after-crash open.)
+                last, readable = "", True
+                try:
+                    with gzip.open(self.path, "rt", encoding="utf-8") as fh:
+                        for last in fh:
+                            pass
+                except (EOFError, OSError):
+                    readable = False
+                if not readable or (last and not last.endswith("\n")):
                     self._fh.write("\n")
+        else:
+            self._fh = self.path.open("a")
+            if existing:
+                with self.path.open("rb") as fh:
+                    fh.seek(-1, 2)
+                    if fh.read(1) != b"\n":
+                        self._fh.write("\n")
+        if not existing:
+            self._fh.write(schema_header_line() + "\n")
+            self._fh.flush()
 
     def write(self, record: RunRecord | Iterable[RunRecord]) -> None:
         records = [record] if isinstance(record, RunRecord) else record
@@ -188,36 +228,94 @@ class ResultsDB:
 
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Persist as JSON Lines (strict JSON, see :func:`dumps_record`)."""
+        """Persist as JSON Lines (strict JSON, see :func:`dumps_record`).
+
+        A ``.jsonl.gz`` path writes gzip-compressed lines."""
         p = Path(path)
-        with p.open("w") as fh:
+        fh = gzip.open(p, "wt", encoding="utf-8") if _is_gz(p) else p.open("w")
+        with fh:
             for r in self.records:
                 fh.write(dumps_record(r) + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "ResultsDB":
-        """Load a JSONL file written by :meth:`save` or a checkpoint stream.
+        """Load a JSONL / ``.jsonl.gz`` file written by :meth:`save` or a
+        checkpoint stream.
 
-        Lines torn by a crash mid-write (typically the last one; possibly
-        mid-file once a resumed writer appends after one) are skipped with
-        a warning — losing one point re-runs it, aborting loses the
-        campaign."""
+        The schema-version header line (new checkpoints) is skipped; files
+        without one (PR-1 checkpoints) load identically.  Lines torn by a
+        crash mid-write — and, for ``.gz``, a truncated final gzip member —
+        are skipped with a warning: losing one point re-runs it, aborting
+        loses the campaign."""
         db = cls()
         torn = 0
-        for line in Path(path).read_text().splitlines():
+        truncated = False
+        lines: list[str] = []
+        if _is_gz(path):
+            try:
+                with gzip.open(path, "rt", encoding="utf-8") as fh:
+                    for line in fh:
+                        lines.append(line)
+            except (EOFError, OSError):
+                truncated = True
+        else:
+            lines = Path(path).read_text().splitlines()
+        for line in lines:
             line = line.strip()
             if not line:
                 continue
             try:
-                db.add(loads_record(line))
+                obj = json.loads(line)
             except json.JSONDecodeError:
                 torn += 1
-        if torn:
+                continue
+            if isinstance(obj, dict) and SCHEMA_KEY in obj:
+                continue  # schema-version header
+            try:
+                db.add(RunRecord(**_decode(obj)))
+            except TypeError:
+                torn += 1
+        if torn or truncated:
             import warnings
 
+            what = f"skipped {torn} torn record line(s)" if torn else ""
+            if truncated:
+                what += ("; " if what else "") + "truncated gzip stream"
             warnings.warn(
-                f"{path}: skipped {torn} torn record line(s); "
-                "the affected points will re-run",
+                f"{path}: {what}; the affected points will re-run",
                 stacklevel=2,
             )
         return db
+
+
+def compact_checkpoint(
+    path: str | Path, output: str | Path | None = None
+) -> tuple[int, int]:
+    """Dedupe a checkpoint's re-run labels, keeping the latest record.
+
+    A resumed/re-driven campaign can legitimately append a label twice
+    (retry semantics changed, a technique re-swept); readers take whichever
+    record they see last, but the dead lines cost load time forever.  This
+    rewrites the file with exactly one record per (app, device, point
+    label) — first-occurrence order, latest content — behind the
+    schema-version header.
+
+    ``output=None`` replaces ``path`` atomically; otherwise the compacted
+    stream is written to ``output`` (whose suffix decides compression, so
+    ``compact_checkpoint("c.jsonl", "c.jsonl.gz")`` also converts).
+    Returns ``(kept, dropped)`` record counts."""
+    from repro.harness.sweep import SweepPoint
+
+    src = Path(path)
+    records = ResultsDB.load(src).records
+    latest: "OrderedDict[tuple, RunRecord]" = OrderedDict()
+    for rec in records:
+        latest[(rec.app, rec.device, SweepPoint.of_record(rec).label())] = rec
+    dest = Path(output) if output is not None else src
+    tmp = dest.with_name(f".{dest.stem}.compact{dest.suffix}")
+    if tmp.exists():
+        tmp.unlink()
+    with CheckpointWriter(tmp) as writer:
+        writer.write(list(latest.values()))
+    os.replace(tmp, dest)
+    return len(latest), len(records) - len(latest)

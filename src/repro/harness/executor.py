@@ -3,41 +3,51 @@
 The paper's exploration is the harness's hot path: Table 2 enumerates
 57,288 configurations at up to 988 GPU-hours per benchmark (§4), and each
 point is independent of every other — embarrassingly parallel by
-construction.  This module scales the harness layer without touching the
-device-runtime semantics underneath (the Tian et al. split): sweep points
-are sharded into chunks and fanned out across a ``concurrent.futures``
-process pool whose workers each own a private
-:class:`~repro.harness.runner.ExperimentRunner`, so baseline caches are
-per-process and every object crossing the pipe is a picklable
-:class:`~repro.harness.runner.RunRecord`.
+construction.  This module keeps the PR-1 sweep API
+(:func:`run_sweep_parallel`: one app/device, a list of points) but the
+execution itself now lives in :mod:`repro.harness.batch`, the general
+batch-evaluation engine shared with the figure entry points and the smart
+searches.  Going through the batch layer buys the sweep path three things
+for free:
 
-Durability comes from an incremental JSONL checkpoint: completed records
-stream into a :class:`~repro.harness.database.CheckpointWriter` as chunks
-finish, and a restarted sweep loads the file and skips every point whose
-label is already recorded — a crash at point 56k costs one chunk, not the
+* each unique (app, device) baseline is computed once in the parent and
+  shipped to every worker, instead of once per worker;
+* chunks are sized adaptively from observed points/sec instead of the
+  fixed :data:`DEFAULT_CHUNK_SIZE` (pass ``chunk_size=`` to pin them);
+* duplicate points in the input collapse to a single evaluation.
+
+Durability is unchanged: completed records stream into a
+:class:`~repro.harness.database.CheckpointWriter` as chunks finish, and a
+restarted sweep loads the file and skips every point whose label is
+already recorded — a crash at point 56k costs one chunk, not the
 campaign.  Worker failures degrade the same way infeasible configurations
-already do: a point that raises an unexpected exception is retried, then
-recorded as an infeasible row carrying the error note instead of aborting
-the sweep.
+already do: a point that raises an unexpected exception is retried (on a
+freshly rebuilt runner, in case the exception poisoned the old one's
+caches), then recorded as an infeasible row carrying the error note
+instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
-import sys
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.gpusim.device import DeviceSpec, get_device
-from repro.harness.database import CheckpointWriter, ResultsDB
-from repro.harness.reporting import SweepProgress, format_progress
+from repro.gpusim.device import DeviceSpec
+from repro.harness.batch import (
+    TARGET_CHUNK_SECONDS,
+    BatchJob,
+    _default_factory,  # noqa: F401 — re-exported for pickling compatibility
+    run_batch,
+    run_point_with_retry,  # noqa: F401 — public retry wrapper lives in batch
+)
+from repro.harness.reporting import SweepProgress
 from repro.harness.runner import ExperimentRunner, RunRecord
-from repro.harness.sweep import SweepPoint, chunk_points
+from repro.harness.sweep import SweepPoint
 
-#: Upper bound on points per chunk; small enough that a killed worker
-#: forfeits little work, large enough to amortize pool dispatch.
+#: Legacy fixed points-per-chunk bound (PR 1).  The batch layer now sizes
+#: chunks adaptively; pass ``chunk_size=DEFAULT_CHUNK_SIZE`` to restore
+#: the old static sharding.
 DEFAULT_CHUNK_SIZE = 16
 
 
@@ -66,85 +76,6 @@ class SweepReport:
         return len(self.records) - self.feasible
 
 
-# ----------------------------------------------------------------------
-# Worker side.  Each pool process builds one ExperimentRunner in its
-# initializer (baselines then cache per-process) and reuses it for every
-# chunk it is handed.
-_WORKER_RUNNER: ExperimentRunner | None = None
-
-
-def _init_worker(factory: Callable[[], ExperimentRunner], args: tuple) -> None:
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = factory(*args)
-
-
-def _default_factory(problems: dict | None, seed: int) -> ExperimentRunner:
-    return ExperimentRunner(problems=problems, seed=seed)
-
-
-def run_point_with_retry(
-    runner: ExperimentRunner,
-    app: str,
-    device: str | DeviceSpec,
-    point: SweepPoint,
-    site: str | None = None,
-    retries: int = 1,
-) -> RunRecord:
-    """``runner.run_point`` hardened for sweep duty.
-
-    ``run_point`` already records infeasible configurations gracefully;
-    this catches everything else (harness bugs, partial region stats, a
-    poisoned worker), retries ``retries`` times, and on persistent failure
-    returns an infeasible record carrying the exception so one bad point
-    cannot abort a 57k-point campaign."""
-    last: Exception | None = None
-    for _attempt in range(max(0, retries) + 1):
-        try:
-            return runner.run_point(app, device, point, site=site)
-        except Exception as exc:  # noqa: BLE001 — sweep must survive anything
-            last = exc
-    return RunRecord(
-        app=app,
-        device=get_device(device).name,
-        technique=point.technique,
-        params=dict(point.params),
-        level=point.level,
-        items_per_thread=point.items_per_thread,
-        feasible=False,
-        note=(
-            f"WorkerError after {retries + 1} attempts: "
-            f"{type(last).__name__}: {last}"
-        ),
-    )
-
-
-def _run_chunk(
-    app: str,
-    device: str | DeviceSpec,
-    chunk: list[SweepPoint],
-    site: str | None,
-    retries: int,
-) -> list[RunRecord]:
-    assert _WORKER_RUNNER is not None, "pool initializer did not run"
-    return [
-        run_point_with_retry(_WORKER_RUNNER, app, device, pt, site=site, retries=retries)
-        for pt in chunk
-    ]
-
-
-# ----------------------------------------------------------------------
-def _checkpoint_index(path: str | Path, app: str, dev_name: str) -> dict[str, RunRecord]:
-    """Map point label -> record for this (app, device) from a checkpoint."""
-    p = Path(path)
-    if not p.exists():
-        return {}
-    index: dict[str, RunRecord] = {}
-    for rec in ResultsDB.load(p):
-        if rec.app == app and rec.device == dev_name:
-            index[SweepPoint.of_record(rec).label()] = rec
-    return index
-
-
 def run_sweep_parallel(
     app: str,
     device: str | DeviceSpec,
@@ -155,10 +86,12 @@ def run_sweep_parallel(
     seed: int = 2023,
     max_workers: int | None = None,
     chunk_size: int | None = None,
+    target_chunk_seconds: float = TARGET_CHUNK_SECONDS,
     checkpoint: str | Path | None = None,
     retries: int = 1,
     progress: bool | Callable[[SweepProgress], None] = False,
     preflight: bool | Callable[..., RunRecord | None] = False,
+    share_baselines: bool = True,
     runner_factory: Callable[..., ExperimentRunner] | None = None,
     factory_args: tuple | None = None,
 ) -> SweepReport:
@@ -170,11 +103,16 @@ def run_sweep_parallel(
     paths produce byte-identical records (the simulation is deterministic
     per seed).
 
-    ``checkpoint`` names a JSONL file: existing records for this
-    (app, device) are trusted and their points skipped; fresh records are
-    appended and flushed as each chunk completes.  Use one checkpoint file
-    per campaign — the resume key is (app, device, point label), which does
-    not distinguish ``site`` overrides.
+    ``checkpoint`` names a JSONL (or ``.jsonl.gz``) file: existing records
+    for this (app, device) are trusted and their points skipped; fresh
+    records are appended and flushed as each chunk completes.  The resume
+    key is (app, device, point label), which does not distinguish ``site``
+    overrides.
+
+    ``chunk_size`` pins the shard size; by default chunks are sized
+    adaptively toward ``target_chunk_seconds`` of work from observed
+    points/sec.  ``share_baselines`` (default) computes the (app, device)
+    baseline once in the parent and ships it to every worker.
 
     ``progress`` is ``True`` for a stderr status line per chunk, or a
     callable receiving :class:`~repro.harness.reporting.SweepProgress`.
@@ -190,116 +128,36 @@ def run_sweep_parallel(
 
     ``runner_factory``/``factory_args`` override worker construction (it
     must be a picklable top-level callable); the default builds
-    ``ExperimentRunner(problems=problems, seed=seed)``.
+    ``ExperimentRunner(problems=problems, seed=seed)``.  Custom factories
+    disable baseline sharing (the factory may not build an
+    :class:`ExperimentRunner` at all).
     """
-    t0 = time.monotonic()
-    dev = get_device(device)
-    factory = runner_factory or _default_factory
-    args = factory_args if factory_args is not None else (problems, seed)
-
-    done: dict[str, RunRecord] = {}
-    if checkpoint is not None:
-        done = _checkpoint_index(checkpoint, app, dev.name)
-    wanted = [(pt, pt.label()) for pt in points]
-    pending = [pt for pt, label in wanted if label not in done]
-    skipped = len(points) - len(pending)
-
-    # Static preflight: vet pending points in the parent (cheap — no
-    # simulation) and divert the statically infeasible ones straight to the
-    # results, so the pool only ever sees points that might run.
-    pruned_records: list[RunRecord] = []
-    if preflight:
-        if preflight is True:
-            from repro.analysis.preflight import make_preflight
-
-            preflight = make_preflight(problems)
-        survivors: list[SweepPoint] = []
-        for pt in pending:
-            rec = preflight(app, device, pt, site=site)
-            if rec is None:
-                survivors.append(pt)
-            else:
-                pruned_records.append(rec)
-        pending = survivors
-
-    if progress is True:
-        def report_progress(p: SweepProgress) -> None:
-            print(format_progress(p), file=sys.stderr)
-    elif callable(progress):
-        report_progress = progress
-    else:
-        report_progress = None
-
-    workers = max(1, int(max_workers or 1))
-    size = chunk_size or max(1, min(DEFAULT_CHUNK_SIZE, len(pending) // (workers * 4) or 1))
-    chunks = chunk_points(pending, size)
-
-    writer = CheckpointWriter(checkpoint) if checkpoint is not None else None
-    evaluated = feasible = infeasible = 0
-    if pruned_records:
-        if writer is not None:
-            writer.write(pruned_records)
-        for rec in pruned_records:
-            done[SweepPoint.of_record(rec).label()] = rec
-
-    def absorb(records: list[RunRecord]) -> None:
-        nonlocal evaluated, feasible, infeasible
-        if writer is not None:
-            writer.write(records)
-        for rec in records:
-            done[SweepPoint.of_record(rec).label()] = rec
-            evaluated += 1
-            feasible += rec.feasible
-            infeasible += not rec.feasible
-        if report_progress is not None:
-            report_progress(
-                SweepProgress(
-                    total=len(pending),
-                    done=evaluated,
-                    feasible=feasible,
-                    infeasible=infeasible,
-                    skipped=skipped,
-                    elapsed=time.monotonic() - t0,
-                )
-            )
-
-    try:
-        if workers == 1:
-            runner = factory(*args)
-            for chunk in chunks:
-                absorb([
-                    run_point_with_retry(runner, app, device, pt, site=site,
-                                         retries=retries)
-                    for pt in chunk
-                ])
-        elif chunks:
-            pool = ProcessPoolExecutor(
-                max_workers=min(workers, len(chunks)),
-                initializer=_init_worker,
-                initargs=(factory, args),
-            )
-            try:
-                futures = {
-                    pool.submit(_run_chunk, app, device, chunk, site, retries)
-                    for chunk in chunks
-                }
-                while futures:
-                    finished, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for fut in finished:
-                        absorb(fut.result())
-            finally:
-                # Never block on queued chunks: a Ctrl-C mid-campaign must
-                # tear down promptly, keeping what the checkpoint absorbed.
-                pool.shutdown(wait=False, cancel_futures=True)
-    finally:
-        if writer is not None:
-            writer.close()
-
+    report = run_batch(
+        [BatchJob(app, device, pt, site=site) for pt in points],
+        problems=problems,
+        seed=seed,
+        max_workers=max_workers,
+        chunk_size=chunk_size,
+        target_chunk_seconds=target_chunk_seconds,
+        checkpoint=checkpoint,
+        retries=retries,
+        progress=progress,
+        preflight=preflight,
+        share_baselines=share_baselines,
+        runner_factory=runner_factory,
+        factory_args=factory_args,
+    )
     return SweepReport(
-        records=[done[label] for _pt, label in wanted],
-        evaluated=evaluated,
-        skipped=skipped,
-        pruned=len(pruned_records),
-        elapsed=time.monotonic() - t0,
-        checkpoint=str(checkpoint) if checkpoint is not None else None,
+        records=report.records,
+        evaluated=report.evaluated,
+        skipped=report.skipped,
+        pruned=report.pruned,
+        elapsed=report.elapsed,
+        checkpoint=report.checkpoint,
+        extra={
+            "deduped": report.deduped,
+            "baseline_runs": report.baseline_runs,
+            "worker_baseline_runs": report.worker_baseline_runs,
+            **report.extra,
+        },
     )

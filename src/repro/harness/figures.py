@@ -7,6 +7,15 @@ the figure's shape, small enough for laptop time; ``effort="full"``
 switches to the thinned Table-2 grids and ``effort="paper"`` to the full
 grids (hours).
 
+Every simulation-backed figure builds its whole ``device × app ×
+technique × point`` grid as one job list and evaluates it through the
+batch layer (:mod:`repro.harness.batch`): ``parallel=N`` fans the grid
+across N workers with shared baselines and adaptive chunks, and passing
+one :class:`~repro.harness.batch.BatchEngine` to several figures dedupes
+their overlapping points (Fig 6 and Fig 7 share the LULESH grid).  With
+``parallel=0`` and no engine the figure runs serially through the given
+runner, byte-identical to the pre-batch behaviour.
+
 The curated candidate grids below were chosen exactly the way the paper's
 users would use the HPAC-Offload harness: sweep, look at the database, keep
 the parameter regions that matter.
@@ -22,6 +31,7 @@ from repro.approx.base import TAFParams
 from repro.approx.taf_variants import compare_variants
 from repro.gpusim.device import get_device
 from repro.gpusim.memory import global_memory_fraction_for_tables
+from repro.harness.batch import BatchEngine, BatchJob
 from repro.harness.database import ResultsDB
 from repro.harness.metrics import geomean_speedup, r_squared
 from repro.harness.runner import ExperimentRunner, RunRecord
@@ -135,6 +145,41 @@ def candidates(app: str, technique: str, effort: str = "quick") -> list[SweepPoi
 
 
 # ---------------------------------------------------------------------------
+# Batch-layer plumbing shared by every simulation-backed figure.
+# ---------------------------------------------------------------------------
+def _executors(
+    runner: ExperimentRunner | None,
+    engine: BatchEngine | None,
+    parallel: int,
+) -> tuple[ExperimentRunner, BatchEngine | None]:
+    """Resolve the (runner, engine) pair a figure entry point executes on.
+
+    An explicit ``engine`` wins (its runner backs the figure's direct
+    ``app``/``baseline`` needs unless a ``runner`` is also given);
+    ``parallel > 1`` wraps the runner in a throwaway parallel engine;
+    otherwise the figure runs serially on the runner — the legacy path."""
+    if engine is not None:
+        return (runner or engine.runner), engine
+    runner = runner or ExperimentRunner()
+    if parallel and parallel > 1:
+        engine = BatchEngine(max_workers=parallel, runner=runner)
+    return runner, engine
+
+
+def _eval(
+    jobs: list[BatchJob],
+    runner: ExperimentRunner,
+    engine: BatchEngine | None,
+) -> list[RunRecord]:
+    """Evaluate a figure's job list: batched via the engine, else serial."""
+    if engine is not None:
+        return engine.run_jobs(jobs)
+    return [
+        runner.run_point(j.app, j.device, j.point, site=j.site) for j in jobs
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Fig 3 — global memory needed for per-thread memo tables
 # ---------------------------------------------------------------------------
 @dataclass
@@ -214,29 +259,33 @@ def fig6_best_speedup(
     max_error: float = 0.10,
     effort: str = "quick",
     runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
 ) -> Fig6Result:
     """Highest speedup with error < 10% for every benchmark (Fig 6)."""
     apps = apps or FIG6_APPS
     devices = devices or DEVICES
-    runner = runner or ExperimentRunner()
-    db = ResultsDB()
-    best: dict = {}
+    runner, engine = _executors(runner, engine, parallel)
+    cells: list[tuple] = []  # (dkey, app, tech, job offset, count)
+    jobs: list[BatchJob] = []
     for dkey, dev in devices.items():
         for app in apps:
-            bench = runner.app(app)
             for tech in ("perfo", "taf", "iact"):
                 if (app, tech) not in CANDIDATES:
                     continue
                 pts = candidates(app, tech, effort)
-                records = runner.run_sweep(app, dev, pts)
-                db.add(records)
-                ok = [
-                    r for r in records
-                    if r.feasible and r.error <= max_error
-                ]
-                best[(dkey, app, tech)] = (
-                    max(ok, key=lambda r: r.reported_speedup) if ok else None
-                )
+                cells.append((dkey, app, tech, len(jobs), len(pts)))
+                jobs.extend(BatchJob(app, dev, pt) for pt in pts)
+    results = _eval(jobs, runner, engine)
+    db = ResultsDB()
+    best: dict = {}
+    for dkey, app, tech, offset, count in cells:
+        records = results[offset : offset + count]
+        db.add(records)
+        ok = [r for r in records if r.feasible and r.error <= max_error]
+        best[(dkey, app, tech)] = (
+            max(ok, key=lambda r: r.reported_speedup) if ok else None
+        )
     geo = {}
     for dkey in devices:
         per_app = []
@@ -267,15 +316,35 @@ class ScatterResult:
         return max(ok, key=lambda r: r.reported_speedup) if ok else None
 
 
-def fig7_lulesh(effort: str = "quick", runner: ExperimentRunner | None = None) -> ScatterResult:
+def _scatter_jobs(
+    app: str, techniques: tuple[str, ...], effort: str,
+    devices: dict[str, str] | None = None,
+) -> tuple[list[tuple], list[BatchJob]]:
+    """Job list for one app's per-device scatter; cells map slices back."""
+    cells: list[tuple] = []  # ((dkey, tech), offset, count)
+    jobs: list[BatchJob] = []
+    for dkey, dev in (devices or DEVICES).items():
+        for tech in techniques:
+            pts = candidates(app, tech, effort)
+            cells.append(((dkey, tech), len(jobs), len(pts)))
+            jobs.extend(BatchJob(app, dev, pt) for pt in pts)
+    return cells, jobs
+
+
+def _slice_cells(cells: list[tuple], results: list[RunRecord]) -> dict:
+    return {key: results[off : off + n] for key, off, n in cells}
+
+
+def fig7_lulesh(
+    effort: str = "quick",
+    runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
+) -> ScatterResult:
     """LULESH speedup/error scatter for TAF, iACT, perforation (Fig 7)."""
-    runner = runner or ExperimentRunner()
-    records = {}
-    for dkey, dev in DEVICES.items():
-        for tech in ("taf", "iact", "perfo"):
-            records[(dkey, tech)] = runner.run_sweep(
-                "lulesh", dev, candidates("lulesh", tech, effort)
-            )
+    runner, engine = _executors(runner, engine, parallel)
+    cells, jobs = _scatter_jobs("lulesh", ("taf", "iact", "perfo"), effort)
+    records = _slice_cells(cells, _eval(jobs, runner, engine))
     return ScatterResult(app="lulesh", records=records)
 
 
@@ -293,26 +362,29 @@ def fig8_binomial(
     effort: str = "quick",
     items: list[int] | None = None,
     runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
 ) -> Fig8Result:
     """Binomial Options TAF/iACT results and the Fig-8c trade-off curve."""
-    runner = runner or ExperimentRunner()
-    records = {}
-    for dkey, dev in DEVICES.items():
-        for tech in ("taf", "iact"):
-            records[(dkey, tech)] = runner.run_sweep(
-                "binomial", dev, candidates("binomial", tech, effort)
-            )
+    runner, engine = _executors(runner, engine, parallel)
     items = items or [2, 4, 8, 16, 32, 64, 128, 256, 512]
-    sweep: dict = {}
+    cells, jobs = _scatter_jobs("binomial", ("taf", "iact"), effort)
+    scatter_len = len(jobs)
     for dkey, dev in DEVICES.items():
+        jobs.extend(
+            BatchJob("binomial", dev, _taf(2, 32, 0.3, "team", ipt))
+            for ipt in items
+        )
+    results = _eval(jobs, runner, engine)
+    records = _slice_cells(cells, results)
+    sweep: dict = {}
+    offset = scatter_len
+    for dkey in DEVICES:
         series = []
-        for ipt in items:
-            rec = runner.run_point(
-                "binomial", dev,
-                _taf(2, 32, 0.3, "team", ipt),
-            )
+        for ipt, rec in zip(items, results[offset : offset + len(items)]):
             series.append((ipt, rec.reported_speedup, rec.approx_fraction))
         sweep[dkey] = series
+        offset += len(items)
     return Fig8Result(
         scatter=ScatterResult(app="binomial", records=records), items_sweep=sweep
     )
@@ -328,21 +400,22 @@ class Fig9Result:
 
 
 def fig9_leukocyte_minife(
-    effort: str = "quick", runner: ExperimentRunner | None = None
+    effort: str = "quick",
+    runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
 ) -> Fig9Result:
-    runner = runner or ExperimentRunner()
-    records = {}
-    for dkey, dev in DEVICES.items():
-        for tech in ("taf", "iact"):
-            records[(dkey, tech)] = runner.run_sweep(
-                "leukocyte", dev, candidates("leukocyte", tech, effort)
-            )
-    minife = runner.run_sweep(
-        "minife", NVIDIA, candidates("minife", "taf", effort)
-    )
+    runner, engine = _executors(runner, engine, parallel)
+    cells, jobs = _scatter_jobs("leukocyte", ("taf", "iact"), effort)
+    scatter_len = len(jobs)
+    minife_pts = candidates("minife", "taf", effort)
+    jobs.extend(BatchJob("minife", NVIDIA, pt) for pt in minife_pts)
+    results = _eval(jobs, runner, engine)
     return Fig9Result(
-        leukocyte=ScatterResult(app="leukocyte", records=records),
-        minife_records=minife,
+        leukocyte=ScatterResult(
+            app="leukocyte", records=_slice_cells(cells, results)
+        ),
+        minife_records=results[scatter_len:],
     )
 
 
@@ -360,22 +433,27 @@ def fig10_blackscholes(
     effort: str = "quick",
     thresholds: list[float] | None = None,
     runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
 ) -> Fig10Result:
     """Blackscholes on AMD (kernel-only) and the Fig-10c threshold study."""
-    runner = runner or ExperimentRunner()
-    records = {}
-    for dkey, dev in DEVICES.items():
-        for tech in ("taf", "iact"):
-            records[(dkey, tech)] = runner.run_sweep(
-                "blackscholes", dev, candidates("blackscholes", tech, effort)
-            )
+    runner, engine = _executors(runner, engine, parallel)
     thresholds = thresholds or [0.1, 0.3, 0.6, 1.0, 3.0, 20.0]
+    cells, jobs = _scatter_jobs("blackscholes", ("taf", "iact"), effort)
+    scatter_len = len(jobs)
+    # Fig 10c configurations: history 5, prediction 512, threshold T.
+    jobs.extend(
+        BatchJob("blackscholes", AMD, _taf(5, 512, T, ipt=8)) for T in thresholds
+    )
+    results = _eval(jobs, runner, engine)
+    records = _slice_cells(cells, results)
     study = {}
+    # The quantile comparison needs the raw QoI vectors, not records, so it
+    # re-runs the six Fig-10c configurations in the parent (deterministic —
+    # same results the batched records were computed from).
     app = runner.app("blackscholes")
     base = runner.baseline("blackscholes", AMD)
-    for T in thresholds:
-        # Fig 10c configuration: history 5, prediction 512, threshold T.
-        rec = runner.run_point("blackscholes", AMD, _taf(5, 512, T, ipt=8))
+    for T, rec in zip(thresholds, results[scatter_len:]):
         regs = app.build_regions("taf", hsize=5, psize=512, threshold=T)
         res = app.run(AMD, regs, items_per_thread=8, seed=runner.seed)
         q = np.quantile(res.qoi, [0.1, 0.25, 0.5, 0.75, 0.9])
@@ -405,32 +483,35 @@ def fig11_lavamd(
     effort: str = "quick",
     thresholds: list[float] | None = None,
     runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
 ) -> Fig11Result:
     """LavaMD TAF/iACT results and the warp-vs-thread pairing of Fig 11c."""
-    runner = runner or ExperimentRunner()
-    records = {}
-    for dkey, dev in DEVICES.items():
-        for tech in ("taf", "iact"):
-            records[(dkey, tech)] = runner.run_sweep(
-                "lavamd", dev, candidates("lavamd", tech, effort)
-            )
+    runner, engine = _executors(runner, engine, parallel)
     thresholds = thresholds or [0.008, 0.009, 0.01, 0.012]
+    cells, jobs = _scatter_jobs("lavamd", ("taf", "iact"), effort)
+    scatter_len = len(jobs)
+    combos = [(T, h, ps) for T in thresholds for h, ps in [(2, 4), (2, 8)]]
+    for T, h, ps in combos:
+        jobs.append(BatchJob("lavamd", AMD, _taf(h, ps, T, "thread", 1)))
+        jobs.append(BatchJob("lavamd", AMD, _taf(h, ps, T, "warp", 1)))
+    results = _eval(jobs, runner, engine)
     pairs = []
-    for T in thresholds:
-        for h, ps in [(2, 4), (2, 8)]:
-            t_rec = runner.run_point("lavamd", AMD, _taf(h, ps, T, "thread", 1))
-            w_rec = runner.run_point("lavamd", AMD, _taf(h, ps, T, "warp", 1))
-            pairs.append(
-                {
-                    "threshold": T,
-                    "hsize": h,
-                    "psize": ps,
-                    "thread_speedup": t_rec.reported_speedup,
-                    "warp_speedup": w_rec.reported_speedup,
-                }
-            )
+    for i, (T, h, ps) in enumerate(combos):
+        t_rec = results[scatter_len + 2 * i]
+        w_rec = results[scatter_len + 2 * i + 1]
+        pairs.append(
+            {
+                "threshold": T,
+                "hsize": h,
+                "psize": ps,
+                "thread_speedup": t_rec.reported_speedup,
+                "warp_speedup": w_rec.reported_speedup,
+            }
+        )
     return Fig11Result(
-        scatter=ScatterResult(app="lavamd", records=records), hierarchy_pairs=pairs
+        scatter=ScatterResult(app="lavamd", records=_slice_cells(cells, results)),
+        hierarchy_pairs=pairs,
     )
 
 
@@ -446,15 +527,14 @@ class Fig12Result:
 
 
 def fig12_kmeans(
-    effort: str = "quick", runner: ExperimentRunner | None = None
+    effort: str = "quick",
+    runner: ExperimentRunner | None = None,
+    engine: BatchEngine | None = None,
+    parallel: int = 0,
 ) -> Fig12Result:
-    runner = runner or ExperimentRunner()
-    records = {}
-    for dkey, dev in DEVICES.items():
-        for tech in ("taf", "iact"):
-            records[(dkey, tech)] = runner.run_sweep(
-                "kmeans", dev, candidates("kmeans", tech, effort)
-            )
+    runner, engine = _executors(runner, engine, parallel)
+    cells, jobs = _scatter_jobs("kmeans", ("taf", "iact"), effort)
+    records = _slice_cells(cells, _eval(jobs, runner, engine))
     points = []
     for recs in records.values():
         for r in recs:

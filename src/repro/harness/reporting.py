@@ -21,6 +21,8 @@ class SweepProgress:
     infeasible: int
     skipped: int
     elapsed: float
+    #: Duplicate job slots collapsed to a single evaluation (batch layer).
+    deduped: int = 0
 
     @property
     def points_per_sec(self) -> float:
@@ -41,6 +43,19 @@ def format_progress(p: SweepProgress) -> str:
         f"[{p.done}/{p.total}] {pct:5.1f}%  {p.points_per_sec:7.2f} pts/s  "
         f"ETA {eta_s}  feasible={p.feasible} infeasible={p.infeasible}"
         + (f" (resumed past {p.skipped})" if p.skipped else "")
+        + (f" (deduped {p.deduped})" if p.deduped else "")
+    )
+
+
+def format_engine_stats(stats) -> str:
+    """One summary line for a :class:`~repro.harness.batch.EngineStats`."""
+    return (
+        f"batch engine: {stats.submitted} jobs submitted, "
+        f"{stats.executed} simulated, {stats.cache_hits} served from cache, "
+        f"{stats.deduped} deduped in-call, {stats.skipped} from checkpoint, "
+        f"{stats.pruned} pruned; {stats.baseline_runs} baselines computed "
+        f"({stats.worker_baseline_runs} redundantly in workers) "
+        f"in {stats.elapsed:.2f}s"
     )
 
 

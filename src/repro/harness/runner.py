@@ -69,6 +69,10 @@ class ExperimentRunner:
         self.seed = seed
         self._baselines: dict[tuple, AppResult] = {}
         self._apps: dict[tuple, Benchmark] = {}
+        #: Accurate baseline executions this instance actually performed
+        #: (cache hits and primed entries excluded) — the batch layer's
+        #: "each baseline computed exactly once" counter.
+        self.baseline_computes = 0
 
     # ------------------------------------------------------------------
     def _problem_key(self, app_name: str) -> str:
@@ -92,6 +96,7 @@ class ExperimentRunner:
         key = (app_name, dev.name, self._problem_key(app_name))
         if key not in self._baselines:
             app = self.app(app_name)
+            self.baseline_computes += 1
             self._baselines[key] = app.run(
                 dev,
                 regions=None,
@@ -99,6 +104,22 @@ class ExperimentRunner:
                 seed=self.seed,
             )
         return self._baselines[key]
+
+    def export_baselines(self) -> dict[tuple, AppResult]:
+        """Snapshot of the baseline cache, keyed (app, device, problem).
+
+        The batch layer ships this to pool workers so each unique
+        (app, device) baseline is computed once in the parent instead of
+        once per worker."""
+        return dict(self._baselines)
+
+    def prime_baselines(self, baselines: dict[tuple, AppResult]) -> None:
+        """Seed the baseline cache with results computed elsewhere.
+
+        Keys must come from :meth:`export_baselines` of a runner with the
+        same ``problems``/``seed`` (the cache key embeds the problem
+        fingerprint, so mismatched entries are simply never hit)."""
+        self._baselines.update(baselines)
 
     # ------------------------------------------------------------------
     def run_point(

@@ -141,13 +141,22 @@ def evolutionary_search(
     population: int = 3,
     seed: int = 7,
     space: list[SweepPoint] | None = None,
+    engine: "BatchEngine | None" = None,
+    max_workers: int = 1,
 ) -> SearchResult:
     """(μ+λ) evolutionary search over the Table-2 grid.
 
-    Seeds ``population`` random configurations, then repeatedly mutates the
-    current elite along one grid axis; dead ends trigger a fresh random
-    sample.  Typically reaches the exhaustive-search optimum's neighbourhood
-    in a small fraction of the grid's size (see the ablation bench).
+    Seeds ``population`` random configurations, then evolves one
+    *generation* at a time: the ``population`` fittest survivors each
+    propose an offspring mutated along one grid axis (dead ends resample a
+    fresh random point), and the whole generation is evaluated as one
+    batch.  Every generation's proposals are drawn from the RNG *before*
+    any of them is evaluated, so the evaluated point sequence depends only
+    on the seed — ``max_workers > 1`` (or an explicit ``engine``) fans each
+    generation across the batch layer and returns records identical to the
+    serial loop.  Typically reaches the exhaustive-search optimum's
+    neighbourhood in a small fraction of the grid's size (see the ablation
+    bench).
     """
     rng = np.random.default_rng(seed)
     points = list(
@@ -158,42 +167,74 @@ def evolutionary_search(
     )
     db = ResultsDB()
     seen: set[str] = set()
+    if engine is None and max_workers > 1:
+        from repro.harness.batch import BatchEngine
 
-    def evaluate(pt: SweepPoint) -> RunRecord | None:
-        key = pt.label()
-        if key in seen or len(db) >= budget:
-            return None
-        seen.add(key)
-        rec = runner.run_point(app, device, pt)
-        db.add(rec)
-        return rec
+        engine = BatchEngine(
+            problems=runner.problems, seed=runner.seed,
+            max_workers=max_workers, runner=runner,
+        )
 
-    # Seed population.
-    elite: list[tuple[float, SweepPoint, RunRecord]] = []
+    def eval_generation(pts: list[SweepPoint]) -> list[tuple[SweepPoint, RunRecord]]:
+        pts = pts[: budget - len(db)]
+        if not pts:
+            return []
+        if engine is not None:
+            from repro.harness.batch import BatchJob
+
+            recs = engine.run_jobs([BatchJob(app, device, p) for p in pts])
+        else:
+            recs = [runner.run_point(app, device, p) for p in pts]
+        db.add(list(recs))
+        return list(zip(pts, recs))
+
+    def propose(parents: list[SweepPoint], want: int) -> list[SweepPoint]:
+        """Draw one generation of unseen offspring (marked seen now, so a
+        generation never proposes the same point twice)."""
+        offspring: list[SweepPoint] = []
+        for i in range(want):
+            parent = parents[i % len(parents)] if parents else None
+            nbrs = (
+                [n for n in _neighbors(parent, points) if n.label() not in seen]
+                if parent is not None
+                else []
+            )
+            if nbrs:
+                nxt = nbrs[int(rng.integers(len(nbrs)))]
+            else:
+                fresh = [p for p in points if p.label() not in seen]
+                if not fresh:
+                    break
+                nxt = fresh[int(rng.integers(len(fresh)))]
+            seen.add(nxt.label())
+            offspring.append(nxt)
+        return offspring
+
+    # Seed generation.
+    seeds: list[SweepPoint] = []
     for idx in rng.permutation(len(points))[: int(population)]:
         pt = points[int(idx)]
-        rec = evaluate(pt)
-        if rec is not None:
-            elite.append((_objective(rec, max_error), pt, rec))
+        if pt.label() not in seen:
+            seen.add(pt.label())
+            seeds.append(pt)
+    elite: list[tuple[float, SweepPoint, RunRecord]] = [
+        (_objective(rec, max_error), pt, rec)
+        for pt, rec in eval_generation(seeds)
+    ]
 
     while len(db) < budget and elite:
         elite.sort(key=lambda t: -t[0])
         elite = elite[: int(population)]
-        _, parent, _rec = elite[0]
-        nbrs = [
-            n for n in _neighbors(parent, points) if n.label() not in seen
-        ]
-        if not nbrs:
-            # Restart from an unseen random point.
-            fresh = [p for p in points if p.label() not in seen]
-            if not fresh:
-                break
-            nxt = fresh[int(rng.integers(len(fresh)))]
-        else:
-            nxt = nbrs[int(rng.integers(len(nbrs)))]
-        rec = evaluate(nxt)
-        if rec is not None:
-            elite.append((_objective(rec, max_error), nxt, rec))
+        gen = propose(
+            [pt for _, pt, _ in elite],
+            min(int(population), budget - len(db)),
+        )
+        if not gen:
+            break
+        elite.extend(
+            (_objective(rec, max_error), pt, rec)
+            for pt, rec in eval_generation(gen)
+        )
 
     best = db.best_speedup(max_error=max_error)
     if best is None and len(db):

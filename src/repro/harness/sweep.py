@@ -61,8 +61,18 @@ class SweepPoint:
     items_per_thread: int = 8
 
     def label(self) -> str:
-        inner = ":".join(f"{k}={v}" for k, v in sorted(self.params.items()))
-        return f"{self.technique}({inner}) level={self.level} ipt={self.items_per_thread}"
+        # The label is the point's identity across dedupe, checkpoint
+        # resume, and search `seen` sets — computed once per instance
+        # (frozen, so object.__setattr__ backdoors the cache in).
+        cached = self.__dict__.get("_label")
+        if cached is None:
+            inner = ":".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            cached = (
+                f"{self.technique}({inner}) "
+                f"level={self.level} ipt={self.items_per_thread}"
+            )
+            object.__setattr__(self, "_label", cached)
+        return cached
 
     @classmethod
     def of_record(cls, record) -> "SweepPoint":

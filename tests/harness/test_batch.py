@@ -1,0 +1,322 @@
+"""Batch-evaluation engine tests.
+
+The acceptance bar from the issue: heterogeneous batches match the serial
+path record-for-record, each unique (app, device) baseline is computed
+exactly once per batch (counter-asserted, not assumed), duplicate jobs
+collapse to one evaluation, and every figure entry point produces
+identical results through the engine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness import figures as F
+from repro.harness.batch import (
+    AdaptiveChunker,
+    BatchEngine,
+    BatchJob,
+    run_batch,
+)
+from repro.harness.runner import ExperimentRunner
+from repro.harness.search import evolutionary_search
+from repro.harness.sweep import SweepPoint
+
+PROBLEMS = {
+    "blackscholes": {"num_options": 2048, "num_runs": 4},
+    "kmeans": {"num_obs": 2048, "max_iters": 8},
+}
+
+
+def _taf(h, p, t, ipt=2):
+    return SweepPoint("taf", {"hsize": h, "psize": p, "threshold": t}, "thread", ipt)
+
+
+def _jobs():
+    """Heterogeneous batch: two apps × two devices, interleaved."""
+    jobs = []
+    for dev in ("v100_small", "amd_small"):
+        jobs.append(BatchJob("blackscholes", dev, _taf(1, 4, 0.3)))
+        jobs.append(BatchJob("kmeans", dev, _taf(1, 7, 0.9, ipt=8)))
+        jobs.append(BatchJob("blackscholes", dev, _taf(2, 8, 0.3)))
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def serial_records():
+    runner = ExperimentRunner(problems=PROBLEMS)
+    return [
+        runner.run_point(j.app, j.device, j.point, site=j.site) for j in _jobs()
+    ]
+
+
+class TestHeterogeneousBatch:
+    def test_parallel_matches_serial(self, serial_records):
+        report = run_batch(_jobs(), problems=PROBLEMS, max_workers=2)
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records
+        ]
+        assert report.evaluated == len(serial_records)
+
+    def test_in_process_path_matches_serial(self, serial_records):
+        report = run_batch(_jobs(), problems=PROBLEMS, max_workers=1)
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_baselines_resolved_once_in_parent(self):
+        report = run_batch(_jobs(), problems=PROBLEMS, max_workers=2)
+        # 2 apps × 2 devices among the pending jobs — exactly once each.
+        assert report.baseline_runs == 4
+        assert report.worker_baseline_runs == 0
+
+    def test_share_baselines_off_recomputes_in_workers(self, serial_records):
+        report = run_batch(
+            _jobs(), problems=PROBLEMS, max_workers=2, share_baselines=False
+        )
+        assert report.baseline_runs == 0
+        assert report.worker_baseline_runs >= 4  # every pair, per worker
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_duplicate_jobs_collapse(self, serial_records):
+        jobs = _jobs()
+        report = run_batch(jobs + jobs, problems=PROBLEMS, max_workers=2)
+        assert report.deduped == len(jobs)
+        assert report.evaluated == len(jobs)
+        assert [r.to_dict() for r in report.records] == [
+            r.to_dict() for r in serial_records + serial_records
+        ]
+
+    def test_heterogeneous_checkpoint_resume(self, tmp_path, serial_records):
+        ck = tmp_path / "batch.jsonl"
+        jobs = _jobs()
+        first = run_batch(jobs[:3], problems=PROBLEMS, max_workers=2,
+                          checkpoint=ck)
+        assert first.evaluated == 3
+        rest = run_batch(jobs, problems=PROBLEMS, max_workers=2, checkpoint=ck)
+        assert rest.skipped == 3
+        assert rest.evaluated == len(jobs) - 3
+        assert [r.to_dict() for r in rest.records] == [
+            r.to_dict() for r in serial_records
+        ]
+        # Baselines are only resolved for still-pending pairs.
+        again = run_batch(jobs, problems=PROBLEMS, max_workers=2, checkpoint=ck)
+        assert again.evaluated == 0 and again.baseline_runs == 0
+
+    def test_empty_batch(self):
+        report = run_batch([], problems=PROBLEMS, max_workers=2)
+        assert report.records == [] and report.evaluated == 0
+
+
+class TestAdaptiveChunker:
+    def test_unobserved_group_gets_initial(self):
+        c = AdaptiveChunker(initial=2)
+        assert c.next_size(("app", "dev")) == 2
+
+    def test_fast_group_grows_toward_target(self):
+        c = AdaptiveChunker(target_seconds=1.0)
+        c.observe("g", points=20, seconds=0.5)  # 40 pts/s
+        assert c.next_size("g") == 40
+
+    def test_slow_group_floors_at_min(self):
+        c = AdaptiveChunker(target_seconds=0.5)
+        c.observe("g", points=1, seconds=10.0)
+        assert c.next_size("g") == 1
+
+    def test_clamped_to_max(self):
+        c = AdaptiveChunker(target_seconds=1.0, max_size=64)
+        c.observe("g", points=10_000, seconds=0.1)
+        assert c.next_size("g") == 64
+
+    def test_rates_smoothed_per_group(self):
+        c = AdaptiveChunker(target_seconds=1.0, smoothing=0.5)
+        c.observe("a", points=10, seconds=1.0)  # 10 pts/s
+        c.observe("a", points=30, seconds=1.0)  # EMA: 20 pts/s
+        assert c.next_size("a") == 20
+        assert c.next_size("b") == c.initial  # groups independent
+
+    def test_zero_points_ignored(self):
+        c = AdaptiveChunker()
+        c.observe("g", points=0, seconds=1.0)
+        assert c.next_size("g") == c.initial
+
+
+class TestBatchEngine:
+    def test_cross_call_cache(self, serial_records):
+        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        jobs = _jobs()
+        first = engine.run_jobs(jobs)
+        assert engine.stats.executed == len(jobs)
+        again = engine.run_jobs(jobs)
+        assert engine.stats.cache_hits == len(jobs)
+        assert engine.stats.executed == len(jobs)  # nothing re-simulated
+        assert [r.to_dict() for r in again] == [
+            r.to_dict() for r in serial_records
+        ]
+
+    def test_session_wide_baselines_exactly_once(self):
+        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        engine.run_jobs(_jobs()[:3])  # first call touches 3 of the 4 pairs
+        engine.run_jobs(_jobs())  # second call reuses them
+        assert engine.stats.baseline_runs == 4
+
+    def test_run_point_and_run_sweep_helpers(self):
+        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        pt = _taf(1, 4, 0.3)
+        rec = engine.run_point("blackscholes", "v100_small", pt)
+        recs = engine.run_sweep("blackscholes", "v100_small", [pt, _taf(2, 8, 0.3)])
+        assert recs[0].to_dict() == rec.to_dict()
+        assert engine.stats.cache_hits == 1
+
+    def test_parallel_engine_matches_serial(self, serial_records):
+        engine = BatchEngine(problems=PROBLEMS, max_workers=2)
+        records = engine.run_jobs(_jobs())
+        assert [r.to_dict() for r in records] == [
+            r.to_dict() for r in serial_records
+        ]
+        assert engine.stats.worker_baseline_runs == 0
+
+
+# ---------------------------------------------------------------------------
+# Figure entry points: identical results through the engine.
+# ---------------------------------------------------------------------------
+SMALL_PROBLEMS = {
+    "blackscholes": {"num_options": 2048, "num_runs": 4},
+    "binomial": {"num_options": 512, "steps": 16},
+    "kmeans": {"num_obs": 2048, "max_iters": 8},
+    "lavamd": {"boxes_per_dim": 2, "particles_per_box": 16},
+    "leukocyte": {"num_cells": 2, "window": 16, "iterations": 10},
+    "lulesh": {"mesh": 8, "time_steps": 10},
+    "minife": {"nx": 6, "ny": 6, "nz": 6, "cg_iters": 20},
+}
+
+
+@pytest.fixture(scope="module")
+def fig_runner():
+    return ExperimentRunner(problems=SMALL_PROBLEMS)
+
+
+@pytest.fixture(scope="module")
+def fig_engine():
+    return BatchEngine(problems=SMALL_PROBLEMS, max_workers=1)
+
+
+def _scatter_dicts(scatter):
+    return {
+        key: [r.to_dict() for r in recs] for key, recs in scatter.records.items()
+    }
+
+
+class TestFigureEquivalence:
+    def test_fig6(self, fig_runner, fig_engine):
+        serial = F.fig6_best_speedup(runner=fig_runner)
+        batched = F.fig6_best_speedup(engine=fig_engine)
+        assert serial.geomean == batched.geomean
+        assert set(serial.best) == set(batched.best)
+        for key, rec in serial.best.items():
+            other = batched.best[key]
+            if rec is None:
+                assert other is None
+            else:
+                assert rec.to_dict() == other.to_dict()
+
+    def test_fig7_dedupes_against_fig6(self, fig_runner, fig_engine):
+        # Fig 7 re-sweeps the LULESH grid Fig 6 already evaluated: through
+        # the shared engine it costs zero new simulations.  (Free if
+        # test_fig6 already populated the cache; self-contained otherwise.)
+        F.fig6_best_speedup(engine=fig_engine)
+        executed_before = fig_engine.stats.executed
+        serial = F.fig7_lulesh(runner=fig_runner)
+        batched = F.fig7_lulesh(engine=fig_engine)
+        assert _scatter_dicts(serial) == _scatter_dicts(batched)
+        assert fig_engine.stats.executed == executed_before
+        assert fig_engine.stats.cache_hits > 0
+
+    def test_fig8(self, fig_runner, fig_engine):
+        serial = F.fig8_binomial(runner=fig_runner)
+        batched = F.fig8_binomial(engine=fig_engine)
+        assert _scatter_dicts(serial.scatter) == _scatter_dicts(batched.scatter)
+        assert serial.items_sweep == batched.items_sweep
+
+    def test_fig9(self, fig_runner, fig_engine):
+        serial = F.fig9_leukocyte_minife(runner=fig_runner)
+        batched = F.fig9_leukocyte_minife(engine=fig_engine)
+        assert _scatter_dicts(serial.leukocyte) == _scatter_dicts(batched.leukocyte)
+        assert [r.to_dict() for r in serial.minife_records] == [
+            r.to_dict() for r in batched.minife_records
+        ]
+
+    def test_fig10(self, fig_runner, fig_engine):
+        serial = F.fig10_blackscholes(runner=fig_runner)
+        batched = F.fig10_blackscholes(engine=fig_engine)
+        assert _scatter_dicts(serial.scatter) == _scatter_dicts(batched.scatter)
+        assert set(serial.threshold_study) == set(batched.threshold_study)
+        for T, row in serial.threshold_study.items():
+            other = batched.threshold_study[T]
+            assert row["error"] == other["error"]
+            assert row["approx_fraction"] == other["approx_fraction"]
+            assert np.array_equal(row["price_quantiles"], other["price_quantiles"])
+
+    def test_fig11(self, fig_runner, fig_engine):
+        serial = F.fig11_lavamd(runner=fig_runner)
+        batched = F.fig11_lavamd(engine=fig_engine)
+        assert _scatter_dicts(serial.scatter) == _scatter_dicts(batched.scatter)
+        assert serial.hierarchy_pairs == batched.hierarchy_pairs
+
+    def test_fig12(self, fig_runner, fig_engine):
+        serial = F.fig12_kmeans(runner=fig_runner)
+        batched = F.fig12_kmeans(engine=fig_engine)
+        assert _scatter_dicts(serial.scatter) == _scatter_dicts(batched.scatter)
+        assert serial.correlation_points == batched.correlation_points
+        assert serial.r2 == batched.r2 or (
+            np.isnan(serial.r2) and np.isnan(batched.r2)
+        )
+
+    def test_fig7_parallel_matches_serial(self, fig_runner):
+        serial = F.fig7_lulesh(runner=fig_runner)
+        par = F.fig7_lulesh(
+            engine=BatchEngine(problems=SMALL_PROBLEMS, max_workers=2)
+        )
+        assert _scatter_dicts(serial) == _scatter_dicts(par)
+
+
+class TestEvolutionaryBatch:
+    def _space(self):
+        return [
+            _taf(h, p, t, ipt)
+            for h in (1, 2)
+            for p in (4, 16, 64)
+            for t in (0.3, 3.0)
+            for ipt in (1, 2, 8)
+        ]
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(budget=10, seed=5, space=self._space())
+        serial = evolutionary_search(
+            ExperimentRunner(problems=PROBLEMS),
+            "blackscholes", "v100_small", "taf", **kwargs,
+        )
+        par = evolutionary_search(
+            ExperimentRunner(problems=PROBLEMS),
+            "blackscholes", "v100_small", "taf", max_workers=2, **kwargs,
+        )
+        assert [r.to_dict() for r in par.db] == [r.to_dict() for r in serial.db]
+        assert par.best.to_dict() == serial.best.to_dict()
+
+    def test_shared_engine_reuses_search_points(self):
+        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        first = evolutionary_search(
+            engine.runner, "blackscholes", "v100_small", "taf",
+            budget=8, seed=5, space=self._space(), engine=engine,
+        )
+        executed = engine.stats.executed
+        assert executed == first.evaluations
+        # Same seed, same space: the second search's proposals are the same
+        # points, and every one is served from the engine cache.
+        evolutionary_search(
+            engine.runner, "blackscholes", "v100_small", "taf",
+            budget=8, seed=5, space=self._space(), engine=engine,
+        )
+        assert engine.stats.executed == executed
+        assert engine.stats.cache_hits >= first.evaluations

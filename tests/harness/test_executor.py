@@ -146,11 +146,14 @@ class _FailingRunner:
 
 
 class _FlakyRunner(ExperimentRunner):
-    """Real runner that crashes on first contact with each point."""
+    """Real runner that crashes on first contact with each point.
 
-    def __init__(self, *a, **kw):
-        super().__init__(*a, **kw)
-        self._seen = set()
+    ``_seen`` is class-level — i.e. per *process*, not per instance — so
+    the crash looks like transient worker state, and the retry's freshly
+    rebuilt runner (the poisoned-runner defence) succeeds as a real
+    transient failure would."""
+
+    _seen: set = set()
 
     def run_point(self, app, device, point, site=None):
         if point.label() not in self._seen:
@@ -190,6 +193,41 @@ class TestRetry:
         assert [r.to_dict() for r in report.records] == [
             r.to_dict() for r in serial_records
         ]
+
+    def test_retry_rebuilds_poisoned_runner(self):
+        # A runner whose instance state is permanently poisoned keeps
+        # failing; the retry must swap in the rebuilt instance instead of
+        # re-driving the broken one.
+        bad = _FailingRunner()
+        good = ExperimentRunner(problems=PROBLEMS)
+        rebuilt = []
+
+        def rebuild():
+            rebuilt.append(True)
+            return good
+
+        rec = run_point_with_retry(
+            bad, "blackscholes", "v100_small", _points()[0],
+            retries=1, rebuild=rebuild,
+        )
+        assert rebuilt == [True]
+        assert bad.calls == 1  # the poisoned instance is not retried
+        assert rec.feasible
+
+    def test_rebuild_failure_keeps_old_runner(self):
+        # If the rebuild itself raises, the retry falls back to the old
+        # instance rather than losing the point entirely.
+        bad = _FailingRunner()
+
+        def rebuild():
+            raise RuntimeError("rebuild failed")
+
+        rec = run_point_with_retry(
+            bad, "blackscholes", "v100_small", _points()[0],
+            retries=1, rebuild=rebuild,
+        )
+        assert bad.calls == 2
+        assert not rec.feasible and "WorkerError" in rec.note
 
     def test_no_retries_aborts_into_infeasible_records(self):
         report = run_sweep_parallel(

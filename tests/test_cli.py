@@ -70,6 +70,48 @@ class TestSweep:
         assert "best under 10% error" in second
 
 
+class TestCheckpoint:
+    def _write_dup_checkpoint(self, path):
+        from repro.harness.database import CheckpointWriter
+        from repro.harness.runner import RunRecord
+
+        def rec(speedup):
+            return RunRecord(
+                app="blackscholes", device="dev", technique="taf",
+                params={"hsize": 1, "psize": 4, "threshold": 0.3},
+                level="thread", items_per_thread=2, speedup=speedup,
+            )
+
+        with CheckpointWriter(path) as w:
+            w.write([rec(1.0), rec(2.0)])
+
+    def test_compact_in_place(self, capsys, tmp_path):
+        from repro.harness.database import ResultsDB
+
+        ck = tmp_path / "ck.jsonl"
+        self._write_dup_checkpoint(ck)
+        assert main(["checkpoint", "compact", str(ck)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 1" in out and "dropped 1" in out
+        db = ResultsDB.load(ck)
+        assert len(db) == 1 and db.records[0].speedup == 2.0
+
+    def test_compact_to_gz_output(self, capsys, tmp_path):
+        from repro.harness.database import ResultsDB
+
+        ck = tmp_path / "ck.jsonl"
+        out_path = tmp_path / "ck.jsonl.gz"
+        self._write_dup_checkpoint(ck)
+        assert main([
+            "checkpoint", "compact", str(ck), "--output", str(out_path),
+        ]) == 0
+        assert len(ResultsDB.load(out_path)) == 1
+
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["checkpoint"])
+
+
 class TestSensitivity:
     def test_sensitivity_table(self, capsys):
         assert main(["sensitivity", "lulesh"]) == 0
@@ -84,3 +126,12 @@ class TestFigures:
         out = capsys.readouterr().out
         assert "2^27" in out
         assert "Fig 4" in out
+
+    def test_parallel_flag_accepted_and_engine_summary_printed(self, capsys):
+        # fig12 is the cheapest simulation-backed figure; --parallel 2
+        # drives it through the batch engine and prints its counters.
+        assert main(["figures", "fig12", "--parallel", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12: regenerated" in out
+        assert "batch engine:" in out
+        assert "baselines computed" in out
