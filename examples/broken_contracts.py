@@ -1,0 +1,164 @@
+"""A deliberately broken benchmark: one violation per ApproxSan code.
+
+Run it to see every ``HPAC2xx`` diagnostic the sanitizer can emit::
+
+    PYTHONPATH=src python examples/broken_contracts.py
+
+Each approximation site (or kernel construct) below is wrong in exactly one
+way:
+
+========  =============================================================
+HPAC201   ``undeclared_read`` reads ``dzs`` (not declared) and reads
+          ``dxs`` beyond its declared ``[0:4]`` section
+HPAC202   ``undeclared_write`` writes ``dws``, which ``out(...)`` omits
+HPAC203   ``drift`` declares ``in(unused[i])`` but never reads it
+HPAC204   every lane of a warp writes the same shared memo table in one
+          write phase (no single-writer election)
+HPAC205   TAF state fetched at kernel scope, outside any region
+HPAC210   ``bad_width`` declares a 3-wide capture but ``in_width=2``
+HPAC211   ``bad_syntax`` has an unterminated section
+========  =============================================================
+
+The golden-report test (``tests/analysis/test_sanitizer_example.py``)
+asserts that running this app under ``sanitize=True`` triggers every code.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.apps.common import AppResult, Benchmark, SiteInfo
+from repro.approx.base import RegionSpec, TAFParams, Technique
+from repro.approx.runtime import ApproxRuntime
+from repro.openmp.runtime import OffloadProgram
+
+#: Elements per buffer; one block of N threads covers them exactly.
+N = 64
+
+#: The state fetched outside any region scope (HPAC205).
+_STALE_SPEC = RegionSpec(
+    name="stale",
+    technique=Technique.TAF,
+    params=TAFParams(history_size=2, prediction_size=4, rsd_threshold=0.1),
+    out_width=1,
+)
+
+
+class BrokenContracts(Benchmark):
+    """Every contract violation ApproxSan detects, in one kernel."""
+
+    name = "broken_contracts"
+    qoi_description = "Nothing meaningful; this app exists to be wrong."
+    default_num_threads = N
+
+    def default_problem(self) -> dict:
+        return {}
+
+    def sites(self) -> list[SiteInfo]:
+        return [
+            # HPAC201: the kernel also reads dzs, and reads dxs past [0:4].
+            SiteInfo(name="undeclared_read", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="in(dxs[0:4]) out(dys[i])"),
+            # HPAC202: the kernel also writes dws.
+            SiteInfo(name="undeclared_write", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="in(dxs[i]) out(dys[i])"),
+            # HPAC203: unused is a real kernel parameter, never read.
+            SiteInfo(name="drift", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="in(unused[i]) out(dys[i])"),
+            # HPAC210: 3-wide capture declared, in_width says 2.
+            SiteInfo(name="bad_width", in_width=2, out_width=1,
+                     techniques=("taf", "iact"),
+                     contract="in(dxs[i*3:3]) out(dys[i])"),
+            # HPAC211: unterminated array section.
+            SiteInfo(name="bad_syntax", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="in(dxs["),
+        ]
+
+    def _execute(
+        self,
+        prog: OffloadProgram,
+        rt: ApproxRuntime,
+        num_threads: int,
+        items_per_thread: int,
+    ) -> AppResult:
+        xs = np.arange(N, dtype=np.float64)
+        ys = np.zeros(N)
+        zs = np.ones(N)
+        ws = np.zeros(N)
+        unused = np.zeros(N)
+
+        def kernel(ctx, dxs, dys, dzs, dws, unused):
+            idx = ctx.thread_id % N
+
+            # HPAC201 (twice): zs is not declared at all; xs is declared
+            # but only elements [0, 4) — the grid reads all of it.
+            def read_everything(am):
+                ctx.global_read(dzs, idx, am)
+                return ctx.global_read(dxs, idx, am)
+
+            vals = rt.region(ctx, "undeclared_read", read_everything)
+            ctx.global_write(dys, idx, vals)
+
+            # HPAC202: ws is written inside the region but out(...) only
+            # declares ys.
+            def write_scratch(am):
+                ctx.global_write(dws, idx, np.ones(ctx.total_threads), am)
+                return np.zeros(ctx.total_threads)
+
+            rt.region(ctx, "undeclared_write", write_scratch)
+
+            # HPAC203: the region never touches its declared in(unused[i]).
+            rt.region(ctx, "drift", lambda am: np.zeros(ctx.total_threads))
+
+            # HPAC204: every lane targets its warp's table in one write
+            # phase — 32 writers per table, no single-writer election.
+            ctx.shared_table_write("race", ctx.warp_id)
+
+            # HPAC205: approximation state fetched at kernel scope, outside
+            # the owning region's lifetime.
+            from repro.approx import taf
+
+            taf.get_state(ctx, _STALE_SPEC)
+
+        with prog.target_data(
+            to={"xs": xs, "zs": zs}, from_={"ys": ys, "ws": ws}
+        ) as env:
+            prog.target_teams(
+                kernel,
+                num_teams=1,
+                num_threads=num_threads,
+                name="broken_kernel",
+                params={
+                    "dxs": env.device("xs"),
+                    "dys": env.device("ys"),
+                    "dzs": env.device("zs"),
+                    "dws": env.device("ws"),
+                    "unused": unused,
+                },
+            )
+
+        return AppResult(qoi=ys, timing=prog.timing, region_stats={})
+
+
+def main() -> int:
+    from repro.analysis import exit_code, lint_contracts, render_all
+
+    app = BrokenContracts()
+    static = lint_contracts(app)  # HPAC210 + HPAC211
+    result = app.run("v100_small", app.build_regions(), sanitize=True)
+    report = result.extra["approxsan"]
+    diags = static + report.diagnostics
+    print(render_all(diags))
+    codes = sorted({d.code for d in diags})
+    print(f"\ntriggered: {', '.join(codes)}")
+    return exit_code(diags)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@ Thin wrappers over the library for the common workflows:
   static analysis of approx pragmas / region configurations, clang-style
   caret diagnostics with stable ``HPAC0xx`` codes; exit status reflects the
   worst severity (0 clean/info, 1 warnings, 2 errors);
+* ``python -m repro sanitize [--app A|all] [--device D]`` — run apps under
+  ApproxSan (shadow-memory sanitizer + warp race detector) and report
+  ``HPAC2xx`` contract violations; exit status is the worst severity;
 * ``python -m repro sensitivity <app>`` — rank the app's regions;
 * ``python -m repro figures [fig3 fig4 ...] [--parallel N]`` — regenerate
   evaluation figures and print the paper-style rows; all requested figures
@@ -146,6 +149,7 @@ def cmd_sweep(args) -> int:
 def cmd_lint(args) -> int:
     from repro.analysis import (
         RULES, exit_code, lint_file, lint_regions, lint_text, render_all,
+        render_json,
     )
 
     diags = []
@@ -154,6 +158,7 @@ def cmd_lint(args) -> int:
     for path in args.files:
         diags.extend(lint_file(path))
     if args.app:
+        from repro.analysis import lint_contracts
         from repro.apps import get_benchmark
         from repro.errors import ReproError
         from repro.gpusim.device import get_device
@@ -161,6 +166,7 @@ def cmd_lint(args) -> int:
 
         app = get_benchmark(args.app)
         dev = get_device(args.device)
+        diags.extend(lint_contracts(app))
         try:
             regions = app.build_regions(
                 args.technique, level=args.level, site=args.site,
@@ -174,12 +180,97 @@ def cmd_lint(args) -> int:
     if not args.text and not args.files and not args.app:
         print("nothing to lint: pass files, --text, or --app", file=sys.stderr)
         return 2
+    if args.json:
+        print(render_json(diags))
+        return exit_code(diags)
     out = render_all(diags)
     if out:
         print(out)
     else:
         print("no issues found")
     return exit_code(diags)
+
+
+def _sanitize_apps(arg: str) -> list[str]:
+    from repro.apps import BENCHMARKS
+
+    if arg == "all":
+        return sorted(BENCHMARKS)
+    return [arg]
+
+
+def cmd_sanitize(args) -> int:
+    """Run apps under ApproxSan and render the violation reports."""
+    from repro.analysis import exit_code, lint_contracts, render_all
+    from repro.apps import get_benchmark
+    from repro.errors import ReproError
+
+    worst = 0
+    payload = []
+    for name in _sanitize_apps(args.app):
+        app = get_benchmark(name)
+        # Static half first: width mismatches / parse errors (HPAC21x).
+        static = lint_contracts(app)
+        try:
+            regions = app.build_regions(
+                args.technique, level=args.level, site=args.site,
+                **_technique_kwargs(args),
+            )
+            ipt = args.items_per_thread or app.baseline_items_per_thread or 1
+            result = app.run(
+                args.device, regions, items_per_thread=ipt, seed=args.seed,
+                sanitize=True,
+            )
+        except ReproError as exc:
+            # Infeasible configuration (shared-memory overflow, unsupported
+            # technique, ...): nothing to sanitize — report and move on, the
+            # same way the sweep harness records these as infeasible rows.
+            note = f"{type(exc).__name__}: {exc}"
+            if args.json:
+                payload.append({
+                    "app": name,
+                    "device": args.device,
+                    "technique": args.technique,
+                    "infeasible": note,
+                    "static": [d.to_json() for d in static],
+                })
+            else:
+                print(f"== {name} on {args.device} ({args.technique}) ==")
+                print(f"   infeasible: {note}")
+                if static:
+                    print(render_all(static))
+            worst = max(worst, exit_code(static))
+            continue
+        report = result.extra["approxsan"]
+        diags = static + report.diagnostics
+        code = exit_code(diags)
+        worst = max(worst, code)
+        if args.json:
+            payload.append({
+                "app": name,
+                "device": args.device,
+                "technique": args.technique,
+                "clean": not diags,
+                "static": [d.to_json() for d in static],
+                "report": report.to_dict(),
+            })
+            continue
+        c = report.counters
+        print(f"== {name} on {args.device} ({args.technique}) ==")
+        print(f"   {c['launches']} launch(es), "
+              f"{c['region_invocations']} region invocation(s), "
+              f"{c['reads_checked'] + c['writes_checked']} mediated "
+              f"access(es), {c['streamed_hints']} streamed hint(s), "
+              f"{c['shadowed_bytes']} shadow byte(s)")
+        if diags:
+            print(render_all(diags))
+        else:
+            print("   ApproxSan: no contract violations")
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+    return worst
 
 
 def cmd_sensitivity(args) -> int:
@@ -305,8 +396,24 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("--threads", type=int, default=None,
                         help="threads per block (default: the app's "
                              "num_threads, warp-rounded)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit diagnostics as a JSON array (code, "
+                             "severity, file, span, message, fixits)")
     _add_technique_args(p_lint)
     p_lint.set_defaults(fn=cmd_lint)
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="run apps under ApproxSan, cross-checking kernels against "
+             "their pragma contracts",
+    )
+    p_san.add_argument("--app", default="all",
+                       help="benchmark name, or 'all' (default)")
+    p_san.add_argument("--device", default="v100_small")
+    p_san.add_argument("--json", action="store_true",
+                       help="emit the per-app reports as JSON")
+    _add_technique_args(p_san)
+    p_san.set_defaults(fn=cmd_sanitize)
 
     p_sens = sub.add_parser("sensitivity", help="rank regions by sensitivity")
     p_sens.add_argument("app")

@@ -7,15 +7,23 @@ unit-, and device-level passes (:mod:`~repro.analysis.lint`,
 :mod:`~repro.analysis.rules`), and a sweep preflight that prunes
 statically infeasible DSE points before they reach the simulator
 (:mod:`~repro.analysis.preflight`).  CLI: ``python -m repro lint``.
+
+PR 4 adds the runtime half: ApproxSan (:mod:`~repro.analysis.sanitizer`),
+a shadow-memory sanitizer and warp race detector cross-checking kernels
+against their pragma contracts (:mod:`~repro.analysis.contracts`).  CLI:
+``python -m repro sanitize``.
 """
 
+from repro.analysis.contracts import Contract, lint_contracts, parse_contract
 from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
     exit_code,
     max_severity,
     render_all,
+    render_json,
 )
+from repro.analysis.sanitizer import Sanitizer, SanitizeReport
 from repro.analysis.lint import (
     RULES,
     LaunchContext,
@@ -35,11 +43,17 @@ from repro.analysis.preflight import (
 import repro.analysis.rules  # noqa: E402,F401
 
 __all__ = [
+    "Contract",
     "Diagnostic",
+    "Sanitizer",
+    "SanitizeReport",
     "Severity",
     "exit_code",
+    "lint_contracts",
     "max_severity",
+    "parse_contract",
     "render_all",
+    "render_json",
     "RULES",
     "Rule",
     "LaunchContext",

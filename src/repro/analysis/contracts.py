@@ -1,0 +1,219 @@
+"""Region memory contracts: the declarative half of ApproxSan.
+
+A *contract* is the ``in(...)``/``out(...)`` array-section portion of a
+``#pragma approx`` directive, attached to a benchmark's
+:class:`~repro.apps.common.SiteInfo` as plain directive text (e.g.
+``"in(dopts[i*5:5]) out(dprices[i])"``).  Section names live in the
+*kernel parameter namespace*: they name the arrays the kernel receives via
+``launch(..., params=...)`` (or ``DeviceMemory`` buffers), which is what
+lets the runtime sanitizer resolve observed accesses back to declared
+sections.
+
+Two layers use this module:
+
+* the **static** cross-check (:func:`lint_contracts`): before any launch,
+  parse each site's contract and verify it against the registered
+  ``SiteInfo`` widths — a malformed contract is ``HPAC211``, a width
+  mismatch between the declared capture and ``in_width``/``out_width`` is
+  ``HPAC210``;
+* the **dynamic** sanitizer (:mod:`repro.analysis.sanitizer`), which checks
+  observed per-lane access sets against the parsed sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.lint import RULES, Severity, register
+from repro.errors import PragmaSyntaxError
+from repro.pragma.parser import ApproxDirective, ArraySection, clause_extent, parse
+
+register("HPAC210", "contract-width-mismatch", Severity.ERROR, "contract",
+         "a site's declared in/out sections disagree with its SiteInfo "
+         "capture widths")(None)
+register("HPAC211", "contract-parse-error", Severity.ERROR, "contract",
+         "a site's memory contract failed to parse or contains non-contract "
+         "clauses")(None)
+
+
+@dataclass(frozen=True)
+class SectionSpec:
+    """One declared array section, with literal bounds when statically known."""
+
+    name: str
+    #: Scalars covered (-1 when the length expression is symbolic).
+    width: int
+    #: Literal start element, or None when symbolic.
+    lo: int | None
+    #: True when the section has a stride other than 1 (bounds then unusable).
+    strided: bool
+    #: Source span inside the contract text (caret diagnostics).
+    position: int = -1
+    end: int = -1
+
+    @property
+    def text(self) -> str:
+        return self.name  # short label; full text lives on the contract
+
+    @property
+    def bounds(self) -> tuple[int, int] | None:
+        """Allowed flat-element half-open range, when statically known."""
+        if self.lo is None or self.width <= 0 or self.strided:
+            return None
+        return (self.lo, self.lo + self.width)
+
+
+def _section_spec(sec: ArraySection) -> SectionSpec:
+    # A bare ``name`` covers the whole array (no element bounds);
+    # ``name[expr]`` is a scalar at ``expr``, ``name[s:l(:st)]`` a range.
+    if sec.start is None:
+        lo: int | None = None
+        width = 1
+    else:
+        lo = sec.start.as_int  # None when the start expression is symbolic
+        width = sec.width
+    strided = sec.stride is not None and sec.stride.as_int != 1
+    return SectionSpec(
+        name=sec.name, width=width, lo=lo, strided=strided,
+        position=sec.position, end=sec.end,
+    )
+
+
+@dataclass(frozen=True)
+class Contract:
+    """Parsed memory contract of one approx region."""
+
+    region: str
+    text: str
+    ins: tuple[SectionSpec, ...]
+    outs: tuple[SectionSpec, ...]
+    #: Positions of the in(/out( clauses in ``text`` (caret anchors).
+    ins_position: int = -1
+    outs_position: int = -1
+
+    @property
+    def in_names(self) -> frozenset[str]:
+        return frozenset(s.name for s in self.ins)
+
+    @property
+    def out_names(self) -> frozenset[str]:
+        return frozenset(s.name for s in self.outs)
+
+    def span(self, direction: str) -> tuple[int, int]:
+        """(position, length) of the in(...) or out(...) clause in ``text``."""
+        pos = self.ins_position if direction == "in" else self.outs_position
+        return pos, clause_extent(self.text, pos)
+
+    def section_span(self, name: str, direction: str) -> tuple[int, int]:
+        """(position, length) of the first section naming ``name``."""
+        for sec in self.ins if direction == "in" else self.outs:
+            if sec.name == name and sec.position >= 0:
+                return sec.position, max(sec.end - sec.position, 1)
+        return self.span(direction)
+
+    def allowed_bounds(self, name: str, direction: str) -> list[tuple[int, int]] | None:
+        """Literal element ranges declared for ``name``, or None when any of
+        its sections is symbolic/strided (whole buffer then allowed)."""
+        secs = [s for s in (self.ins if direction == "in" else self.outs)
+                if s.name == name]
+        bounds = [s.bounds for s in secs]
+        if not bounds or any(b is None for b in bounds):
+            return None
+        return bounds  # type: ignore[return-value]
+
+    def width(self, direction: str) -> int:
+        """Total declared scalars, or -1 when any length is symbolic."""
+        secs = self.ins if direction == "in" else self.outs
+        if any(s.width < 0 for s in secs):
+            return -1
+        return sum(s.width for s in secs)
+
+
+def parse_contract(region: str, text: str) -> Contract:
+    """Parse contract text (in/out clauses only) into a :class:`Contract`.
+
+    Raises :class:`~repro.errors.PragmaSyntaxError` on malformed text or
+    when the text contains clauses other than ``in``/``out``/``label``.
+    """
+    directive: ApproxDirective = parse(text)
+    for attr in ("memo", "perfo", "level"):
+        clause = getattr(directive, attr)
+        if clause is not None:
+            raise PragmaSyntaxError(
+                f"contract for region {region!r} may only contain in/out "
+                f"sections, found a {attr} clause",
+                text, clause.position, clause_extent(text, clause.position),
+                hint="technique parameters belong to the sweep point, not "
+                     "the memory contract",
+            )
+    ins = tuple(_section_spec(s) for s in directive.ins.sections) \
+        if directive.ins else ()
+    outs = tuple(_section_spec(s) for s in directive.outs.sections) \
+        if directive.outs else ()
+    return Contract(
+        region=region,
+        text=text,
+        ins=ins,
+        outs=outs,
+        ins_position=directive.ins.position if directive.ins else -1,
+        outs_position=directive.outs.position if directive.outs else -1,
+    )
+
+
+# ----------------------------------------------------------------------
+def lint_contracts(app) -> list[Diagnostic]:
+    """Static half of ApproxSan: cross-check an app's ``SiteInfo`` sections
+    against their declared widths, before any launch.
+
+    ``app`` is a :class:`~repro.apps.common.Benchmark` (duck-typed: needs
+    ``name`` and ``sites()``).  Sites without a contract are skipped —
+    contracts are opt-in, the dynamic sanitizer simply has nothing to check
+    there.
+    """
+    diags: list[Diagnostic] = []
+    for site in app.sites():
+        text = getattr(site, "contract", None)
+        if not text:
+            continue
+        where = f"{app.name}/{site.name}"
+        try:
+            contract = parse_contract(site.name, text)
+        except PragmaSyntaxError as exc:
+            diags.append(RULES["HPAC211"].diag(
+                f"{where}: {exc.message}",
+                text=exc.text or text, position=exc.position,
+                length=exc.length, hint=exc.hint,
+            ))
+            continue
+        out_width = contract.width("out")
+        if out_width >= 0 and contract.outs and out_width != site.out_width:
+            pos, length = contract.span("out")
+            diags.append(RULES["HPAC210"].diag(
+                f"{where}: out(...) declares {out_width} scalar(s) but the "
+                f"site produces out_width={site.out_width}",
+                text=text, position=pos, length=length,
+                hint="every region invocation returns out_width scalars per "
+                     "lane; the out sections must cover exactly those",
+            ))
+        if "iact" in site.techniques and contract.ins:
+            in_width = contract.width("in")
+            if in_width < 0:
+                pos, length = contract.span("in")
+                diags.append(RULES["HPAC210"].diag(
+                    f"{where}: iACT-capable site declares a symbolic in(...) "
+                    f"capture width",
+                    text=text, position=pos, length=length,
+                    hint="iACT captures a fixed number of scalars per "
+                         "thread; make the section lengths literal",
+                ))
+            elif in_width != site.in_width:
+                pos, length = contract.span("in")
+                diags.append(RULES["HPAC210"].diag(
+                    f"{where}: in(...) declares {in_width} scalar(s) but the "
+                    f"site captures in_width={site.in_width}",
+                    text=text, position=pos, length=length,
+                    hint="the in sections are the iACT capture contract; "
+                         "their widths must sum to SiteInfo.in_width",
+                ))
+    return diags

@@ -66,21 +66,73 @@ class Diagnostic:
         """Copy of this diagnostic re-anchored to a file location."""
         return replace(self, file=file, line=line)
 
+    def _span_line(self) -> tuple[str, int, int]:
+        """(source line containing the span start, column within it, extra
+        line offset).  Positions at or past end-of-text clamp to the last
+        line so end-of-file spans still render a caret."""
+        pos = min(max(self.position, 0), len(self.text))
+        line_start = self.text.rfind("\n", 0, pos) + 1
+        line_end = self.text.find("\n", pos)
+        if line_end < 0:
+            line_end = len(self.text)
+        return self.text[line_start:line_end], pos - line_start, \
+            self.text.count("\n", 0, pos)
+
     @property
     def location(self) -> str:
-        """``file:line:col`` prefix; defaults mimic an anonymous buffer."""
+        """``file:line:col`` prefix; defaults mimic an anonymous buffer.
+
+        Multi-line source text offsets the reported line and rebases the
+        column to the span's own line.
+        """
+        if self.position >= 0 and self.text:
+            _, col, line_off = self._span_line()
+            return f"{self.file or '<pragma>'}:{(self.line or 1) + line_off}:{col + 1}"
         col = self.position + 1 if self.position >= 0 else 1
         return f"{self.file or '<pragma>'}:{self.line or 1}:{col}"
 
     def render(self) -> str:
-        """Clang-style block: location, severity, message, caret, note."""
+        """Clang-style block: location, severity, message, caret, note.
+
+        Handles the awkward spans a naive renderer gets wrong: the caret
+        prefix reproduces tabs from the source line (so the underline stays
+        aligned however tabs are displayed), spans crossing a newline clamp
+        to the line containing their start, and positions at end-of-text
+        render a single caret one past the last column.
+        """
         out = f"{self.location}: {self.severity.label}: {self.message} [{self.code}]"
         if self.text and self.position >= 0:
-            underline = " " * self.position + "^" + "~" * max(self.length - 1, 0)
-            out += f"\n  {self.text}\n  {underline}"
+            snippet, col, _ = self._span_line()
+            length = max(self.length, 1)
+            # Clamp the underline to this source line; an at/after-EOL span
+            # keeps a single caret pointing just past the last character.
+            length = min(length, max(len(snippet) - col, 1))
+            prefix = "".join("\t" if ch == "\t" else " " for ch in snippet[:col])
+            underline = prefix + "^" + "~" * (length - 1)
+            out += f"\n  {snippet}\n  {underline}"
         if self.hint:
             out += f"\n  note: {self.hint}"
         return out
+
+    def to_json(self) -> dict:
+        """Machine-readable form (one object per diagnostic) for
+        ``python -m repro lint --json`` and editor/CI consumers."""
+        has_span = self.position >= 0 and bool(self.text)
+        if has_span:
+            _, col, line_off = self._span_line()
+        return {
+            "code": self.code,
+            "severity": self.severity.label,
+            "file": self.file,
+            "line": (self.line or 1) + (line_off if has_span else 0),
+            "span": {
+                "column": col + 1 if has_span else None,
+                "length": max(self.length, 1) if has_span else 0,
+                "text": self.text or None,
+            },
+            "message": self.message,
+            "fixits": [self.hint] if self.hint else [],
+        }
 
 
 def max_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
@@ -93,6 +145,13 @@ def exit_code(diagnostics: Iterable[Diagnostic]) -> int:
     """CLI exit status: 2 on errors, 1 on warnings, 0 on info/clean."""
     worst = max_severity(diagnostics)
     return _EXIT_CODES[worst] if worst is not None else 0
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """JSON array of diagnostics, one object each (``lint --json``)."""
+    import json
+
+    return json.dumps([d.to_json() for d in diagnostics], indent=2)
 
 
 def render_all(diagnostics: Iterable[Diagnostic]) -> str:

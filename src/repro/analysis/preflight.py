@@ -39,21 +39,26 @@ def preflight_diagnostics(
     problems: dict | None = None,
 ) -> list[Diagnostic]:
     """All device-aware diagnostics for one sweep point."""
+    from repro.analysis.contracts import lint_contracts
     from repro.apps import get_benchmark
 
     dev = get_device(device)
     app = get_benchmark(app_name, problem=(problems or {}).get(app_name))
+    # Static half of ApproxSan: contract text vs SiteInfo widths (HPAC21x).
+    # Never preflight-pruning — a bad contract doesn't make the point
+    # infeasible, it makes the *sanitizer* report unreliable.
+    diags = lint_contracts(app)
     try:
         regions = app.build_regions(
             point.technique, level=point.level, site=site, **point.params
         )
     except ReproError as exc:
-        return [RULES["HPAC030"].diag(f"{type(exc).__name__}: {exc}")]
+        return diags + [RULES["HPAC030"].diag(f"{type(exc).__name__}: {exc}")]
     # The OpenMP layer launches blocks of the app's default num_threads
     # rounded up to a warp multiple (repro.openmp.runtime.target_teams);
     # predict against the same geometry the simulator will use.
     tpb = round_up(app.default_num_threads, dev.warp_size)
-    return lint_regions(regions, dev, tpb)
+    return diags + lint_regions(regions, dev, tpb)
 
 
 def preflight_point(

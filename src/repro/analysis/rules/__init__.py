@@ -1,3 +1,8 @@
 """Lint rule implementations; importing this package registers them all."""
 
 from repro.analysis.rules import device, directive  # noqa: F401
+
+# Contract (HPAC21x) and sanitizer (HPAC20x) codes register at import of
+# their home modules, so `RULES` documents every stable code.
+from repro.analysis import contracts as _contracts  # noqa: E402,F401
+from repro.analysis import sanitizer as _sanitizer  # noqa: E402,F401

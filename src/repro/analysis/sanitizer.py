@@ -1,0 +1,464 @@
+"""ApproxSan: runtime sanitizer cross-checking kernels against contracts.
+
+The dynamic half of the contract system (:mod:`repro.analysis.contracts`).
+When an app runs with ``sanitize=True``, a :class:`Sanitizer` rides along
+the whole stack — :class:`~repro.openmp.runtime.OffloadProgram` and
+:class:`~repro.approx.runtime.ApproxRuntime` thread it into every
+:class:`~repro.gpusim.context.GridContext` — and observes, without charging
+a single simulated cycle:
+
+* every mediated global access (``global_read``/``global_write`` element
+  vectors, plus ``charge_global_streamed`` *buffer hints*) into per-buffer
+  shadow state (:mod:`repro.analysis.shadow`);
+* region lifetimes: :meth:`ApproxRuntime.region`/``loop`` push a scope, so
+  accesses attribute to the region that issued them;
+* shared-memory allocations and warp-shared memo-table write phases;
+* TAF/iACT state fetches, checked against the owning region's scope.
+
+:meth:`Sanitizer.finish` compares the observations against the registered
+contracts and emits ``HPAC2xx`` diagnostics through the standard
+:class:`~repro.analysis.diagnostics.Diagnostic` caret machinery:
+
+========  ============================================================
+HPAC201   read outside the region's declared ``in(...)`` sections
+HPAC202   write outside the region's declared ``out(...)`` sections
+HPAC203   declared-but-untouched section (contract drift)
+HPAC204   write-write race between lanes of one warp on a memo table
+HPAC205   TAF/iACT state accessed outside its owning region's lifetime
+========  ============================================================
+
+Violations deduplicate per (code, region, subject) with an occurrence
+count, so a million-invocation run reports each distinct defect once.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.contracts import Contract, parse_contract
+from repro.analysis.diagnostics import Diagnostic, Severity, exit_code, render_all
+from repro.analysis.lint import RULES, register
+from repro.analysis.shadow import ShadowState
+from repro.errors import PragmaSyntaxError
+
+register("HPAC201", "undeclared-read", Severity.ERROR, "sanitizer",
+         "a region read a named buffer (or element range) outside its "
+         "declared in(...) sections")(None)
+register("HPAC202", "undeclared-write", Severity.ERROR, "sanitizer",
+         "a region wrote a named buffer (or element range) outside its "
+         "declared out(...) sections")(None)
+register("HPAC203", "contract-drift", Severity.WARNING, "sanitizer",
+         "a declared section's buffer was never touched during the run")(None)
+register("HPAC204", "warp-table-race", Severity.ERROR, "sanitizer",
+         "two or more lanes of one warp wrote the same shared memo table "
+         "in a single write phase")(None)
+register("HPAC205", "state-lifetime", Severity.ERROR, "sanitizer",
+         "TAF/iACT shared state was accessed outside its owning region's "
+         "lifetime")(None)
+
+
+@dataclass
+class RegionObservation:
+    """What the sanitizer saw of one region across the run."""
+
+    invocations: int = 0
+    #: The app passed ``inputs=`` at least once (iACT capture) — the whole
+    #: in(...) contract is exercised through the capture path.
+    captured: bool = False
+    #: The region returned values through ``rt.region()`` at least once —
+    #: its out(...) product exists even if never stored via the mediated
+    #: path (e.g. K-Means distances feed an argmin, never global memory).
+    returned: bool = False
+
+
+@dataclass
+class SanitizeReport:
+    """Everything :meth:`Sanitizer.finish` produces."""
+
+    diagnostics: list[Diagnostic]
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def exit_code(self) -> int:
+        return exit_code(self.diagnostics)
+
+    def render(self) -> str:
+        if self.clean:
+            return "ApproxSan: no contract violations"
+        return render_all(self.diagnostics)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (stored on harness records)."""
+        return {
+            "clean": self.clean,
+            "counters": dict(self.counters),
+            "violations": [d.to_json() for d in self.diagnostics],
+        }
+
+
+class Sanitizer:
+    """Observer threaded through one instrumented application run.
+
+    Every hook is a no-op on simulated cost: the sanitizer never charges
+    cycles, so a run with ``sanitize=True`` produces byte-identical timings
+    and counters to ``sanitize=False`` (guarded by the equivalence test).
+    """
+
+    def __init__(self, contracts: dict[str, Contract | str] | None = None) -> None:
+        self.contracts: dict[str, Contract] = {}
+        self.shadow = ShadowState()
+        self.regions: dict[str, RegionObservation] = {}
+        #: (code, region, subject) -> {message, hint, text, position,
+        #:  length, count, data}
+        self._violations: dict[tuple, dict] = {}
+        self._scope: list[str] = []
+        #: id(array) -> kernel-parameter name, valid for the current launch.
+        self._params: dict[int, str] = {}
+        self._param_names: set[str] = set()
+        self._memory = None
+        self._launch_depth = 0
+        self.counters: dict[str, int] = {
+            "launches": 0,
+            "reads_checked": 0,
+            "writes_checked": 0,
+            "streamed_hints": 0,
+            "table_write_phases": 0,
+            "state_accesses": 0,
+            "shared_allocs": 0,
+            "region_invocations": 0,
+        }
+        for name, contract in (contracts or {}).items():
+            self.register_contract(name, contract)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def register_contract(self, region: str, contract: Contract | str) -> None:
+        """Attach a contract; malformed text becomes an HPAC211 finding."""
+        if isinstance(contract, str):
+            try:
+                contract = parse_contract(region, contract)
+            except PragmaSyntaxError as exc:
+                self._record(
+                    "HPAC211", region, "parse",
+                    f"region {region!r}: {exc.message}",
+                    text=exc.text, position=exc.position,
+                    length=exc.length, hint=exc.hint,
+                )
+                return
+        self.contracts[region] = contract
+
+    def attach_memory(self, memory) -> None:
+        """Let the sanitizer resolve device-buffer identities by name."""
+        self._memory = memory
+
+    def begin_launch(self, name: str, params: dict) -> None:
+        """A kernel launch starts: map parameter arrays to their names."""
+        self._launch_depth += 1
+        self.counters["launches"] += 1
+        for pname, value in params.items():
+            if isinstance(value, np.ndarray):
+                self._params[id(value)] = pname
+                self._param_names.add(pname)
+
+    def end_launch(self) -> None:
+        self._launch_depth -= 1
+        if self._launch_depth <= 0:
+            # Identity entries die with the launch: short-lived parameter
+            # arrays (e.g. MiniFE's fresh x vector per CG iteration) could
+            # otherwise alias a recycled id().
+            self._params.clear()
+
+    # ------------------------------------------------------------------
+    # name resolution
+    # ------------------------------------------------------------------
+    def resolve(self, arr: np.ndarray) -> str | None:
+        """Name of the buffer backing ``arr``: launch params first, then
+        device-memory buffers.  Unresolvable arrays are left unchecked."""
+        name = self._params.get(id(arr))
+        if name is not None:
+            return name
+        if self._memory is not None:
+            return self._memory.name_of(arr)
+        return None
+
+    def _known_name(self, name: str) -> bool:
+        """Did this run ever materialize a buffer called ``name``?"""
+        if name in self._param_names or name in self.shadow.buffers:
+            return True
+        return self._memory is not None and name in self._memory
+
+    # ------------------------------------------------------------------
+    # region lifecycle
+    # ------------------------------------------------------------------
+    def observation(self, region: str) -> RegionObservation:
+        obs = self.regions.get(region)
+        if obs is None:
+            obs = RegionObservation()
+            self.regions[region] = obs
+        return obs
+
+    @contextmanager
+    def region_scope(self, spec) -> "object":
+        """Scope accesses to ``spec``'s region for the duration."""
+        meta = getattr(spec, "meta", None) or {}
+        if spec.name not in self.contracts and meta.get("contract"):
+            self.register_contract(spec.name, meta["contract"])
+        obs = self.observation(spec.name)
+        obs.invocations += 1
+        self.counters["region_invocations"] += 1
+        self._scope.append(spec.name)
+        try:
+            yield self
+        finally:
+            self._scope.pop()
+
+    def on_inputs_captured(self, region: str) -> None:
+        self.observation(region).captured = True
+
+    def on_region_returned(self, region: str) -> None:
+        self.observation(region).returned = True
+
+    @property
+    def current_region(self) -> str | None:
+        return self._scope[-1] if self._scope else None
+
+    # ------------------------------------------------------------------
+    # memory events (called from GridContext; must charge nothing)
+    # ------------------------------------------------------------------
+    def on_global_read(self, arr: np.ndarray, idx: np.ndarray,
+                       mask: np.ndarray) -> None:
+        self.counters["reads_checked"] += 1
+        name = self.resolve(arr)
+        if name is None:
+            return
+        active = np.asarray(idx)[mask]
+        self.shadow.buffer(name, arr.size).mark_read(active)
+        self._check_access(name, active, mask, direction="in")
+
+    def on_global_write(self, arr: np.ndarray, idx: np.ndarray,
+                        mask: np.ndarray) -> None:
+        self.counters["writes_checked"] += 1
+        name = self.resolve(arr)
+        if name is None:
+            return
+        active = np.asarray(idx)[mask]
+        self.shadow.buffer(name, arr.size).mark_written(active)
+        self._check_access(name, active, mask, direction="out")
+
+    def on_streamed_read(self, buffers) -> None:
+        """Attribute a hinted streamed charge to its declared input buffers."""
+        self.counters["streamed_hints"] += 1
+        names = (buffers,) if isinstance(buffers, str) else tuple(buffers)
+        for name in names:
+            shadow = self.shadow.buffers.get(name)
+            if shadow is None:
+                shadow = self.shadow.buffer(name, 0)
+            shadow.streamed_reads += 1
+            self._check_access(name, None, None, direction="in")
+
+    def _check_access(self, name: str, idx: np.ndarray | None,
+                      mask: np.ndarray | None, direction: str) -> None:
+        region = self.current_region
+        if region is None:
+            return  # kernel-scope access: outside any contract's remit
+        contract = self.contracts.get(region)
+        if contract is None:
+            return
+        if direction == "in":
+            if not contract.ins:
+                return  # no declared reads: region owns its loads (TAF)
+            allowed = contract.in_names | contract.out_names
+            code, clause = "HPAC201", "in"
+        else:
+            if not contract.outs:
+                return
+            allowed = contract.out_names
+            code, clause = "HPAC202", "out"
+        verb = "reads" if direction == "in" else "writes"
+        if name not in allowed:
+            pos, length = contract.span(clause)
+            self._record(
+                code, region, name,
+                f"region {region!r} {verb} buffer {name!r}, which its "
+                f"{clause}(...) sections do not declare",
+                text=contract.text, position=pos, length=length,
+                hint=f"add a {clause}(...) section for {name!r} to the "
+                     f"contract, or stop the region from touching it",
+            )
+            return
+        if idx is None or not len(idx):
+            return
+        bounds = contract.allowed_bounds(name, direction)
+        if bounds is None:
+            return  # symbolic sections: whole buffer allowed
+        ok = np.zeros(len(idx), dtype=bool)
+        for lo, hi in bounds:
+            ok |= (idx >= lo) & (idx < hi)
+        if not ok.all():
+            bad = int(np.asarray(idx)[~ok][0])
+            lanes = np.flatnonzero(mask) if mask is not None else np.array([])
+            lane = int(lanes[np.flatnonzero(~ok)[0]]) if len(lanes) else -1
+            pos, length = contract.section_span(name, clause)
+            self._record(
+                code, region, f"{name}#range",
+                f"region {region!r} {verb} {name}[{bad}] outside its "
+                f"declared {clause}(...) sections (lane {lane})",
+                text=contract.text, position=pos, length=length,
+                hint=f"declared range(s): "
+                     + ", ".join(f"[{lo}, {hi})" for lo, hi in bounds),
+                index=bad, lane=lane,
+            )
+
+    # ------------------------------------------------------------------
+    # shared memory / memo tables / approx state
+    # ------------------------------------------------------------------
+    def on_shared_alloc(self, name: str, bytes_per_block: int) -> None:
+        self.counters["shared_allocs"] += 1
+        self.shadow.record_shared_alloc(name, bytes_per_block)
+
+    def on_shared_free(self, name: str) -> None:
+        self.shadow.shared_allocs.pop(name, None)
+
+    def on_table_write(self, region: str, table_ids: np.ndarray,
+                       mask: np.ndarray, ctx) -> None:
+        """One memo-table write phase: enforce single-writer discipline."""
+        self.counters["table_write_phases"] += 1
+        tab = self.shadow.table(region)
+        tab.write_phases += 1
+        writers = np.flatnonzero(mask)
+        if not len(writers):
+            return
+        tables = np.asarray(table_ids).reshape(-1)[writers]
+        uniq, counts = np.unique(tables, return_counts=True)
+        tab.max_writers_per_table = max(
+            tab.max_writers_per_table, int(counts.max())
+        )
+        for table in uniq[counts > 1]:
+            lanes = writers[tables == table]
+            warps = np.unique(lanes // ctx.warp_size)
+            tab.races.append((int(table), [int(w) for w in warps],
+                              [int(l) for l in lanes[:4]]))
+            lanes_txt = ", ".join(str(int(l)) for l in lanes[:4])
+            if len(lanes) > 4:
+                lanes_txt += f", ... ({len(lanes)} writers)"
+            self._record(
+                "HPAC204", region, f"table{int(table)}",
+                f"region {region!r}: write-write race on shared memo table "
+                f"{int(table)} — lanes {lanes_txt} of warp(s) "
+                f"{', '.join(str(int(w)) for w in warps)} wrote in the same "
+                f"phase",
+                hint="elect a single writer per table per phase (warp "
+                     "ballot + min-lane scan), as the iACT write phase does",
+                table=int(table), writers=int(len(lanes)),
+            )
+
+    def on_state_access(self, kind: str, region: str) -> None:
+        """TAF/iACT state fetched: legal only inside the owning region."""
+        self.counters["state_accesses"] += 1
+        current = self.current_region
+        if current == region:
+            return
+        where = f"region {current!r}" if current else "kernel scope (no active region)"
+        self._record(
+            "HPAC205", region, f"{kind}:{where}",
+            f"{kind} state of region {region!r} accessed from {where}, "
+            f"outside its owning region's lifetime",
+            hint="approximation state is private to its region; fetch it "
+                 "only through the runtime's region()/loop() dispatch",
+            kind=kind, accessed_from=current,
+        )
+
+    # ------------------------------------------------------------------
+    # verdict
+    # ------------------------------------------------------------------
+    def _record(self, code: str, region: str, subject: str, message: str, *,
+                text: str = "", position: int = -1, length: int = 1,
+                hint: str | None = None, **data) -> None:
+        key = (code, region, subject)
+        rec = self._violations.get(key)
+        if rec is None:
+            self._violations[key] = {
+                "message": message, "text": text, "position": position,
+                "length": length, "hint": hint, "count": 1,
+                "region": region, "data": data,
+            }
+        else:
+            rec["count"] += 1
+
+    def _drift(self) -> None:
+        """Declared-but-untouched sections, judged over the whole run.
+
+        Conservative by design: a section only drifts when its buffer name
+        *provably* existed (kernel param or device buffer) and was never
+        touched by any mediated access, capture, or region return —
+        unresolvable names (region-local temporaries) get the benefit of
+        the doubt.
+        """
+        for region, contract in self.contracts.items():
+            obs = self.regions.get(region)
+            if obs is None or not obs.invocations:
+                continue
+            for sec in contract.ins:
+                if obs.captured:
+                    break  # inputs= exercised the whole in(...) capture
+                shadow = self.shadow.buffers.get(sec.name)
+                touched = shadow is not None and (
+                    shadow.was_read or shadow.was_written
+                )
+                if touched or not self._known_name(sec.name):
+                    continue
+                pos = sec.position
+                length = max(sec.end - sec.position, 1) if pos >= 0 else 1
+                self._record(
+                    "HPAC203", region, f"in:{sec.name}",
+                    f"region {region!r}: declared in section {sec.name!r} "
+                    f"was never read during the run (contract drift)",
+                    text=contract.text, position=pos, length=length,
+                    hint="the kernel no longer consumes this input; drop "
+                         "the section or restore the read",
+                )
+            for sec in contract.outs:
+                if obs.returned:
+                    continue  # region() returned the product each invocation
+                shadow = self.shadow.buffers.get(sec.name)
+                if shadow is not None and shadow.was_written:
+                    continue
+                if not self._known_name(sec.name):
+                    continue
+                pos = sec.position
+                length = max(sec.end - sec.position, 1) if pos >= 0 else 1
+                self._record(
+                    "HPAC203", region, f"out:{sec.name}",
+                    f"region {region!r}: declared out section {sec.name!r} "
+                    f"was never written during the run (contract drift)",
+                    text=contract.text, position=pos, length=length,
+                    hint="the kernel no longer produces this output; drop "
+                         "the section or restore the write",
+                )
+
+    def finish(self) -> SanitizeReport:
+        """Run end-of-run checks and build the violation report."""
+        self._drift()
+        diags = []
+        for (code, _region, _subject), rec in self._violations.items():
+            message = rec["message"]
+            if rec["count"] > 1:
+                message += f" [x{rec['count']}]"
+            diags.append(RULES[code].diag(
+                message, text=rec["text"], position=rec["position"],
+                length=rec["length"], hint=rec["hint"],
+                occurrences=rec["count"], region=rec["region"], **rec["data"],
+            ))
+        diags.sort(key=lambda d: (-int(d.severity), d.code, d.message))
+        counters = dict(self.counters)
+        counters["shadowed_bytes"] = self.shadow.shadowed_bytes
+        counters["violations"] = len(diags)
+        return SanitizeReport(diagnostics=diags, counters=counters)

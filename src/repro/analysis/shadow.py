@@ -1,0 +1,135 @@
+"""Shadow state for ApproxSan: per-buffer and per-warp access records.
+
+ASan-style design adapted to the vectorized simulator: the mediated memory
+path (:meth:`~repro.gpusim.context.GridContext.global_read` /
+``global_write`` / hinted streamed charges) reports each access once per
+*whole-grid step* with per-lane index vectors, so shadow state is a pair of
+boolean arrays per named buffer (one flag per flat element, read and
+written) plus aggregate counters.  Shared-memory allocations are tracked by
+name with their owning region parsed from the runtime's ``taf:<region>:`` /
+``iact:<region>:`` naming convention, and warp-shared memo tables keep the
+per-phase writer multiplicity that the race detector checks.
+
+This module holds only the *state*; the checking logic lives in
+:mod:`repro.analysis.sanitizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ShadowBuffer:
+    """Element-granular access flags for one named device array."""
+
+    name: str
+    size: int
+    read: np.ndarray = field(default=None)  # type: ignore[assignment]
+    written: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Reads attributed via streamed-charge hints (no element indices).
+    streamed_reads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.read is None:
+            self.read = np.zeros(self.size, dtype=bool)
+        if self.written is None:
+            self.written = np.zeros(self.size, dtype=bool)
+
+    def _grow(self, size: int) -> None:
+        # Same buffer name re-uploaded at a larger size between launches.
+        if size > self.size:
+            pad = size - self.size
+            self.read = np.concatenate([self.read, np.zeros(pad, dtype=bool)])
+            self.written = np.concatenate([self.written, np.zeros(pad, dtype=bool)])
+            self.size = size
+
+    def mark_read(self, idx: np.ndarray) -> None:
+        if len(idx):
+            self._grow(int(idx.max()) + 1)
+            self.read[idx] = True
+
+    def mark_written(self, idx: np.ndarray) -> None:
+        if len(idx):
+            self._grow(int(idx.max()) + 1)
+            self.written[idx] = True
+
+    @property
+    def was_read(self) -> bool:
+        return self.streamed_reads > 0 or bool(self.read.any())
+
+    @property
+    def was_written(self) -> bool:
+        return bool(self.written.any())
+
+
+@dataclass
+class SharedAllocInfo:
+    """One shared-memory allocation observed by the sanitizer."""
+
+    name: str
+    bytes_per_block: int
+    #: Region owning the state, parsed from ``taf:<region>:<field>`` /
+    #: ``iact:<region>:<field>`` names; None for app-private allocations.
+    owner: str | None = None
+    kind: str | None = None  # "taf" | "iact" | None
+
+
+def parse_shared_owner(name: str) -> tuple[str | None, str | None]:
+    """(kind, region) from the runtime's shared-allocation naming scheme."""
+    for kind in ("taf", "iact"):
+        prefix = kind + ":"
+        if name.startswith(prefix):
+            rest = name[len(prefix):]
+            region = rest.rsplit(":", 1)[0] if ":" in rest else rest
+            return kind, region
+    return None, None
+
+
+@dataclass
+class WarpTableShadow:
+    """Per-region record of warp-shared memo-table write phases."""
+
+    region: str
+    write_phases: int = 0
+    max_writers_per_table: int = 0
+    #: (table, warp, lanes) triples of detected same-phase multi-writes.
+    races: list = field(default_factory=list)
+
+
+class ShadowState:
+    """All shadow structures for one instrumented run."""
+
+    def __init__(self) -> None:
+        self.buffers: dict[str, ShadowBuffer] = {}
+        self.shared_allocs: dict[str, SharedAllocInfo] = {}
+        self.tables: dict[str, WarpTableShadow] = {}
+
+    def buffer(self, name: str, size: int) -> ShadowBuffer:
+        buf = self.buffers.get(name)
+        if buf is None:
+            buf = ShadowBuffer(name, int(size))
+            self.buffers[name] = buf
+        else:
+            buf._grow(int(size))
+        return buf
+
+    def table(self, region: str) -> WarpTableShadow:
+        tab = self.tables.get(region)
+        if tab is None:
+            tab = WarpTableShadow(region)
+            self.tables[region] = tab
+        return tab
+
+    def record_shared_alloc(self, name: str, bytes_per_block: int) -> SharedAllocInfo:
+        kind, owner = parse_shared_owner(name)
+        info = SharedAllocInfo(name, int(bytes_per_block), owner=owner, kind=kind)
+        self.shared_allocs[name] = info
+        return info
+
+    @property
+    def shadowed_bytes(self) -> int:
+        """Memory the shadow arrays themselves occupy (report metric)."""
+        return sum(b.read.nbytes + b.written.nbytes for b in self.buffers.values())

@@ -87,6 +87,8 @@ def allocate_state(ctx: GridContext, spec: RegionSpec, policy: str = "round_robi
 
 def get_state(ctx: GridContext, spec: RegionSpec, policy: str = "round_robin") -> IACTState:
     """Fetch (or lazily allocate) the region's tables for this launch."""
+    if ctx.sanitizer is not None:
+        ctx.sanitizer.on_state_access("iact", spec.name)
     key = ("iact", spec.name)
     st = ctx.region_state.get(key)
     if st is None:
@@ -200,8 +202,11 @@ def iact_invoke(
             st.keys[wtabs, slots] = x[writer].astype(np.float32)
             st.vals[wtabs, slots] = computed[writer].astype(np.float32)
             st.valid[wtabs, slots] = True
-            ctx.shared_access(
-                float(spec.in_width + ow) + st.policy.cost_accesses(), writer
+            ctx.shared_table_write(
+                spec.name,
+                tid,
+                writer,
+                accesses=float(spec.in_width + ow) + st.policy.cost_accesses(),
             )
 
     if stats is not None:

@@ -42,10 +42,14 @@ class ApproxRuntime:
         self,
         specs: list[RegionSpec] | dict[str, RegionSpec] | None = None,
         replacement_policy: str = "round_robin",
+        sanitizer=None,
     ) -> None:
         self._specs: dict[str, RegionSpec] = {}
         self.stats: dict[str, RegionStats] = {}
         self.replacement_policy = replacement_policy
+        #: Optional ApproxSan instance; region()/loop() notify it of region
+        #: entry/exit so accesses are attributed to their pragma contract.
+        self.sanitizer = sanitizer
         for spec in specs.values() if isinstance(specs, dict) else (specs or []):
             self.add(spec)
 
@@ -103,6 +107,19 @@ class ApproxRuntime:
         """
         spec = self.spec(name)
         stats = self.stats[name]
+        san = self.sanitizer if self.sanitizer is not None else ctx.sanitizer
+        if san is not None:
+            with san.region_scope(spec):
+                if inputs is not None:
+                    san.on_inputs_captured(spec.name)
+                values = self._invoke(ctx, spec, stats, compute, inputs, mask)
+                san.on_region_returned(spec.name)
+        else:
+            values = self._invoke(ctx, spec, stats, compute, inputs, mask)
+        return values[:, 0] if spec.out_width <= 1 else values
+
+    def _invoke(self, ctx, spec, stats, compute, inputs, mask) -> np.ndarray:
+        """Technique dispatch for one region invocation."""
         if spec.technique is Technique.NONE:
             m = ctx.mask if mask is None else np.logical_and(ctx.mask, mask)
             values = np.asarray(compute(m), dtype=np.float64)
@@ -114,7 +131,7 @@ class ApproxRuntime:
         elif spec.technique is Technique.IACT:
             if inputs is None:
                 raise ConfigurationError(
-                    f"iACT region {name!r} requires the captured inputs "
+                    f"iACT region {spec.name!r} requires the captured inputs "
                     f"(the in(...) clause of the pragma)"
                 )
             values, _ = iact_invoke(
@@ -130,21 +147,25 @@ class ApproxRuntime:
             values = noise_invoke(ctx, spec, compute, mask=mask, stats=stats)
         elif spec.technique is Technique.PERFORATION:
             raise ConfigurationError(
-                f"region {name!r} uses perforation; drive it with "
+                f"region {spec.name!r} uses perforation; drive it with "
                 f"ApproxRuntime.loop(), not region()"
             )
         else:  # pragma: no cover - exhaustive enum
             raise ConfigurationError(f"unhandled technique {spec.technique}")
-        return values[:, 0] if spec.out_width <= 1 else values
+        return values
 
     # ------------------------------------------------------------------
     def loop(self, ctx: GridContext, name: str, n: int):
         """Grid-stride loop with the named region's perforation applied."""
         spec = self.spec(name)
-        if spec.technique in (Technique.NONE, Technique.PERFORATION):
-            yield from perforated_grid_stride(ctx, spec, n, stats=self.stats[name])
-        else:
+        if spec.technique not in (Technique.NONE, Technique.PERFORATION):
             raise ConfigurationError(
                 f"region {name!r} uses {spec.technique.value}; loop() applies "
                 f"only to perforated or accurate loops"
             )
+        san = self.sanitizer if self.sanitizer is not None else ctx.sanitizer
+        if san is not None:
+            with san.region_scope(spec):
+                yield from perforated_grid_stride(ctx, spec, n, stats=self.stats[name])
+        else:
+            yield from perforated_grid_stride(ctx, spec, n, stats=self.stats[name])

@@ -79,6 +79,8 @@ def allocate_state(ctx: GridContext, spec: RegionSpec) -> TAFState:
 
 def get_state(ctx: GridContext, spec: RegionSpec) -> TAFState:
     """Fetch (or lazily allocate) the region's state for this launch."""
+    if ctx.sanitizer is not None:
+        ctx.sanitizer.on_state_access("taf", spec.name)
     key = ("taf", spec.name)
     st = ctx.region_state.get(key)
     if st is None:

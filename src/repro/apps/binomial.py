@@ -97,6 +97,7 @@ class BinomialOptions(Benchmark):
                 # The region body contains block barriers: only collective
                 # block decisions avoid deadlock (§3.1.2, §4.1).
                 levels=("team",),
+                contract="in(dopts[i*5:5]) out(dprices[i])",
             )
         ]
 
@@ -136,11 +137,15 @@ class BinomialOptions(Benchmark):
                 safe = np.clip(item, 0, n - 1)
                 row = dopts[safe]  # per-lane copy of its block's option
                 if capture_inputs:
-                    ctx.charge_global_streamed(5, itemsize=8, mask=m)
+                    ctx.charge_global_streamed(
+                        5, itemsize=8, mask=m, buffers=("dopts",)
+                    )
 
                 def compute(am, row=row):
                     if not capture_inputs:
-                        ctx.charge_global_streamed(5, itemsize=8, mask=am)
+                        ctx.charge_global_streamed(
+                            5, itemsize=8, mask=am, buffers=("dopts",)
+                        )
                     ctx.flops(lattice_flops, am)
                     ctx.sfu(_SETUP_SFU, am)
                     # One barrier per induction level; validity checked once

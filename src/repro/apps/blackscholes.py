@@ -92,6 +92,7 @@ class Blackscholes(Benchmark):
                 out_width=1,
                 techniques=("taf", "iact"),
                 levels=("thread", "warp"),
+                contract="in(dopts[i*5:5]) out(dprices[i])",
             )
         ]
 
@@ -133,14 +134,18 @@ class Blackscholes(Benchmark):
                     if capture_inputs:
                         # iACT reads the declared in(...) section on every
                         # invocation to evaluate distances.
-                        ctx.charge_global_streamed(5, itemsize=8, mask=m)
+                        ctx.charge_global_streamed(
+                            5, itemsize=8, mask=m, buffers=("dopts",)
+                        )
 
                     def compute(am, row=row):
                         if not capture_inputs:
                             # TAF loads the inputs only on the accurate
                             # path: the region closure is skipped entirely
                             # when approximating.
-                            ctx.charge_global_streamed(5, itemsize=8, mask=am)
+                            ctx.charge_global_streamed(
+                                5, itemsize=8, mask=am, buffers=("dopts",)
+                            )
                         ctx.flops(_PRICE_FLOPS, am)
                         ctx.sfu(_PRICE_SFU, am)
                         return black_scholes_call(

@@ -59,6 +59,12 @@ class SiteInfo:
     #: TAF per component) or "norm" (RSD of output L2 norms, for force-like
     #: vectors with sign-oscillating components).
     rsd_mode: str = "components"
+    #: The site's ``#pragma approx`` data contract — the ``in(...)``/
+    #: ``out(...)`` clauses naming the device buffers (in kernel-parameter
+    #: namespace) this region may read and write, e.g.
+    #: ``"in(dopts[i*5:5]) out(dprices[i])"``.  ApproxSan cross-checks the
+    #: kernel's observed accesses against it; ``None`` means unchecked.
+    contract: str | None = None
 
 
 @dataclass
@@ -204,7 +210,11 @@ class Benchmark(abc.ABC):
                         level=lvl,
                         in_width=s.in_width if technique == "iact" else 0,
                         out_width=s.out_width,
-                        meta={"rsd_mode": s.rsd_mode},
+                        meta=(
+                            {"rsd_mode": s.rsd_mode, "contract": s.contract}
+                            if s.contract
+                            else {"rsd_mode": s.rsd_mode}
+                        ),
                     )
                 )
             else:
@@ -220,6 +230,7 @@ class Benchmark(abc.ABC):
         num_threads: int | None = None,
         items_per_thread: int = 1,
         seed: int = 2023,
+        sanitize: bool = False,
     ) -> AppResult:
         """Execute the benchmark and return its result.
 
@@ -227,14 +238,35 @@ class Benchmark(abc.ABC):
         sets ``num_teams`` through
         :meth:`~repro.openmp.OffloadProgram.teams_for`, the paper's central
         parallelism/approximation trade-off knob.
+
+        ``sanitize=True`` attaches an ApproxSan sanitizer that cross-checks
+        every mediated access against the sites' pragma contracts; the
+        resulting :class:`~repro.analysis.sanitizer.SanitizeReport` lands in
+        ``result.extra["approxsan"]``.  Simulated timings and counters are
+        identical either way — the sanitizer only observes.
         """
         dev = get_device(device)
         self.rng = np.random.default_rng(seed)
-        prog = OffloadProgram(dev)
-        rt = ApproxRuntime(regions if regions is not None else self.build_regions())
+        sanitizer = None
+        if sanitize:
+            # Function-level import: repro.analysis pulls in the harness,
+            # which imports this module back.
+            from repro.analysis.sanitizer import Sanitizer
+
+            sanitizer = Sanitizer()
+            for s in self.sites():
+                if s.contract:
+                    sanitizer.register_contract(s.name, s.contract)
+        prog = OffloadProgram(dev, sanitizer=sanitizer)
+        rt = ApproxRuntime(
+            regions if regions is not None else self.build_regions(),
+            sanitizer=sanitizer,
+        )
         nthreads = num_threads or self.default_num_threads
         result = self._execute(prog, rt, nthreads, int(items_per_thread))
         result.region_stats = rt.stats_snapshot()
+        if sanitizer is not None:
+            result.extra["approxsan"] = sanitizer.finish()
         return result
 
     def run_accurate(self, device="v100", **kw) -> AppResult:

@@ -70,13 +70,15 @@ class KMeans(Benchmark):
 
     def sites(self) -> list[SiteInfo]:
         k = int(self.problem["k"])
+        d = int(self.problem["dim"])
         return [
             SiteInfo(
                 name="distances",
-                in_width=int(self.problem["dim"]),
+                in_width=d,
                 out_width=k,
                 techniques=("taf", "iact"),
                 levels=("thread", "warp"),
+                contract=f"in(dobs[i*{d}:{d}]) out(dist[i*{k}:{k}])",
             )
         ]
 
@@ -121,11 +123,15 @@ class KMeans(Benchmark):
                     safe = np.clip(idx, 0, n - 1)
                     x = dobs[safe]
                     if capture_inputs:
-                        ctx.charge_global_streamed(d, itemsize=8, mask=m)
+                        ctx.charge_global_streamed(
+                            d, itemsize=8, mask=m, buffers=("dobs",)
+                        )
 
                     def compute(am, x=x):
                         if not capture_inputs:
-                            ctx.charge_global_streamed(d, itemsize=8, mask=am)
+                            ctx.charge_global_streamed(
+                                d, itemsize=8, mask=am, buffers=("dobs",)
+                            )
                         ctx.shared_access(float(k * d), am)
                         ctx.flops(3.0 * k * d, am)
                         diff = x[:, None, :] - dcent[None, :, :]

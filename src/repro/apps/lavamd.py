@@ -73,6 +73,7 @@ class LavaMD(Benchmark):
                 techniques=("taf", "iact"),
                 levels=("thread", "warp"),
                 rsd_mode="norm",  # force components oscillate in sign
+                contract="in(rel[j*3:3]) out(dforce[p*4:4])",
             )
         ]
 

@@ -74,6 +74,7 @@ class Lulesh(Benchmark):
                 out_width=1,
                 techniques=("taf", "iact", "perfo"),
                 levels=("thread", "warp"),
+                contract="in(de[i], avg[i]) out(dout[i])",
             ),
             SiteInfo(
                 name="fb_hourglass",
@@ -81,6 +82,7 @@ class Lulesh(Benchmark):
                 out_width=1,
                 techniques=("taf", "iact", "perfo"),
                 levels=("thread", "warp"),
+                contract="in(de[i], avg[i]) out(dout[i])",
             ),
         ]
 
@@ -139,11 +141,15 @@ class Lulesh(Benchmark):
                 safe = np.clip(idx, 0, nel - 1)
                 pair = np.stack([de[safe], avg[safe]], axis=1)
                 if capture:
-                    ctx.charge_global_streamed(2, itemsize=8, mask=m)
+                    ctx.charge_global_streamed(
+                        2, itemsize=8, mask=m, buffers=("de", "avg")
+                    )
 
                 def compute(am, safe=safe):
                     if not capture:
-                        ctx.charge_global_streamed(2, itemsize=8, mask=am)
+                        ctx.charge_global_streamed(
+                            2, itemsize=8, mask=am, buffers=("de", "avg")
+                        )
                     ctx.flops(flops, am)
                     return kappa * (avg[safe] - de[safe])
 

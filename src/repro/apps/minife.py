@@ -83,6 +83,9 @@ class MiniFE(Benchmark):
                 out_width=1,
                 techniques=("taf", "perfo"),  # iACT structurally impossible
                 levels=("thread", "warp"),
+                # Symbolic section: the row's non-zero count varies, which
+                # is exactly why iACT is impossible here (ragged inputs).
+                contract="in(xvec[row:nnz]) out(yvec[i])",
             )
         ]
 
@@ -109,7 +112,9 @@ class MiniFE(Benchmark):
                     # Row dot product: nnz multiply-adds; the CSR gather is
                     # the irregular-memory part that dominates SpMV.
                     ctx.flops_per_lane(2.0 * nnz_per_row[safe], am)
-                    ctx.charge_global_streamed(8, itemsize=8, mask=am)
+                    ctx.charge_global_streamed(
+                        8, itemsize=8, mask=am, buffers=("xvec",)
+                    )
                     rows = A[safe].dot(xvec)
                     return rows
 

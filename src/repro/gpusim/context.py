@@ -54,6 +54,7 @@ class GridContext:
         threads_per_block: int,
         memory: DeviceMemory | None = None,
         shared_capacity: int | None = None,
+        sanitizer=None,
     ) -> None:
         if num_blocks <= 0 or threads_per_block <= 0:
             raise ConfigurationError("grid and block sizes must be positive")
@@ -90,8 +91,13 @@ class GridContext:
         self.warp_id = lane // self.warp_size
 
         self.memory = memory if memory is not None else DeviceMemory(device)
+        #: Optional ApproxSan observer (:mod:`repro.analysis.sanitizer`).
+        #: Every hook below is gated on ``is not None`` and charges nothing,
+        #: so the ``sanitizer=None`` path is byte-identical in timings and
+        #: counters.
+        self.sanitizer = sanitizer
         cap = device.shared_mem_per_block if shared_capacity is None else shared_capacity
-        self.shared = SharedMemoryPool(self.num_blocks, cap)
+        self.shared = SharedMemoryPool(self.num_blocks, cap, observer=sanitizer)
 
         #: Cycles accumulated by each warp (timing-model input).
         self.warp_cycles = np.zeros(self.num_warps, dtype=np.float64)
@@ -210,6 +216,8 @@ class GridContext:
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         safe = np.where(m, idx, 0)
         self._charge_global(safe * arr.itemsize, m)
+        if self.sanitizer is not None:
+            self.sanitizer.on_global_read(arr, safe, m)
         out = arr.reshape(-1)[safe]
         return np.where(m, out, np.zeros((), dtype=arr.dtype))
 
@@ -224,18 +232,31 @@ class GridContext:
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         safe = np.where(m, idx, 0)
         self._charge_global(safe * arr.itemsize, m)
+        if self.sanitizer is not None:
+            self.sanitizer.on_global_write(arr, safe, m)
         flat = arr.reshape(-1)
         flat[safe[m]] = np.asarray(values)[m] if np.ndim(values) else values
 
     def charge_global_streamed(
-        self, elements: float, itemsize: int = 8, mask: np.ndarray | None = None
+        self,
+        elements: float,
+        itemsize: int = 8,
+        mask: np.ndarray | None = None,
+        buffers: str | tuple | None = None,
     ) -> None:
         """Charge a perfectly coalesced access of ``elements`` per lane.
 
         Fast path for unit-stride sweeps where building explicit address
         vectors would dominate simulation wall-clock: each warp moves
         ``warp_size * itemsize`` contiguous bytes per element.
+
+        ``buffers`` optionally names the *input* buffer(s) this access
+        covers (a name or tuple of names from the kernel's parameter
+        namespace).  It is a pure attribution hint for ApproxSan — the cost
+        model ignores it entirely.
         """
+        if self.sanitizer is not None and buffers:
+            self.sanitizer.on_streamed_read(buffers)
         active = self._warp_any(mask)
         txns_per_warp = float(elements) * np.ceil(
             self.warp_size * itemsize / MEMORY_SEGMENT_BYTES
@@ -258,6 +279,29 @@ class GridContext:
         self.charge_warps(cyc, active)
         self.counters.shared_cycles += cyc * int(active.sum())
         self.counters.shared_accesses += 1
+
+    def shared_table_write(
+        self,
+        region: str,
+        table_ids: np.ndarray,
+        mask: np.ndarray | None = None,
+        accesses: float = 1.0,
+    ) -> None:
+        """Insert into warp-shared memo tables: cost of :meth:`shared_access`
+        plus ApproxSan's single-writer race check.
+
+        ``table_ids`` gives each lane's target table; ``mask`` selects the
+        writing lanes.  Charges exactly ``shared_access(accesses, mask)`` —
+        the mediation adds no cycles — but when a sanitizer is attached,
+        two active lanes of one warp writing the same table in a single
+        phase is reported as a write-write race (HPAC204).  The iACT write
+        phase routes through here; its single-writer election stays clean
+        by construction.
+        """
+        self.shared_access(float(accesses), mask)
+        if self.sanitizer is not None:
+            m = self.mask if mask is None else np.logical_and(self.mask, mask)
+            self.sanitizer.on_table_write(region, np.asarray(table_ids), m, self)
 
     # ------------------------------------------------------------------
     # warp collectives / intrinsics

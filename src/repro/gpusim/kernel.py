@@ -40,8 +40,20 @@ def round_up(value: int, multiple: int) -> int:
     return ((int(value) + multiple - 1) // multiple) * multiple
 
 
-def validate_launch(device: DeviceSpec, num_blocks: int, threads_per_block: int) -> None:
-    """Reject launch shapes the device cannot schedule."""
+def validate_launch(
+    device: DeviceSpec,
+    num_blocks: int,
+    threads_per_block: int,
+    shared_capacity: int | None = None,
+) -> None:
+    """Reject launch shapes the device cannot schedule.
+
+    ``shared_capacity`` is the requested per-block shared-memory budget
+    (the runtime's AC carve-out, footnote 2); a request above the device's
+    per-block limit can never be scheduled, so it fails here at launch
+    validation instead of surfacing later as an allocation error — or not
+    at all, for kernels that never fill the budget.
+    """
     if num_blocks <= 0:
         raise LaunchError(f"num_blocks must be positive, got {num_blocks}")
     if threads_per_block <= 0:
@@ -56,6 +68,17 @@ def validate_launch(device: DeviceSpec, num_blocks: int, threads_per_block: int)
             f"threads_per_block {threads_per_block} is not a multiple of the "
             f"warp size {device.warp_size}"
         )
+    if shared_capacity is not None:
+        if shared_capacity < 0:
+            raise LaunchError(
+                f"shared_capacity must be non-negative, got {shared_capacity}"
+            )
+        if shared_capacity > device.shared_mem_per_block:
+            raise LaunchError(
+                f"shared_capacity {shared_capacity} B exceeds the device "
+                f"shared-memory limit of {device.shared_mem_per_block} B "
+                f"per block"
+            )
 
 
 def launch(
@@ -68,24 +91,36 @@ def launch(
     memory: DeviceMemory | None = None,
     shared_capacity: int | None = None,
     params: dict | None = None,
+    sanitizer=None,
 ) -> KernelResult:
     """Execute ``fn`` as a kernel on a simulated grid and time it.
 
     ``fn`` receives the :class:`GridContext` followed by ``params`` as
-    keyword arguments; its return value is surfaced on the result.
+    keyword arguments; its return value is surfaced on the result.  When a
+    ``sanitizer`` (ApproxSan) is attached it observes the launch through the
+    context; the timing and counter paths are identical with or without it.
     """
-    validate_launch(device, num_blocks, threads_per_block)
+    validate_launch(device, num_blocks, threads_per_block, shared_capacity)
     ctx = GridContext(
         device,
         num_blocks,
         threads_per_block,
         memory=memory,
         shared_capacity=shared_capacity,
+        sanitizer=sanitizer,
     )
-    value = fn(ctx, **(params or {}))
+    kname = name or getattr(fn, "__name__", "kernel")
+    if sanitizer is not None:
+        sanitizer.begin_launch(kname, params or {})
+        try:
+            value = fn(ctx, **(params or {}))
+        finally:
+            sanitizer.end_launch()
+    else:
+        value = fn(ctx, **(params or {}))
     timing = time_kernel(
         device,
-        name or getattr(fn, "__name__", "kernel"),
+        kname,
         ctx.warp_cycles,
         ctx.counters,
         num_blocks,

@@ -89,6 +89,15 @@ class DeviceMemory:
     def get(self, name: str) -> np.ndarray:
         return self._buffers[name].data
 
+    def name_of(self, arr: np.ndarray) -> str | None:
+        """Name of the buffer whose storage *is* ``arr`` (identity, not
+        equality) — how ApproxSan attributes a mediated access to a declared
+        section.  Views and copies resolve to None (unchecked)."""
+        for name, buf in self._buffers.items():
+            if buf.data is arr:
+                return name
+        return None
+
     def free_buffer(self, name: str) -> None:
         buf = self._buffers.pop(name)
         self._in_use -= buf.nbytes

@@ -35,11 +35,17 @@ class SharedAllocation:
 class SharedMemoryPool:
     """Allocator for block-shared state with per-block capacity accounting."""
 
-    def __init__(self, num_blocks: int, capacity_per_block: int) -> None:
+    def __init__(
+        self, num_blocks: int, capacity_per_block: int, observer=None
+    ) -> None:
         self.num_blocks = int(num_blocks)
         self.capacity_per_block = int(capacity_per_block)
         self._allocs: dict[str, SharedAllocation] = {}
         self._used_per_block = 0
+        #: Optional ApproxSan hook: notified of every alloc/free by name so
+        #: the sanitizer can tag approximation state with its owning region.
+        #: Purely observational — never affects accounting or capacity.
+        self.observer = observer
 
     @property
     def used_per_block(self) -> int:
@@ -65,6 +71,8 @@ class SharedMemoryPool:
         data = np.full((self.num_blocks, *shape), fill, dtype=dtype)
         self._allocs[name] = SharedAllocation(name, data, per_block)
         self._used_per_block += per_block
+        if self.observer is not None:
+            self.observer.on_shared_alloc(name, per_block)
         return data
 
     def alloc_per_thread(
@@ -101,6 +109,8 @@ class SharedMemoryPool:
     def free(self, name: str) -> None:
         alloc = self._allocs.pop(name)
         self._used_per_block -= alloc.bytes_per_block
+        if self.observer is not None:
+            self.observer.on_shared_free(name)
 
     def reset(self) -> None:
         self._allocs.clear()

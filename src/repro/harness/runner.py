@@ -128,8 +128,14 @@ class ExperimentRunner:
         device: str | DeviceSpec,
         point: SweepPoint,
         site: str | None = None,
+        sanitize: bool = False,
     ) -> RunRecord:
-        """Execute one sweep configuration and compare to the baseline."""
+        """Execute one sweep configuration and compare to the baseline.
+
+        ``sanitize=True`` runs the point under ApproxSan and stores the
+        violation report under ``record.extra["approxsan"]`` (dict form).
+        Simulated timings — and therefore speedups — are unaffected.
+        """
         dev = get_device(device)
         app = self.app(app_name)
         record = RunRecord(
@@ -150,6 +156,7 @@ class ExperimentRunner:
                 regions,
                 items_per_thread=point.items_per_thread,
                 seed=self.seed,
+                sanitize=sanitize,
             )
         except (SharedMemoryError, UnsupportedApproximationError, ReproError) as exc:
             record.feasible = False
@@ -171,6 +178,8 @@ class ExperimentRunner:
             "kernel_only": app.kernel_only,
             "num_teams": result.extra.get("num_teams"),
         }
+        if sanitize and "approxsan" in result.extra:
+            record.extra["approxsan"] = result.extra["approxsan"].to_dict()
         if "iterations" in result.extra:
             record.extra["iterations"] = result.extra["iterations"]
             record.extra["baseline_iterations"] = base.extra.get("iterations")

@@ -37,11 +37,18 @@ class OffloadProgram:
         device: str | DeviceSpec,
         *,
         ac_shared_bytes: int | None = None,
+        sanitizer=None,
     ) -> None:
         self.device = get_device(device)
         self.memory = DeviceMemory(self.device)
         self.transfers = TransferModel(self.device)
         self.timing = ProgramTiming()
+        #: Optional ApproxSan instance observing every launch this program
+        #: schedules.  Purely observational: attaching one does not change
+        #: any timing, counter, or allocation behaviour.
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            sanitizer.attach_memory(self.memory)
         #: Shared-memory capacity handed to kernels; HPAC-Offload's AC state
         #: must fit in it (paper §3.3 / footnote 2).  ``None`` = device limit.
         self.ac_shared_bytes = ac_shared_bytes
@@ -104,6 +111,7 @@ class OffloadProgram:
             memory=self.memory,
             shared_capacity=self.ac_shared_bytes,
             params=params,
+            sanitizer=self.sanitizer,
         )
         self.timing.add_kernel(result.timing)
         return result

@@ -1,11 +1,14 @@
 """Diagnostics engine: severity ordering, exit codes, caret rendering."""
 
+import json
+
 from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
     exit_code,
     max_severity,
     render_all,
+    render_json,
 )
 
 
@@ -70,3 +73,78 @@ class TestRender:
         assert out.endswith("1 error and 2 warnings generated")
         assert render_all([]) == ""
         assert "generated" not in render_all([diag(Severity.INFO)])
+
+
+class TestRenderEdgeCases:
+    """The awkward spans a naive caret renderer gets wrong."""
+
+    def test_tabs_in_source_line_keep_underline_aligned(self):
+        # The caret prefix must reproduce tabs, not replace them with one
+        # space each — otherwise the underline drifts under any tab stop.
+        d = diag(message="tabs", text="\tmemo(in:2:0.5)\tin(x)",
+                 position=17, length=4)
+        assert d.render() == (
+            "<pragma>:1:18: error: tabs [HPAC099]\n"
+            "  \tmemo(in:2:0.5)\tin(x)\n"
+            "  \t              \t ^~~~"
+        )
+
+    def test_span_crossing_newline_clamps_to_its_line(self):
+        d = diag(message="multiline", text="in(x[0:4])\nout(y)",
+                 position=3, length=40)
+        assert d.render() == (
+            "<pragma>:1:4: error: multiline [HPAC099]\n"
+            "  in(x[0:4])\n"
+            "     ^~~~~~~"
+        )
+
+    def test_span_on_second_line_offsets_location(self):
+        d = diag(message="second line", text="in(x[0:4])\nout(y)",
+                 position=14, length=2, file="f.pragmas", line=5)
+        assert d.location == "f.pragmas:6:4"
+        assert d.render() == (
+            "f.pragmas:6:4: error: second line [HPAC099]\n"
+            "  out(y)\n"
+            "     ^~"
+        )
+
+    def test_end_of_file_span_renders_caret_past_last_column(self):
+        d = diag(message="eof", text="in(x[", position=5)
+        assert d.render() == (
+            "<pragma>:1:6: error: eof [HPAC099]\n"
+            "  in(x[\n"
+            "       ^"
+        )
+
+    def test_position_past_end_of_text_clamps(self):
+        d = diag(message="way past", text="in(x[", position=99)
+        assert d.render().startswith("<pragma>:1:6:")
+
+
+class TestJson:
+    def test_to_json_shape(self):
+        d = diag(message="eof", text="in(x[", position=5)
+        assert d.to_json() == {
+            "code": "HPAC099", "severity": "error", "file": None, "line": 1,
+            "span": {"column": 6, "length": 1, "text": "in(x["},
+            "message": "eof", "fixits": [],
+        }
+
+    def test_spanless_to_json(self):
+        d = diag(message="device-level", position=-1)
+        j = d.to_json()
+        assert j["span"] == {"column": None, "length": 0, "text": None}
+
+    def test_multiline_span_adjusts_line_and_column(self):
+        d = diag(text="in(x)\nout(y)", position=8, length=2,
+                 file="f.pragmas", line=3)
+        j = d.to_json()
+        assert j["line"] == 4 and j["span"]["column"] == 3
+
+    def test_hint_becomes_fixit(self):
+        assert diag(hint="drop it").to_json()["fixits"] == ["drop it"]
+
+    def test_render_json_is_parseable_array(self):
+        payload = json.loads(render_json([diag(), diag(Severity.WARNING)]))
+        assert [p["severity"] for p in payload] == ["error", "warning"]
+        assert json.loads(render_json([])) == []

@@ -1,5 +1,7 @@
-"""`python -m repro lint` exit codes and output, over the shipped examples."""
+"""`python -m repro lint`/`sanitize` exit codes and output, over the
+shipped examples."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -59,6 +61,59 @@ class TestArgs:
     def test_no_input_is_usage_error(self, capsys):
         assert main(["lint"]) == 2
         assert "nothing to lint" in capsys.readouterr().err
+
+
+class TestJsonMode:
+    def test_broken_example_emits_machine_readable_objects(self, capsys):
+        assert main(["lint", "--json", str(EXAMPLES / "broken.pragmas")]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload  # at least one finding
+        first = payload[0]
+        assert set(first) == {"code", "severity", "file", "line", "span",
+                              "message", "fixits"}
+        assert first["file"].endswith("broken.pragmas")
+        assert any(p["severity"] == "error" for p in payload)
+
+    def test_clean_input_emits_empty_array(self, capsys):
+        assert main(["lint", "--json", "--text", "perfo(small:4)"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_app_mode_json(self, capsys):
+        assert main(["lint", "--json", "--app", "blackscholes",
+                     "--technique", "iact", "--tsize", "8",
+                     "--threshold", "0.3", "--tperwarp", "32",
+                     "--device", "v100_small"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert any(p["code"] == "HPAC020" for p in payload)
+
+
+class TestSanitizeCommand:
+    def test_all_apps_clean_at_baseline(self, capsys):
+        assert main(["sanitize", "--app", "all"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ApproxSan: no contract violations") == 7
+
+    def test_single_app_text_report(self, capsys):
+        assert main(["sanitize", "--app", "minife"]) == 0
+        out = capsys.readouterr().out
+        assert "== minife on v100_small (none) ==" in out
+        assert "launch(es)" in out and "shadow byte(s)" in out
+
+    def test_json_report(self, capsys):
+        assert main(["sanitize", "--app", "blackscholes", "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)
+        assert entry["app"] == "blackscholes" and entry["clean"] is True
+        assert entry["report"]["counters"]["launches"] >= 1
+
+    def test_technique_run(self, capsys):
+        assert main(["sanitize", "--app", "kmeans", "--technique", "iact",
+                     "--tsize", "8", "--threshold", "0.5"]) == 0
+
+    def test_infeasible_config_reported_not_crashed(self, capsys):
+        # blackscholes + 16 tables/warp exceeds V100 shared memory.
+        assert main(["sanitize", "--app", "blackscholes", "--technique",
+                     "iact", "--tsize", "16", "--threshold", "0.3"]) == 0
+        assert "infeasible: SharedMemoryError" in capsys.readouterr().out
 
 
 class TestSweepPreflightFlag:

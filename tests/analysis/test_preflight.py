@@ -115,6 +115,39 @@ class TestPointLevel:
         assert blockers == []
 
 
+class TestContractDiagnostics:
+    def test_shipped_contracts_add_no_findings(self):
+        from repro.analysis import preflight_diagnostics
+
+        diags = preflight_diagnostics(
+            "blackscholes", "v100_small", _points()[0], problems=PROBLEMS
+        )
+        assert not any(d.code.startswith("HPAC21") for d in diags)
+
+    def test_contract_findings_surface_but_never_prune(self, monkeypatch):
+        from repro.analysis import preflight_diagnostics, preflight_point
+        from repro.apps.blackscholes import Blackscholes
+
+        # Break the contract width on the fly: out(...) no longer matches.
+        orig = Blackscholes.sites
+
+        def sites_with_bad_contract(self):
+            sites = orig(self)
+            sites[0].contract = "in(dopts[i*5:5]) out(dprices[i*2:2])"
+            return sites
+
+        monkeypatch.setattr(Blackscholes, "sites", sites_with_bad_contract)
+        diags = preflight_diagnostics(
+            "blackscholes", "v100_small", _points()[0], problems=PROBLEMS
+        )
+        assert any(d.code == "HPAC210" for d in diags)
+        # A bad contract makes the sanitizer unreliable, not the point
+        # infeasible: it must never prune.
+        assert preflight_point(
+            "blackscholes", "v100_small", _points()[0], problems=PROBLEMS
+        ) is None
+
+
 class TestExecutorIntegration:
     def test_feasible_records_byte_identical(self, baseline):
         report = run_sweep_parallel(

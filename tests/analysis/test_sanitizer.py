@@ -1,0 +1,444 @@
+"""ApproxSan: contracts, shadow checks, race/lifetime detection, and the
+sanitize=False byte-equivalence guarantee."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.contracts import lint_contracts, parse_contract
+from repro.analysis.diagnostics import Severity
+from repro.analysis.sanitizer import Sanitizer
+from repro.apps import get_benchmark
+from repro.apps.common import SiteInfo
+from repro.errors import PragmaSyntaxError
+
+ALL_APPS = ["binomial", "blackscholes", "kmeans", "lavamd", "leukocyte",
+            "lulesh", "minife"]
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+def spec(name, contract=None):
+    """Minimal duck-typed RegionSpec for region_scope()."""
+    meta = {"contract": contract} if contract else {}
+    return SimpleNamespace(name=name, meta=meta)
+
+
+# ======================================================================
+# contract parsing
+# ======================================================================
+class TestParseContract:
+    def test_names_and_literal_bounds(self):
+        c = parse_contract("r", "in(a[0:4], b) out(o[i])")
+        assert c.in_names == {"a", "b"}
+        assert c.out_names == {"o"}
+        assert c.allowed_bounds("a", "in") == [(0, 4)]
+        # Bare name: whole array allowed.
+        assert c.allowed_bounds("b", "in") is None
+
+    def test_symbolic_start_disables_bounds_keeps_width(self):
+        c = parse_contract("r", "in(x[i*5:5]) out(o)")
+        assert c.allowed_bounds("x", "in") is None
+        assert c.width("in") == 5
+
+    def test_strided_section_disables_bounds(self):
+        c = parse_contract("r", "in(x[0:8:2]) out(o)")
+        assert c.allowed_bounds("x", "in") is None
+
+    def test_symbolic_length_makes_width_unknown(self):
+        c = parse_contract("r", "in(x[0:n]) out(o)")
+        assert c.width("in") == -1
+
+    def test_scalar_section_width_one(self):
+        c = parse_contract("r", "out(o[i])")
+        assert c.width("out") == 1
+
+    def test_rejects_technique_clauses(self):
+        with pytest.raises(PragmaSyntaxError, match="memo clause"):
+            parse_contract("r", "memo(in:2:0.5) in(x) out(o)")
+
+    def test_section_span_points_into_text(self):
+        text = "in(aa[0:4]) out(bb[i])"
+        c = parse_contract("r", text)
+        pos, length = c.section_span("bb", "out")
+        assert text[pos:pos + length] == "bb[i]"
+
+
+# ======================================================================
+# static half: lint_contracts
+# ======================================================================
+def app_with(*sites):
+    return SimpleNamespace(name="dummy", sites=lambda: list(sites))
+
+
+class TestLintContracts:
+    def test_contractless_sites_are_skipped(self):
+        assert lint_contracts(app_with(
+            SiteInfo(name="s", in_width=1, out_width=1))) == []
+
+    def test_good_contract_is_clean(self):
+        assert lint_contracts(app_with(SiteInfo(
+            name="s", in_width=5, out_width=1,
+            contract="in(d[i*5:5]) out(p[i])"))) == []
+
+    def test_out_width_mismatch_is_hpac210(self):
+        diags = lint_contracts(app_with(SiteInfo(
+            name="s", in_width=1, out_width=4,
+            techniques=("taf",), contract="in(d[i]) out(p[i])")))
+        assert codes(diags) == ["HPAC210"]
+        assert "out_width=4" in diags[0].message
+
+    def test_iact_in_width_mismatch_is_hpac210(self):
+        diags = lint_contracts(app_with(SiteInfo(
+            name="s", in_width=2, out_width=1,
+            techniques=("iact",), contract="in(d[i*3:3]) out(p[i])")))
+        assert codes(diags) == ["HPAC210"]
+        assert "in_width=2" in diags[0].message
+
+    def test_iact_symbolic_capture_is_hpac210(self):
+        diags = lint_contracts(app_with(SiteInfo(
+            name="s", in_width=3, out_width=1,
+            techniques=("iact",), contract="in(d[i*n:n]) out(p[i])")))
+        assert codes(diags) == ["HPAC210"]
+        assert "symbolic" in diags[0].message
+
+    def test_taf_only_site_skips_in_width_check(self):
+        # TAF never captures inputs; only iACT-capable sites must match.
+        assert lint_contracts(app_with(SiteInfo(
+            name="s", in_width=2, out_width=1,
+            techniques=("taf",), contract="in(d[i*3:3]) out(p[i])"))) == []
+
+    def test_parse_error_is_hpac211(self):
+        diags = lint_contracts(app_with(SiteInfo(
+            name="s", in_width=1, out_width=1, contract="in(d[")))
+        assert codes(diags) == ["HPAC211"]
+        assert diags[0].message.startswith("dummy/s:")
+
+    def test_all_shipped_apps_are_statically_clean(self):
+        for name in ALL_APPS:
+            assert lint_contracts(get_benchmark(name)) == [], name
+
+
+# ======================================================================
+# dynamic half: sanitizer hooks driven directly
+# ======================================================================
+class TestAccessChecks:
+    def setup_method(self):
+        self.san = Sanitizer()
+        self.a = np.zeros(16)
+        self.b = np.zeros(16)
+        self.z = np.zeros(16)
+        self.san.begin_launch("k", {"a": self.a, "b": self.b, "z": self.z})
+        self.idx = np.arange(8)
+        self.mask = np.ones(8, dtype=bool)
+
+    def _satisfy(self, lo=0, hi=4):
+        """Touch the declared sections so drift (HPAC203) stays quiet and
+        the test isolates the access check under scrutiny."""
+        self.san.on_global_read(self.a, np.arange(lo, hi),
+                                np.ones(hi - lo, dtype=bool))
+        self.san.on_region_returned("r")
+
+    def test_undeclared_read_is_hpac201(self):
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self._satisfy()
+            self.san.on_global_read(self.z, self.idx, self.mask)
+        report = self.san.finish()
+        assert codes(report.diagnostics) == ["HPAC201"]
+        assert "'z'" in report.diagnostics[0].message
+
+    def test_out_of_section_read_is_hpac201_with_element(self):
+        self.san.register_contract("r", "in(a[0:4]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_region_returned("r")
+            self.san.on_global_read(self.a, self.idx, self.mask)
+        [d] = self.san.finish().diagnostics
+        assert d.code == "HPAC201" and "a[4]" in d.message
+        assert "lane 4" in d.message
+
+    def test_undeclared_write_is_hpac202(self):
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self._satisfy()
+            self.san.on_global_write(self.z, self.idx, self.mask)
+        [d] = self.san.finish().diagnostics
+        assert d.code == "HPAC202" and "'z'" in d.message
+
+    def test_reading_declared_out_buffer_is_allowed(self):
+        # A region may read back what it is declared to produce.
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self._satisfy()
+            self.san.on_global_read(self.b, self.idx, self.mask)
+        assert self.san.finish().clean
+
+    def test_empty_in_clause_leaves_reads_unchecked(self):
+        # TAF-style contract: the region owns its loads.
+        self.san.register_contract("r", "out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_global_read(self.z, self.idx, self.mask)
+            self.san.on_global_write(self.b, self.idx, self.mask)
+        assert self.san.finish().clean
+
+    def test_kernel_scope_access_is_outside_contract_remit(self):
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        self.san.on_global_read(self.z, self.idx, self.mask)
+        assert self.san.finish().clean
+
+    def test_unresolvable_array_is_unchecked(self):
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self._satisfy()
+            self.san.on_global_read(np.zeros(4), self.idx[:4], self.mask[:4])
+        assert self.san.finish().clean
+
+    def test_violations_dedupe_with_count(self):
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self._satisfy()
+            for _ in range(5):
+                self.san.on_global_read(self.z, self.idx, self.mask)
+        [d] = self.san.finish().diagnostics
+        assert "[x5]" in d.message
+        assert d.data["occurrences"] == 5
+
+    def test_contract_from_region_meta_is_registered(self):
+        with self.san.region_scope(spec("r", "in(a[0:8]) out(b[i])")):
+            self._satisfy()
+            self.san.on_global_read(self.z, self.idx, self.mask)
+        assert codes(self.san.finish().diagnostics) == ["HPAC201"]
+
+    def test_streamed_hint_checks_name(self):
+        self.san.register_contract("r", "in(a[0:8]) out(b[i])")
+        with self.san.region_scope(spec("r")):
+            self._satisfy()
+            self.san.on_streamed_read("z")
+        assert codes(self.san.finish().diagnostics) == ["HPAC201"]
+
+    def test_bad_contract_text_is_hpac211(self):
+        self.san.register_contract("r", "in(a[")
+        [d] = self.san.finish().diagnostics
+        assert d.code == "HPAC211"
+
+
+class TestDrift:
+    def setup_method(self):
+        self.san = Sanitizer()
+        self.u = np.zeros(8)
+        self.o = np.zeros(8)
+        self.san.begin_launch("k", {"u": self.u, "o": self.o})
+
+    def test_untouched_in_section_warns(self):
+        self.san.register_contract("r", "in(u[i]) out(o[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_region_returned("r")  # out satisfied, in drifts
+        [d] = self.san.finish().diagnostics
+        assert d.code == "HPAC203" and d.severity is Severity.WARNING
+        assert "'u'" in d.message
+
+    def test_capture_satisfies_in_sections(self):
+        self.san.register_contract("r", "in(u[i]) out(o[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_inputs_captured("r")
+        diags = self.san.finish().diagnostics
+        assert not any("in section" in d.message for d in diags)
+
+    def test_streamed_hint_satisfies_in_sections(self):
+        self.san.register_contract("r", "in(u[i]) out(o[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_streamed_read(("u",))
+        diags = self.san.finish().diagnostics
+        assert not any(d.code == "HPAC203" and "in section" in d.message
+                       for d in diags)
+
+    def test_region_return_satisfies_out_sections(self):
+        self.san.register_contract("r", "out(o[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_region_returned("r")
+        assert self.san.finish().clean
+
+    def test_unknown_name_gets_benefit_of_the_doubt(self):
+        # "tmp" never materialized as a param or device buffer.
+        self.san.register_contract("r", "in(tmp[i]) out(o[i])")
+        with self.san.region_scope(spec("r")):
+            self.san.on_region_returned("r")
+        assert self.san.finish().clean
+
+    def test_uninvoked_region_never_drifts(self):
+        self.san.register_contract("r", "in(u[i]) out(o[i])")
+        assert self.san.finish().clean
+
+
+class TestRaceDetector:
+    def setup_method(self):
+        self.san = Sanitizer()
+        self.ctx = SimpleNamespace(warp_size=32)
+
+    def test_multi_writer_phase_is_hpac204(self):
+        mask = np.ones(64, dtype=bool)
+        self.san.on_table_write("r", np.zeros(64, int), mask, self.ctx)
+        [d] = self.san.finish().diagnostics
+        assert d.code == "HPAC204"
+        assert "64 writers" in d.message
+        assert d.data["table"] == 0
+
+    def test_single_writer_per_table_is_clean(self):
+        mask = np.ones(64, dtype=bool)
+        self.san.on_table_write("r", np.arange(64), mask, self.ctx)
+        assert self.san.finish().clean
+
+    def test_inactive_lanes_do_not_write(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[3] = True  # a single elected writer
+        self.san.on_table_write("r", np.zeros(64, int), mask, self.ctx)
+        assert self.san.finish().clean
+
+    def test_race_reports_the_offending_warp(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[32:35] = True  # three lanes of warp 1 hit table 7
+        self.san.on_table_write("r", np.full(64, 7), mask, self.ctx)
+        [d] = self.san.finish().diagnostics
+        assert "warp(s) 1" in d.message and "table 7" in d.message
+
+
+class TestStateLifetime:
+    def test_access_outside_any_region_is_hpac205(self):
+        san = Sanitizer()
+        san.on_state_access("taf", "r")
+        [d] = san.finish().diagnostics
+        assert d.code == "HPAC205"
+        assert "kernel scope (no active region)" in d.message
+
+    def test_access_from_wrong_region_is_hpac205(self):
+        san = Sanitizer()
+        with san.region_scope(spec("other")):
+            san.on_state_access("iact", "r")
+        [d] = san.finish().diagnostics
+        assert d.code == "HPAC205" and "'other'" in d.message
+
+    def test_access_from_owning_region_is_clean(self):
+        san = Sanitizer()
+        with san.region_scope(spec("r")):
+            san.on_state_access("taf", "r")
+        assert san.finish().clean
+
+
+class TestLaunchBookkeeping:
+    def test_param_identity_dies_with_launch(self):
+        # MiniFE allocates a fresh vector per CG iteration; a recycled id()
+        # must not inherit the old name after the launch ends.
+        san = Sanitizer()
+        arr = np.zeros(4)
+        san.begin_launch("k", {"p": arr})
+        assert san.resolve(arr) == "p"
+        san.end_launch()
+        assert san.resolve(arr) is None
+
+    def test_counters_track_events(self):
+        san = Sanitizer()
+        arr = np.zeros(4)
+        san.begin_launch("k", {"p": arr})
+        san.on_global_read(arr, np.arange(2), np.ones(2, bool))
+        san.on_global_write(arr, np.arange(2), np.ones(2, bool))
+        san.on_streamed_read("p")
+        san.end_launch()
+        report = san.finish()
+        assert report.counters["launches"] == 1
+        assert report.counters["reads_checked"] == 1
+        assert report.counters["writes_checked"] == 1
+        assert report.counters["streamed_hints"] == 1
+        assert report.counters["shadowed_bytes"] > 0
+
+    def test_report_render_and_dict(self):
+        san = Sanitizer()
+        report = san.finish()
+        assert report.clean and report.exit_code == 0
+        assert report.render() == "ApproxSan: no contract violations"
+        d = report.to_dict()
+        assert d["clean"] is True and d["violations"] == []
+
+
+# ======================================================================
+# integration: the seven shipped apps are contract-clean under sanitize
+# ======================================================================
+class TestShippedAppsClean:
+    @pytest.mark.parametrize("name", ALL_APPS)
+    def test_baseline_run_is_clean(self, name):
+        app = get_benchmark(name)
+        result = app.run("v100_small", app.build_regions(), sanitize=True)
+        report = result.extra["approxsan"]
+        assert report.clean, report.render()
+        assert report.counters["launches"] >= 1
+
+    def test_taf_run_is_clean(self):
+        app = get_benchmark("blackscholes")
+        regions = app.build_regions("taf", hsize=2, psize=4, threshold=0.3)
+        report = app.run("v100_small", regions,
+                         sanitize=True).extra["approxsan"]
+        assert report.clean, report.render()
+
+    def test_iact_run_is_clean_including_table_writes(self):
+        # iACT's write phase elects one writer per table: no HPAC204.
+        app = get_benchmark("kmeans")
+        regions = app.build_regions("iact", tsize=8, threshold=0.5)
+        report = app.run("v100_small", regions,
+                         sanitize=True).extra["approxsan"]
+        assert report.clean, report.render()
+        assert report.counters["table_write_phases"] >= 1
+
+    def test_sanitize_off_attaches_no_report(self):
+        app = get_benchmark("blackscholes")
+        result = app.run("v100_small", app.build_regions())
+        assert "approxsan" not in result.extra
+
+
+# ======================================================================
+# the non-negotiable: sanitize=True changes nothing observable
+# ======================================================================
+class TestEquivalence:
+    @pytest.mark.parametrize("name,technique,params", [
+        ("blackscholes", "taf", {"hsize": 2, "psize": 4, "threshold": 0.3}),
+        ("kmeans", "iact", {"tsize": 8, "threshold": 0.5}),
+        ("minife", "none", {}),
+        ("lulesh", "perfo", {"kind": "small", "skip": 2}),
+    ])
+    def test_sanitized_run_is_byte_identical(self, name, technique, params):
+        app = get_benchmark(name)
+        regions = app.build_regions(technique, **params)
+        plain = app.run("v100_small", regions, seed=7)
+        app2 = get_benchmark(name)
+        regions2 = app2.build_regions(technique, **params)
+        checked = app2.run("v100_small", regions2, seed=7, sanitize=True)
+        assert checked.timing.seconds == plain.timing.seconds
+        assert checked.timing.kernel_seconds == plain.timing.kernel_seconds
+        assert np.array_equal(np.asarray(checked.qoi), np.asarray(plain.qoi))
+        assert checked.region_stats == plain.region_stats
+
+
+# ======================================================================
+# harness integration: run_point(sanitize=True)
+# ======================================================================
+class TestRunPoint:
+    def test_sanitized_record_carries_report_and_same_numbers(self):
+        from repro.harness.runner import ExperimentRunner
+        from repro.harness.sweep import SweepPoint
+
+        problems = {"blackscholes": {"num_options": 2048, "num_runs": 4}}
+        point = SweepPoint("taf", {"hsize": 2, "psize": 4, "threshold": 0.3},
+                           "thread", 2)
+        plain = ExperimentRunner(problems=problems).run_point(
+            "blackscholes", "v100_small", point)
+        checked = ExperimentRunner(problems=problems).run_point(
+            "blackscholes", "v100_small", point, sanitize=True)
+        report = checked.extra["approxsan"]
+        assert report["clean"] is True
+        assert "approxsan" not in plain.extra
+        # The sanitizer observes without charging: identical record numbers.
+        assert checked.speedup == plain.speedup
+        assert checked.kernel_speedup == plain.kernel_speedup
+        assert checked.error == plain.error
+        assert checked.region_stats == plain.region_stats

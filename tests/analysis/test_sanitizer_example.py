@@ -1,0 +1,122 @@
+"""The shipped broken example triggers every HPAC2xx code, with golden
+report text."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_contracts
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "broken_contracts.py"
+
+ALL_CODES = ["HPAC201", "HPAC202", "HPAC203", "HPAC204", "HPAC205",
+             "HPAC210", "HPAC211"]
+
+
+@pytest.fixture(scope="module")
+def example():
+    spec = importlib.util.spec_from_file_location("broken_contracts", EXAMPLE)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def diags(example):
+    app = example.BrokenContracts()
+    static = lint_contracts(app)
+    result = app.run("v100_small", app.build_regions(), sanitize=True)
+    return static + result.extra["approxsan"].diagnostics
+
+
+class TestCoverage:
+    def test_every_sanitizer_code_triggers(self, diags):
+        assert sorted({d.code for d in diags}) == ALL_CODES
+
+    def test_main_exits_with_error_status(self, example, capsys):
+        assert example.main() == 2
+        out = capsys.readouterr().out
+        for code in ALL_CODES:
+            assert f"[{code}]" in out
+
+
+class TestGoldenReport:
+    """Exact rendered text for one representative diagnostic per check."""
+
+    def _block(self, diags, code, subject=""):
+        for d in diags:
+            if d.code == code and subject in d.message:
+                return d.render()
+        raise AssertionError(f"no {code} diagnostic matching {subject!r}")
+
+    def test_undeclared_read_block(self, diags):
+        assert self._block(diags, "HPAC201", "'dzs'") == (
+            "<pragma>:1:1: error: region 'undeclared_read' reads buffer "
+            "'dzs', which its in(...) sections do not declare [HPAC201]\n"
+            "  in(dxs[0:4]) out(dys[i])\n"
+            "  ^~~~~~~~~~~~\n"
+            "  note: add a in(...) section for 'dzs' to the contract, or "
+            "stop the region from touching it"
+        )
+
+    def test_out_of_range_read_block(self, diags):
+        assert self._block(diags, "HPAC201", "dxs[4]") == (
+            "<pragma>:1:4: error: region 'undeclared_read' reads dxs[4] "
+            "outside its declared in(...) sections (lane 4) [HPAC201]\n"
+            "  in(dxs[0:4]) out(dys[i])\n"
+            "     ^~~~~~~~\n"
+            "  note: declared range(s): [0, 4)"
+        )
+
+    def test_undeclared_write_block(self, diags):
+        assert self._block(diags, "HPAC202", "'dws'") == (
+            "<pragma>:1:12: error: region 'undeclared_write' writes buffer "
+            "'dws', which its out(...) sections do not declare [HPAC202]\n"
+            "  in(dxs[i]) out(dys[i])\n"
+            "             ^~~~~~~~~~~\n"
+            "  note: add a out(...) section for 'dws' to the contract, or "
+            "stop the region from touching it"
+        )
+
+    def test_drift_block(self, diags):
+        assert self._block(diags, "HPAC203", "'unused'") == (
+            "<pragma>:1:4: warning: region 'drift': declared in section "
+            "'unused' was never read during the run (contract drift) "
+            "[HPAC203]\n"
+            "  in(unused[i]) out(dys[i])\n"
+            "     ^~~~~~~~~\n"
+            "  note: the kernel no longer consumes this input; drop the "
+            "section or restore the read"
+        )
+
+    def test_race_block(self, diags):
+        assert self._block(diags, "HPAC204", "table 0") == (
+            "<pragma>:1:1: error: region 'race': write-write race on shared "
+            "memo table 0 — lanes 0, 1, 2, 3, ... (32 writers) of warp(s) 0 "
+            "wrote in the same phase [HPAC204]\n"
+            "  note: elect a single writer per table per phase (warp ballot "
+            "+ min-lane scan), as the iACT write phase does"
+        )
+
+    def test_state_lifetime_block(self, diags):
+        assert self._block(diags, "HPAC205", "'stale'") == (
+            "<pragma>:1:1: error: taf state of region 'stale' accessed from "
+            "kernel scope (no active region), outside its owning region's "
+            "lifetime [HPAC205]\n"
+            "  note: approximation state is private to its region; fetch it "
+            "only through the runtime's region()/loop() dispatch"
+        )
+
+    def test_width_mismatch_block(self, diags):
+        block = self._block(diags, "HPAC210", "bad_width")
+        assert block.startswith(
+            "<pragma>:1:1: error: broken_contracts/bad_width: in(...) "
+            "declares 3 scalar(s) but the site captures in_width=2 [HPAC210]"
+        )
+        assert "^~~~~~~~~~~~~~" in block
+
+    def test_parse_error_block(self, diags):
+        block = self._block(diags, "HPAC211", "bad_syntax")
+        assert "unterminated array section" in block
+        assert "in(dxs[" in block

@@ -25,6 +25,23 @@ class TestValidation:
         with pytest.raises(LaunchError):
             validate_launch(dev, blocks, threads)
 
+    def test_shared_capacity_within_limit_passes(self, dev):
+        validate_launch(dev, 4, 256, shared_capacity=dev.shared_mem_per_block)
+
+    def test_shared_capacity_over_device_limit_rejected(self, dev):
+        with pytest.raises(LaunchError, match="shared"):
+            validate_launch(dev, 4, 256,
+                            shared_capacity=dev.shared_mem_per_block + 1)
+
+    def test_negative_shared_capacity_rejected(self, dev):
+        with pytest.raises(LaunchError):
+            validate_launch(dev, 4, 256, shared_capacity=-1)
+
+    def test_launch_rejects_oversized_shared_capacity(self, dev):
+        with pytest.raises(LaunchError):
+            launch(lambda ctx: None, dev, 1, 32,
+                   shared_capacity=dev.shared_mem_per_block * 2)
+
 
 class TestRoundUp:
     @pytest.mark.parametrize(
