@@ -20,7 +20,9 @@ def runner():
 
 @pytest.fixture(scope="session")
 def engine(runner):
-    return BatchEngine(runner=runner)
+    eng = BatchEngine(runner=runner)
+    yield eng
+    eng.close()
 
 
 def emit(title: str, body: str) -> None:

@@ -58,15 +58,26 @@ from repro.gpusim import (
     launch,
     nvidia_v100,
 )
-from repro.harness import ExperimentRunner, ResultsDB, mape, mcr, speedup
+from repro.harness import (
+    BatchEngine,
+    ExperimentRunner,
+    ResultsDB,
+    SweepConfig,
+    mape,
+    mcr,
+    speedup,
+)
 from repro.openmp import OffloadProgram
 from repro.pragma import compile_pragma, compile_pragmas
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ApproxRuntime",
+    "api",
     "BENCHMARKS",
+    "BatchEngine",
     "ConfigurationError",
     "DeviceSpec",
     "ExperimentRunner",
@@ -83,6 +94,7 @@ __all__ = [
     "ResultsDB",
     "SharedMemoryError",
     "SimulatedDeadlockError",
+    "SweepConfig",
     "TAFParams",
     "Technique",
     "UnsupportedApproximationError",

@@ -1,6 +1,9 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Thin wrappers over the library for the common workflows:
+Thin rendering wrappers over the stable :mod:`repro.api` facade — each
+subcommand builds a :class:`~repro.harness.config.SweepConfig` from its
+flags, calls the matching ``repro.api`` function, and prints the result,
+so anything the CLI can do a script can do with the same one call:
 
 * ``python -m repro run <app> [--device D] [--technique T ...]`` — run one
   benchmark (accurate, or with one technique applied) and print
@@ -9,6 +12,10 @@ Thin wrappers over the library for the common workflows:
   [--parallel N] [--checkpoint F]`` — a DSE campaign with the results
   database, saved to JSONL; ``--parallel`` fans points across a process
   pool and ``--checkpoint`` makes the sweep resumable;
+* ``python -m repro search <app> --technique T [--strategy
+  random|evolutionary] [--budget N] [--parallel N]`` — budgeted smart
+  search (§4.2) instead of the exhaustive grid; the evolutionary strategy
+  streams results and proposes offspring as evaluations land;
 * ``python -m repro lint [files | --text "..." | --app A --device D]`` —
   static analysis of approx pragmas / region configurations, clang-style
   caret diagnostics with stable ``HPAC0xx`` codes; exit status reflects the
@@ -106,34 +113,32 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro import api
+    from repro.harness.config import SweepConfig
     from repro.harness.database import ResultsDB
-    from repro.harness.executor import run_sweep_parallel
     from repro.harness.figures import candidates
     from repro.harness.reporting import format_record, format_records_table
-    from repro.harness.runner import ExperimentRunner
 
-    runner = ExperimentRunner(seed=args.seed)
-    db = ResultsDB()
     points = candidates(args.app, args.technique, args.effort)
     if not points:
         print(f"no candidate grid for {args.app}/{args.technique}",
               file=sys.stderr)
         return 1
+    config = SweepConfig(
+        workers=max(1, args.parallel), chunk_size=args.chunk_size,
+        checkpoint=args.checkpoint, retries=args.retries,
+        progress=args.progress, preflight=args.preflight,
+    )
+    report = api.sweep(
+        args.app, args.device, points=points, config=config, seed=args.seed
+    )
+    db = ResultsDB()
+    db.add(report.records)
     if args.parallel > 1 or args.checkpoint or args.preflight:
-        report = run_sweep_parallel(
-            args.app, args.device, points,
-            seed=args.seed, max_workers=args.parallel,
-            chunk_size=args.chunk_size,
-            checkpoint=args.checkpoint, retries=args.retries,
-            progress=args.progress, preflight=args.preflight,
-        )
-        db.add(report.records)
         print(f"evaluated {report.evaluated} points "
               f"({report.skipped} resumed from checkpoint, "
               f"{report.pruned} pruned by preflight) "
               f"in {report.elapsed:.2f}s with {args.parallel} worker(s)")
-    else:
-        db.add(runner.run_sweep(args.app, args.device, points))
     print(format_records_table(db.query(feasible=None),
                                title=f"{args.app} {args.technique} on {args.device}"))
     best = db.best_speedup(max_error=args.max_error)
@@ -146,131 +151,107 @@ def cmd_sweep(args) -> int:
     return 0
 
 
-def cmd_lint(args) -> int:
-    from repro.analysis import (
-        RULES, exit_code, lint_file, lint_regions, lint_text, render_all,
-        render_json,
+def cmd_search(args) -> int:
+    from repro import api
+    from repro.harness.config import SweepConfig
+    from repro.harness.reporting import format_record, format_records_table
+
+    result = api.search(
+        args.app, args.device,
+        technique=args.technique, strategy=args.strategy,
+        budget=args.budget, max_error=args.max_error,
+        population=args.population, seed=args.seed,
+        config=SweepConfig(workers=max(1, args.parallel)),
     )
+    print(format_records_table(
+        result.db.query(feasible=None),
+        title=(f"{args.strategy} search: {args.app} {args.technique} "
+               f"on {args.device} ({result.evaluations} evaluations)"),
+    ))
+    print("\nbest under "
+          f"{100 * args.max_error:.0f}% error: "
+          + (format_record(result.best) if result.best else "none"))
+    if args.output:
+        result.db.save(args.output)
+        print(f"saved {len(result.db)} records to {args.output}")
+    return 0
 
-    diags = []
-    if args.text:
-        diags.extend(lint_text(args.text))
-    for path in args.files:
-        diags.extend(lint_file(path))
-    if args.app:
-        from repro.analysis import lint_contracts
-        from repro.apps import get_benchmark
-        from repro.errors import ReproError
-        from repro.gpusim.device import get_device
-        from repro.gpusim.kernel import round_up
 
-        app = get_benchmark(args.app)
-        dev = get_device(args.device)
-        diags.extend(lint_contracts(app))
-        try:
-            regions = app.build_regions(
-                args.technique, level=args.level, site=args.site,
-                **_technique_kwargs(args),
-            )
-        except ReproError as exc:
-            diags.append(RULES["HPAC030"].diag(f"{type(exc).__name__}: {exc}"))
-        else:
-            tpb = args.threads or round_up(app.default_num_threads, dev.warp_size)
-            diags.extend(lint_regions(regions, dev, tpb))
+def cmd_lint(args) -> int:
+    from repro import api
+    from repro.analysis import render_all, render_json
+
     if not args.text and not args.files and not args.app:
         print("nothing to lint: pass files, --text, or --app", file=sys.stderr)
         return 2
+    result = api.lint(
+        args.files, text=args.text, app=args.app, device=args.device,
+        technique=args.technique, params=_technique_kwargs(args),
+        level=args.level, site=args.site, threads=args.threads,
+    )
     if args.json:
-        print(render_json(diags))
-        return exit_code(diags)
-    out = render_all(diags)
+        print(render_json(result.diagnostics))
+        return result.exit_code
+    out = render_all(result.diagnostics)
     if out:
         print(out)
     else:
         print("no issues found")
-    return exit_code(diags)
-
-
-def _sanitize_apps(arg: str) -> list[str]:
-    from repro.apps import BENCHMARKS
-
-    if arg == "all":
-        return sorted(BENCHMARKS)
-    return [arg]
+    return result.exit_code
 
 
 def cmd_sanitize(args) -> int:
     """Run apps under ApproxSan and render the violation reports."""
-    from repro.analysis import exit_code, lint_contracts, render_all
-    from repro.apps import get_benchmark
-    from repro.errors import ReproError
+    from repro import api
+    from repro.analysis import render_all
 
-    worst = 0
-    payload = []
-    for name in _sanitize_apps(args.app):
-        app = get_benchmark(name)
-        # Static half first: width mismatches / parse errors (HPAC21x).
-        static = lint_contracts(app)
-        try:
-            regions = app.build_regions(
-                args.technique, level=args.level, site=args.site,
-                **_technique_kwargs(args),
-            )
-            ipt = args.items_per_thread or app.baseline_items_per_thread or 1
-            result = app.run(
-                args.device, regions, items_per_thread=ipt, seed=args.seed,
-                sanitize=True,
-            )
-        except ReproError as exc:
+    result = api.sanitize(
+        args.app, args.device,
+        technique=args.technique, params=_technique_kwargs(args),
+        level=args.level, site=args.site,
+        items_per_thread=args.items_per_thread, seed=args.seed,
+    )
+    if args.json:
+        import json
+
+        payload = []
+        for r in result.reports:
+            entry = {
+                "app": r.app,
+                "device": r.device,
+                "technique": r.technique,
+                "static": [d.to_json() for d in r.static],
+            }
+            if r.infeasible is not None:
+                entry["infeasible"] = r.infeasible
+            else:
+                entry["clean"] = not r.diagnostics
+                entry["report"] = r.report.to_dict()
+            payload.append(entry)
+        print(json.dumps(payload, indent=2))
+        return result.exit_code
+    for r in result.reports:
+        print(f"== {r.app} on {r.device} ({r.technique}) ==")
+        if r.infeasible is not None:
             # Infeasible configuration (shared-memory overflow, unsupported
             # technique, ...): nothing to sanitize — report and move on, the
             # same way the sweep harness records these as infeasible rows.
-            note = f"{type(exc).__name__}: {exc}"
-            if args.json:
-                payload.append({
-                    "app": name,
-                    "device": args.device,
-                    "technique": args.technique,
-                    "infeasible": note,
-                    "static": [d.to_json() for d in static],
-                })
-            else:
-                print(f"== {name} on {args.device} ({args.technique}) ==")
-                print(f"   infeasible: {note}")
-                if static:
-                    print(render_all(static))
-            worst = max(worst, exit_code(static))
+            print(f"   infeasible: {r.infeasible}")
+            if r.static:
+                print(render_all(r.static))
             continue
-        report = result.extra["approxsan"]
-        diags = static + report.diagnostics
-        code = exit_code(diags)
-        worst = max(worst, code)
-        if args.json:
-            payload.append({
-                "app": name,
-                "device": args.device,
-                "technique": args.technique,
-                "clean": not diags,
-                "static": [d.to_json() for d in static],
-                "report": report.to_dict(),
-            })
-            continue
-        c = report.counters
-        print(f"== {name} on {args.device} ({args.technique}) ==")
+        c = r.report.counters
         print(f"   {c['launches']} launch(es), "
               f"{c['region_invocations']} region invocation(s), "
               f"{c['reads_checked'] + c['writes_checked']} mediated "
               f"access(es), {c['streamed_hints']} streamed hint(s), "
               f"{c['shadowed_bytes']} shadow byte(s)")
+        diags = r.diagnostics
         if diags:
             print(render_all(diags))
         else:
             print("   ApproxSan: no contract violations")
-    if args.json:
-        import json
-
-        print(json.dumps(payload, indent=2))
-    return worst
+    return result.exit_code
 
 
 def cmd_sensitivity(args) -> int:
@@ -285,37 +266,28 @@ def cmd_sensitivity(args) -> int:
 
 
 def cmd_figures(args) -> int:
+    from repro import api
     from repro.harness import figures as F
-    from repro.harness.batch import BatchEngine
     from repro.harness.reporting import format_engine_stats, format_fig6
-    from repro.harness.runner import ExperimentRunner
 
-    runner = ExperimentRunner(seed=args.seed)
-    # One engine across every requested figure: shared baselines, and
-    # overlapping grids (Fig 6 / Fig 7 share LULESH points) evaluate once.
-    engine = BatchEngine(
-        seed=args.seed, max_workers=max(1, args.parallel), runner=runner
+    # One engine across every requested figure: shared baselines, one
+    # process pool, and overlapping grids (Fig 6 / Fig 7 share LULESH
+    # points) evaluate once.
+    out = api.figures(
+        args.names or None, parallel=args.parallel, seed=args.seed
     )
-    wanted = set(args.names or ["fig3", "fig4", "fig6"])
-    if "fig3" in wanted:
-        r = F.fig3_memory_scaling()
-        print(f"Fig 3: V100 exhausted at 2^{r.exhaust_threads.bit_length() - 1} threads")
-    if "fig4" in wanted:
-        r = F.fig4_taf_variants()
-        print(f"Fig 4: serialized-GPU TAF {r.serialized_slowdown:.0f}x slower "
-              f"than HPAC-Offload TAF")
-    if "fig6" in wanted:
-        r = F.fig6_best_speedup(engine=engine)
-        print(format_fig6(r, F.FIG6_APPS, ["nvidia", "amd"]))
-    for name, fn in (("fig7", F.fig7_lulesh), ("fig8", F.fig8_binomial),
-                     ("fig9", F.fig9_leukocyte_minife),
-                     ("fig10", F.fig10_blackscholes),
-                     ("fig11", F.fig11_lavamd), ("fig12", F.fig12_kmeans)):
-        if name in wanted:
-            fn(engine=engine)
+    for name, r in out.results.items():
+        if name == "fig3":
+            print(f"Fig 3: V100 exhausted at 2^{r.exhaust_threads.bit_length() - 1} threads")
+        elif name == "fig4":
+            print(f"Fig 4: serialized-GPU TAF {r.serialized_slowdown:.0f}x slower "
+                  f"than HPAC-Offload TAF")
+        elif name == "fig6":
+            print(format_fig6(r, F.FIG6_APPS, ["nvidia", "amd"]))
+        else:
             print(f"{name}: regenerated (see benchmarks/ for the asserted rows)")
-    if engine.stats.submitted:
-        print(format_engine_stats(engine.stats))
+    if out.stats.submitted:
+        print(format_engine_stats(out.stats))
     return 0
 
 
@@ -382,6 +354,29 @@ def main(argv: list[str] | None = None) -> int:
                               "infeasible ones are recorded (with the HPAC "
                               "diagnostic code) without simulating")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_search = sub.add_parser(
+        "search", help="budgeted smart search over the Table-2 grid (§4.2)"
+    )
+    p_search.add_argument("app")
+    p_search.add_argument("--device", default="v100_small")
+    p_search.add_argument("--technique", required=True,
+                          choices=["taf", "iact", "perfo"])
+    p_search.add_argument("--strategy", default="random",
+                          choices=["random", "evolutionary"],
+                          help="random sampling, or steady-state (μ+λ) "
+                               "evolution fed as results stream in")
+    p_search.add_argument("--budget", type=int, default=20,
+                          help="total evaluations")
+    p_search.add_argument("--population", type=int, default=3,
+                          help="elite size / in-flight evaluations "
+                               "(evolutionary)")
+    p_search.add_argument("--max-error", type=float, default=0.10)
+    p_search.add_argument("--parallel", type=int, default=1,
+                          help="process-pool workers (results identical "
+                               "at any worker count)")
+    p_search.add_argument("--output", default=None)
+    p_search.set_defaults(fn=cmd_search)
 
     p_lint = sub.add_parser("lint", help="static analysis of approx pragmas")
     p_lint.add_argument("files", nargs="*",

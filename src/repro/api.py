@@ -1,0 +1,378 @@
+"""Stable library facade: the six entry points the CLI wraps.
+
+PR 2 and PR 4 each grew ``python -m repro`` flags the library had no
+single equivalent for — lint and sanitize logic lived *in* the CLI, so
+scripts had to shell out or copy it.  This module is the contract between
+the two: six functions — :func:`run_point`, :func:`sweep`,
+:func:`search`, :func:`figures`, :func:`sanitize`, :func:`lint` — taking
+the same config objects the engine layer uses
+(:class:`~repro.harness.config.SweepConfig`, a persistent
+:class:`~repro.harness.batch.BatchEngine`), with every ``python -m
+repro`` subcommand a thin renderer over them, so the CLI and library can
+no longer drift.
+
+Everything here imports lazily so ``import repro.api`` stays cheap and
+cycle-free; the deeper modules remain importable directly for power use
+(streams, sessions, custom executors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.batch import BatchEngine, EngineStats
+    from repro.harness.config import SweepConfig
+    from repro.harness.executor import SweepReport
+    from repro.harness.runner import ExperimentRunner, RunRecord
+    from repro.harness.search import SearchResult
+    from repro.harness.sweep import SweepPoint
+
+
+def _point(technique, params, level, items_per_thread) -> "SweepPoint":
+    from repro.harness.sweep import SweepPoint
+
+    return SweepPoint(technique, dict(params or {}), level, items_per_thread)
+
+
+def run_point(
+    app: str,
+    device: str = "v100_small",
+    *,
+    point: "SweepPoint | None" = None,
+    technique: str | None = None,
+    params: dict | None = None,
+    level: str = "thread",
+    items_per_thread: int = 8,
+    site: str | None = None,
+    runner: "ExperimentRunner | None" = None,
+    problems: dict | None = None,
+    seed: int = 2023,
+    sanitize: bool = False,
+) -> "RunRecord":
+    """Evaluate one configuration; returns its :class:`RunRecord`.
+
+    Pass a ready :class:`~repro.harness.sweep.SweepPoint`, or build one
+    inline from ``technique``/``params``/``level``/``items_per_thread``."""
+    from repro.harness.runner import ExperimentRunner
+
+    if point is None:
+        if technique is None:
+            raise ValueError("run_point needs point= or technique=")
+        point = _point(technique, params, level, items_per_thread)
+    runner = runner or ExperimentRunner(problems=problems, seed=seed)
+    return runner.run_point(app, device, point, site=site, sanitize=sanitize)
+
+
+def sweep(
+    app: str,
+    device: str = "v100_small",
+    *,
+    technique: str | None = None,
+    points: "list[SweepPoint] | None" = None,
+    effort: str = "quick",
+    site: str | None = None,
+    config: "SweepConfig | None" = None,
+    engine: "BatchEngine | None" = None,
+    problems: dict | None = None,
+    seed: int = 2023,
+) -> "SweepReport":
+    """Run a DSE campaign for one app/device; returns its SweepReport.
+
+    ``points`` gives the grid explicitly; otherwise the curated
+    ``technique`` candidate grid at ``effort`` (quick/full/paper) is used.
+    ``config`` carries the execution policy (workers, checkpoint, retries,
+    progress, preflight, ...); ``engine`` routes the campaign through a
+    persistent :class:`~repro.harness.batch.BatchEngine`."""
+    from repro.harness.executor import run_sweep_parallel
+
+    if points is None:
+        if technique is None:
+            raise ValueError("sweep needs points= or technique=")
+        from repro.harness.figures import candidates
+
+        points = candidates(app, technique, effort)
+    return run_sweep_parallel(
+        app, device, points,
+        site=site, problems=problems, seed=seed, config=config, engine=engine,
+    )
+
+
+def search(
+    app: str,
+    device: str = "v100_small",
+    *,
+    technique: str = "taf",
+    strategy: str = "random",
+    budget: int = 20,
+    max_error: float = 0.10,
+    population: int = 3,
+    threshold_scale: float = 1.0,
+    space: "list[SweepPoint] | None" = None,
+    seed: int = 7,
+    config: "SweepConfig | None" = None,
+    engine: "BatchEngine | None" = None,
+    runner: "ExperimentRunner | None" = None,
+    problems: dict | None = None,
+    checkpoint: str | None = None,
+) -> "SearchResult":
+    """Budgeted smart search over the Table-2 grid (§4.2).
+
+    ``strategy`` is ``"random"`` (uniform without replacement) or
+    ``"evolutionary"`` (steady-state μ+λ fed as results stream in).
+    ``config.workers`` fans evaluations across a process pool; ``engine``
+    reuses a persistent one.  Results are identical at any worker count."""
+    from repro.harness.runner import ExperimentRunner
+    from repro.harness.search import evolutionary_search, random_search
+
+    runner = runner or ExperimentRunner(problems=problems)
+    workers = config.workers if config is not None else 1
+    if strategy == "random":
+        return random_search(
+            runner, app, device, technique,
+            budget=budget, max_error=max_error,
+            threshold_scale=threshold_scale, seed=seed, space=space,
+            max_workers=workers,
+            checkpoint=(config.checkpoint if config is not None else checkpoint),
+            engine=engine,
+        )
+    if strategy == "evolutionary":
+        return evolutionary_search(
+            runner, app, device, technique,
+            budget=budget, max_error=max_error,
+            threshold_scale=threshold_scale, population=population,
+            seed=seed, space=space, engine=engine, max_workers=workers,
+        )
+    raise ValueError(f"unknown search strategy {strategy!r}")
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class FiguresResult:
+    """Outcome of one :func:`figures` call."""
+
+    #: name -> that figure's result object (Fig6Result, ScatterResult, ...).
+    results: dict
+    #: The engine's session counters (pool spawns, cache hits, ...).
+    stats: "EngineStats"
+
+
+def figures(
+    names: Iterable[str] | None = None,
+    *,
+    effort: str = "quick",
+    parallel: int = 0,
+    config: "SweepConfig | None" = None,
+    engine: "BatchEngine | None" = None,
+    runner: "ExperimentRunner | None" = None,
+    seed: int = 2023,
+) -> FiguresResult:
+    """Regenerate evaluation figures; one engine shared across all of them.
+
+    Overlapping grids (Fig 6 / Fig 7 share the LULESH points) evaluate
+    once, and ``parallel > 1`` (or ``config.workers``) fans every figure's
+    simulation grid across one persistent process pool — spawned once for
+    the whole call, shut down on return (unless a caller-owned ``engine``
+    was passed in)."""
+    from repro.harness import figures as F
+    from repro.harness.batch import BatchEngine
+    from repro.harness.config import SweepConfig
+    from repro.harness.runner import ExperimentRunner
+
+    sim_figs = {
+        "fig6": F.fig6_best_speedup,
+        "fig7": F.fig7_lulesh,
+        "fig8": F.fig8_binomial,
+        "fig9": F.fig9_leukocyte_minife,
+        "fig10": F.fig10_blackscholes,
+        "fig11": F.fig11_lavamd,
+        "fig12": F.fig12_kmeans,
+    }
+    wanted = list(names or ["fig3", "fig4", "fig6"])
+    unknown = [n for n in wanted if n not in sim_figs and n not in ("fig3", "fig4")]
+    if unknown:
+        raise ValueError(f"unknown figure(s): {', '.join(unknown)}")
+    owned = False
+    if engine is None:
+        cfg = config if config is not None else SweepConfig(
+            workers=max(1, int(parallel))
+        )
+        engine = BatchEngine(
+            config=cfg, runner=runner or ExperimentRunner(seed=seed)
+        )
+        owned = True
+    out: dict = {}
+    try:
+        for name in wanted:
+            if name == "fig3":
+                out[name] = F.fig3_memory_scaling()
+            elif name == "fig4":
+                out[name] = F.fig4_taf_variants()
+            else:
+                out[name] = sim_figs[name](effort=effort, engine=engine)
+    finally:
+        if owned:
+            engine.close()
+    return FiguresResult(results=out, stats=engine.stats)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class AppSanitizeReport:
+    """ApproxSan outcome for one app."""
+
+    app: str
+    device: str
+    technique: str
+    #: Static HPAC21x contract diagnostics (width/parse), always collected.
+    static: list = field(default_factory=list)
+    #: The dynamic ApproxSan report; None when the config was infeasible.
+    report: object | None = None
+    #: ``TypeName: message`` when the configuration could not run at all.
+    infeasible: str | None = None
+
+    @property
+    def diagnostics(self) -> list:
+        dynamic = list(self.report.diagnostics) if self.report is not None else []
+        return list(self.static) + dynamic
+
+    @property
+    def clean(self) -> bool:
+        return not self.diagnostics and self.infeasible is None
+
+
+@dataclass
+class SanitizeResult:
+    """Outcome of one :func:`sanitize` call across apps."""
+
+    reports: list[AppSanitizeReport]
+
+    @property
+    def exit_code(self) -> int:
+        """Worst severity across apps (0 clean/info, 1 warning, 2 error)."""
+        from repro.analysis import exit_code
+
+        return max(
+            (exit_code(r.diagnostics) for r in self.reports), default=0
+        )
+
+
+def sanitize(
+    app: str = "all",
+    device: str = "v100_small",
+    *,
+    technique: str = "none",
+    params: dict | None = None,
+    level: str = "thread",
+    site: str | None = None,
+    items_per_thread: int | None = None,
+    seed: int = 2023,
+) -> SanitizeResult:
+    """Run apps under ApproxSan; returns the per-app violation reports.
+
+    ``app`` is one benchmark name or ``"all"``.  Static contract checks
+    (HPAC21x) are collected even when the configuration is infeasible —
+    those runs carry the failure note instead of a dynamic report, the
+    same way the sweep harness records infeasible rows."""
+    from repro.analysis import lint_contracts
+    from repro.apps import BENCHMARKS, get_benchmark
+    from repro.errors import ReproError
+
+    names = sorted(BENCHMARKS) if app == "all" else [app]
+    reports: list[AppSanitizeReport] = []
+    for name in names:
+        bench = get_benchmark(name)
+        entry = AppSanitizeReport(
+            app=name, device=device, technique=technique,
+            static=lint_contracts(bench),
+        )
+        try:
+            regions = bench.build_regions(
+                technique, level=level, site=site, **(params or {})
+            )
+            ipt = items_per_thread or bench.baseline_items_per_thread or 1
+            result = bench.run(
+                device, regions, items_per_thread=ipt, seed=seed, sanitize=True
+            )
+        except ReproError as exc:
+            entry.infeasible = f"{type(exc).__name__}: {exc}"
+        else:
+            entry.report = result.extra["approxsan"]
+        reports.append(entry)
+    return SanitizeResult(reports=reports)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of one :func:`lint` call."""
+
+    diagnostics: list
+
+    @property
+    def exit_code(self) -> int:
+        from repro.analysis import exit_code
+
+        return exit_code(self.diagnostics)
+
+
+def lint(
+    files: Iterable[str] = (),
+    *,
+    text: str | None = None,
+    app: str | None = None,
+    device: str = "v100_small",
+    technique: str = "none",
+    params: dict | None = None,
+    level: str = "thread",
+    site: str | None = None,
+    threads: int | None = None,
+) -> LintResult:
+    """Static analysis of approx pragmas / region configurations.
+
+    Lints any mix of ``.pragmas`` files, one directive ``text``, and an
+    ``app``'s region specs (built with ``technique``/``params`` and vetted
+    against ``device``).  Returns the collected diagnostics; render them
+    with :func:`repro.analysis.render_all` / ``render_json``."""
+    from repro.analysis import RULES, lint_file, lint_regions, lint_text
+
+    diags: list = []
+    if text:
+        diags.extend(lint_text(text))
+    for path in files:
+        diags.extend(lint_file(path))
+    if app:
+        from repro.analysis import lint_contracts
+        from repro.apps import get_benchmark
+        from repro.errors import ReproError
+        from repro.gpusim.device import get_device
+        from repro.gpusim.kernel import round_up
+
+        bench = get_benchmark(app)
+        dev = get_device(device)
+        diags.extend(lint_contracts(bench))
+        try:
+            regions = bench.build_regions(
+                technique, level=level, site=site, **(params or {})
+            )
+        except ReproError as exc:
+            diags.append(RULES["HPAC030"].diag(f"{type(exc).__name__}: {exc}"))
+        else:
+            tpb = threads or round_up(bench.default_num_threads, dev.warp_size)
+            diags.extend(lint_regions(regions, dev, tpb))
+    return LintResult(diagnostics=diags)
+
+
+__all__ = [
+    "AppSanitizeReport",
+    "FiguresResult",
+    "LintResult",
+    "SanitizeResult",
+    "figures",
+    "lint",
+    "run_point",
+    "sanitize",
+    "search",
+    "sweep",
+]

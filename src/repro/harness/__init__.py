@@ -11,9 +11,14 @@ from repro.harness.batch import (
     BatchEngine,
     BatchJob,
     BatchReport,
+    BatchStream,
     EngineStats,
+    EngineStream,
+    StreamSession,
+    WorkerPool,
     run_batch,
 )
+from repro.harness.config import SweepConfig, resolve_config
 from repro.harness.database import CheckpointWriter, ResultsDB, compact_checkpoint
 from repro.harness.executor import SweepReport, run_sweep_parallel
 from repro.harness.reporting import format_engine_stats
@@ -46,9 +51,15 @@ __all__ = [
     "BatchEngine",
     "BatchJob",
     "BatchReport",
+    "BatchStream",
     "CheckpointWriter",
     "EngineStats",
+    "EngineStream",
     "ExperimentRunner",
+    "StreamSession",
+    "SweepConfig",
+    "WorkerPool",
+    "resolve_config",
     "compact_checkpoint",
     "format_engine_stats",
     "run_batch",

@@ -1,0 +1,136 @@
+"""Unified sweep configuration: one frozen policy object for every executor.
+
+PR 1 and PR 3 grew the sweep entry points organically: by PR 4,
+``ExperimentRunner.run_sweep``, :func:`repro.harness.executor.run_sweep_parallel`,
+:func:`repro.harness.batch.run_batch`, and the CLI each accepted their own
+subset of ~15 loose keyword arguments (``parallel`` vs ``max_workers``,
+``progress`` typed ``bool`` in one place and ``bool | Callable`` in another,
+``sanitize`` reachable from ``run_point`` but not from sweeps).  This module
+collapses that execution policy into one frozen :class:`SweepConfig` that is
+threaded end-to-end — runner, executor, batch layer, engine, CLI — so a
+policy decided once holds everywhere.
+
+The old keywords keep working through :func:`resolve_config`: entry points
+declare them with the :data:`UNSET` sentinel, and any keyword actually
+passed is overlaid onto the config with a :class:`DeprecationWarning`
+naming the replacement field.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Callable
+
+#: Wall-clock one adaptively-sized chunk should cost once a job group's
+#: throughput is known (see :class:`repro.harness.batch.AdaptiveChunker`).
+TARGET_CHUNK_SECONDS = 0.8
+
+
+class _Unset:
+    """Sentinel distinguishing "kwarg not passed" from any real value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Execution policy for one sweep / batch / engine session.
+
+    Identity of the work (app, device, points, problems, seed) stays on the
+    call; *how* the work runs lives here.  Instances are frozen — derive
+    variants with :meth:`replace` — so a config shared by an engine and
+    several calls cannot drift mid-session.
+    """
+
+    #: Process-pool workers; ``<= 1`` runs in-process (byte-identical to
+    #: the legacy serial path).
+    workers: int = 1
+    #: Points per worker chunk; ``None`` sizes chunks adaptively from
+    #: observed throughput.
+    chunk_size: int | None = None
+    #: Wall-clock target per adaptive chunk.
+    target_chunk_seconds: float = TARGET_CHUNK_SECONDS
+    #: JSONL / ``.jsonl.gz`` file records stream into and resume from.
+    checkpoint: str | Path | None = None
+    #: Retries per point on unexpected worker errors (each on a freshly
+    #: rebuilt runner).
+    retries: int = 1
+    #: ``True`` for a stderr line per chunk, or a callable receiving
+    #: :class:`~repro.harness.reporting.SweepProgress` — accepted uniformly
+    #: by every entry point, serial paths included.
+    progress: bool | Callable = False
+    #: Static preflight: ``True`` for the stock analyzer, or a callable
+    #: ``(app, device, point, site=...) -> RunRecord | None``.
+    preflight: bool | Callable = False
+    #: Run every point under ApproxSan, storing the violation report in
+    #: ``record.extra["approxsan"]`` (timings unaffected).
+    sanitize: bool = False
+    #: Resolve each unique (app, device) baseline once in the parent and
+    #: ship it to workers.
+    share_baselines: bool = True
+    #: Seconds a persistent engine pool may sit idle before its worker
+    #: processes are reaped (``None`` keeps them until ``close()``).
+    idle_ttl: float | None = None
+
+    def replace(self, **changes) -> "SweepConfig":
+        """A copy with ``changes`` applied (the dataclasses idiom)."""
+        return replace(self, **changes)
+
+    def merged(self, other: "SweepConfig | None") -> "SweepConfig":
+        """Overlay ``other``'s non-default fields onto this config."""
+        if other is None:
+            return self
+        changes = {
+            f.name: getattr(other, f.name)
+            for f in fields(other)
+            if getattr(other, f.name) != f.default
+        }
+        return self.replace(**changes) if changes else self
+
+
+#: Legacy keyword -> SweepConfig field, for entry points whose old name
+#: differs from the unified one.
+LEGACY_ALIASES = {"max_workers": "workers", "parallel": "workers"}
+
+
+def resolve_config(
+    config: SweepConfig | None,
+    caller: str,
+    *,
+    stacklevel: int = 3,
+    **legacy,
+) -> SweepConfig:
+    """Build the effective :class:`SweepConfig` for a shimmed entry point.
+
+    ``legacy`` holds the caller's deprecated keywords, each defaulting to
+    :data:`UNSET`; any keyword actually passed is overlaid onto ``config``
+    (or a default config) after a :class:`DeprecationWarning` that names
+    the replacement field.  With no legacy keywords passed, ``config`` is
+    returned as-is (or the default policy when ``None``).
+    """
+    passed = {k: v for k, v in legacy.items() if v is not UNSET}
+    if not passed:
+        return config if config is not None else SweepConfig()
+    renames = {k: LEGACY_ALIASES.get(k, k) for k in passed}
+    hints = ", ".join(
+        f"{old}= (use SweepConfig({new}=...))" for old, new in sorted(renames.items())
+    )
+    warnings.warn(
+        f"{caller}: loose keyword(s) are deprecated — {hints}; "
+        f"pass config=SweepConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    base = config if config is not None else SweepConfig()
+    mapped = {renames[k]: v for k, v in passed.items()}
+    if "workers" in mapped:
+        mapped["workers"] = max(1, int(mapped["workers"] or 1))
+    return base.replace(**mapped)

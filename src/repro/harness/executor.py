@@ -13,8 +13,15 @@ for free:
 * each unique (app, device) baseline is computed once in the parent and
   shipped to every worker, instead of once per worker;
 * chunks are sized adaptively from observed points/sec instead of the
-  fixed :data:`DEFAULT_CHUNK_SIZE` (pass ``chunk_size=`` to pin them);
+  fixed :data:`DEFAULT_CHUNK_SIZE` (pin them via ``config.chunk_size``);
 * duplicate points in the input collapse to a single evaluation.
+
+Execution policy arrives as one frozen
+:class:`~repro.harness.config.SweepConfig` (the PR-1/PR-3 loose keywords
+remain accepted through a :class:`DeprecationWarning` shim), and passing
+``engine=`` routes the sweep through a persistent
+:class:`~repro.harness.batch.BatchEngine` — its warm worker pool and
+session record cache — instead of a per-call pool.
 
 Durability is unchanged: completed records stream into a
 :class:`~repro.harness.database.CheckpointWriter` as chunks finish, and a
@@ -30,24 +37,23 @@ instead of aborting the sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Callable
 
 from repro.gpusim.device import DeviceSpec
 from repro.harness.batch import (
-    TARGET_CHUNK_SECONDS,
+    TARGET_CHUNK_SECONDS,  # noqa: F401 — canonical home is harness.config
     BatchJob,
     _default_factory,  # noqa: F401 — re-exported for pickling compatibility
     run_batch,
     run_point_with_retry,  # noqa: F401 — public retry wrapper lives in batch
 )
-from repro.harness.reporting import SweepProgress
+from repro.harness.config import UNSET, SweepConfig, resolve_config
 from repro.harness.runner import ExperimentRunner, RunRecord
 from repro.harness.sweep import SweepPoint
 
 #: Legacy fixed points-per-chunk bound (PR 1).  The batch layer now sizes
-#: chunks adaptively; pass ``chunk_size=DEFAULT_CHUNK_SIZE`` to restore
-#: the old static sharding.
+#: chunks adaptively; pass ``SweepConfig(chunk_size=DEFAULT_CHUNK_SIZE)``
+#: to restore the old static sharding.
 DEFAULT_CHUNK_SIZE = 16
 
 
@@ -84,47 +90,57 @@ def run_sweep_parallel(
     site: str | None = None,
     problems: dict | None = None,
     seed: int = 2023,
-    max_workers: int | None = None,
-    chunk_size: int | None = None,
-    target_chunk_seconds: float = TARGET_CHUNK_SECONDS,
-    checkpoint: str | Path | None = None,
-    retries: int = 1,
-    progress: bool | Callable[[SweepProgress], None] = False,
-    preflight: bool | Callable[..., RunRecord | None] = False,
-    share_baselines: bool = True,
+    config: SweepConfig | None = None,
+    engine=None,
     runner_factory: Callable[..., ExperimentRunner] | None = None,
     factory_args: tuple | None = None,
+    max_workers=UNSET,
+    chunk_size=UNSET,
+    target_chunk_seconds=UNSET,
+    checkpoint=UNSET,
+    retries=UNSET,
+    progress=UNSET,
+    preflight=UNSET,
+    share_baselines=UNSET,
+    sanitize=UNSET,
 ) -> SweepReport:
     """Execute ``points`` for one app/device, in parallel, resumably.
 
-    ``max_workers > 1`` shards the pending points into chunks and runs them
-    on a process pool; ``max_workers`` of 1 (or ``None``) runs in-process
-    but keeps the identical retry/checkpoint/progress behaviour, so the two
-    paths produce byte-identical records (the simulation is deterministic
-    per seed).
+    Execution policy lives in ``config`` (a frozen
+    :class:`~repro.harness.config.SweepConfig`):
 
-    ``checkpoint`` names a JSONL (or ``.jsonl.gz``) file: existing records
-    for this (app, device) are trusted and their points skipped; fresh
-    records are appended and flushed as each chunk completes.  The resume
-    key is (app, device, point label), which does not distinguish ``site``
-    overrides.
+    * ``workers > 1`` shards the pending points into chunks on a process
+      pool; ``workers`` of 1 runs in-process with identical
+      retry/checkpoint/progress behaviour, so the two paths produce
+      byte-identical records (the simulation is deterministic per seed).
+    * ``checkpoint`` names a JSONL (or ``.jsonl.gz``) file: existing
+      records for this (app, device) are trusted and their points skipped;
+      fresh records are appended and flushed as each chunk completes.  The
+      resume key is (app, device, point label), which does not distinguish
+      ``site`` overrides.
+    * ``chunk_size`` pins the shard size; by default chunks are sized
+      adaptively toward ``target_chunk_seconds`` of work from observed
+      points/sec.  ``share_baselines`` (default) computes the (app, device)
+      baseline once in the parent and ships it to every worker.
+    * ``progress`` is ``True`` for a stderr status line per chunk, or a
+      callable receiving :class:`~repro.harness.reporting.SweepProgress`.
+    * ``preflight`` statically vets each pending point before dispatch:
+      ``True`` uses :func:`repro.analysis.preflight.make_preflight`; a
+      callable ``(app, device, point, site=...) -> RunRecord | None`` is
+      used directly.  A non-None return is recorded as an infeasible row
+      (the diagnostic code in its note) without entering the simulator;
+      feasible points are unaffected, so the surviving records are
+      byte-identical to a preflight-disabled run.  Pruned records are
+      checkpointed like any other, so a resumed sweep does not re-vet them.
 
-    ``chunk_size`` pins the shard size; by default chunks are sized
-    adaptively toward ``target_chunk_seconds`` of work from observed
-    points/sec.  ``share_baselines`` (default) computes the (app, device)
-    baseline once in the parent and ships it to every worker.
+    The PR-1 loose keywords (``max_workers=``, ``checkpoint=``, ...) remain
+    accepted and are overlaid onto ``config`` with a
+    :class:`DeprecationWarning`.
 
-    ``progress`` is ``True`` for a stderr status line per chunk, or a
-    callable receiving :class:`~repro.harness.reporting.SweepProgress`.
-
-    ``preflight`` statically vets each pending point before dispatch:
-    ``True`` uses :func:`repro.analysis.preflight.make_preflight`; a
-    callable ``(app, device, point, site=...) -> RunRecord | None`` is used
-    directly.  A non-None return is recorded as an infeasible row (the
-    diagnostic code in its note) without entering the simulator; feasible
-    points are unaffected, so the surviving records are byte-identical to a
-    preflight-disabled run.  Pruned records are checkpointed like any
-    other, so a resumed sweep does not re-vet them.
+    ``engine`` routes the sweep through an existing persistent
+    :class:`~repro.harness.batch.BatchEngine` — reusing its warm worker
+    pool and session record cache — with this call's ``config`` overlaid
+    on the engine's for the duration of the call.
 
     ``runner_factory``/``factory_args`` override worker construction (it
     must be a picklable top-level callable); the default builds
@@ -132,21 +148,25 @@ def run_sweep_parallel(
     disable baseline sharing (the factory may not build an
     :class:`ExperimentRunner` at all).
     """
-    report = run_batch(
-        [BatchJob(app, device, pt, site=site) for pt in points],
-        problems=problems,
-        seed=seed,
-        max_workers=max_workers,
-        chunk_size=chunk_size,
-        target_chunk_seconds=target_chunk_seconds,
-        checkpoint=checkpoint,
-        retries=retries,
-        progress=progress,
-        preflight=preflight,
-        share_baselines=share_baselines,
-        runner_factory=runner_factory,
-        factory_args=factory_args,
+    cfg = resolve_config(
+        config, "run_sweep_parallel",
+        max_workers=max_workers, chunk_size=chunk_size,
+        target_chunk_seconds=target_chunk_seconds, checkpoint=checkpoint,
+        retries=retries, progress=progress, preflight=preflight,
+        share_baselines=share_baselines, sanitize=sanitize,
     )
+    jobs = [BatchJob(app, device, pt, site=site) for pt in points]
+    if engine is not None:
+        report = engine.submit(jobs, config=cfg).report()
+    else:
+        report = run_batch(
+            jobs,
+            problems=problems,
+            seed=seed,
+            config=cfg,
+            runner_factory=runner_factory,
+            factory_args=factory_args,
+        )
     return SweepReport(
         records=report.records,
         evaluated=report.evaluated,

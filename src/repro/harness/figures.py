@@ -32,6 +32,7 @@ from repro.approx.taf_variants import compare_variants
 from repro.gpusim.device import get_device
 from repro.gpusim.memory import global_memory_fraction_for_tables
 from repro.harness.batch import BatchEngine, BatchJob
+from repro.harness.config import SweepConfig
 from repro.harness.database import ResultsDB
 from repro.harness.metrics import geomean_speedup, r_squared
 from repro.harness.runner import ExperimentRunner, RunRecord
@@ -151,32 +152,44 @@ def _executors(
     runner: ExperimentRunner | None,
     engine: BatchEngine | None,
     parallel: int,
-) -> tuple[ExperimentRunner, BatchEngine | None]:
-    """Resolve the (runner, engine) pair a figure entry point executes on.
+) -> tuple[ExperimentRunner, BatchEngine | None, bool]:
+    """Resolve the (runner, engine, owned) triple a figure executes on.
 
     An explicit ``engine`` wins (its runner backs the figure's direct
     ``app``/``baseline`` needs unless a ``runner`` is also given);
-    ``parallel > 1`` wraps the runner in a throwaway parallel engine;
-    otherwise the figure runs serially on the runner — the legacy path."""
+    ``parallel > 1`` wraps the runner in a transient parallel engine —
+    flagged ``owned`` so the figure shuts its worker pool down after the
+    evaluation; otherwise the figure runs serially on the runner — the
+    legacy path."""
     if engine is not None:
-        return (runner or engine.runner), engine
+        return (runner or engine.runner), engine, False
     runner = runner or ExperimentRunner()
+    owned = False
     if parallel and parallel > 1:
-        engine = BatchEngine(max_workers=parallel, runner=runner)
-    return runner, engine
+        engine = BatchEngine(config=SweepConfig(workers=parallel), runner=runner)
+        owned = True
+    return runner, engine, owned
 
 
 def _eval(
     jobs: list[BatchJob],
     runner: ExperimentRunner,
     engine: BatchEngine | None,
+    owned: bool = False,
 ) -> list[RunRecord]:
-    """Evaluate a figure's job list: batched via the engine, else serial."""
-    if engine is not None:
-        return engine.run_jobs(jobs)
-    return [
-        runner.run_point(j.app, j.device, j.point, site=j.site) for j in jobs
-    ]
+    """Evaluate a figure's job list: batched via the engine, else serial.
+
+    ``owned`` marks an engine created for this one evaluation; its pool is
+    released as soon as the records are in."""
+    try:
+        if engine is not None:
+            return engine.run_jobs(jobs)
+        return [
+            runner.run_point(j.app, j.device, j.point, site=j.site) for j in jobs
+        ]
+    finally:
+        if owned and engine is not None:
+            engine.close()
 
 
 # ---------------------------------------------------------------------------
@@ -265,7 +278,7 @@ def fig6_best_speedup(
     """Highest speedup with error < 10% for every benchmark (Fig 6)."""
     apps = apps or FIG6_APPS
     devices = devices or DEVICES
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     cells: list[tuple] = []  # (dkey, app, tech, job offset, count)
     jobs: list[BatchJob] = []
     for dkey, dev in devices.items():
@@ -276,7 +289,7 @@ def fig6_best_speedup(
                 pts = candidates(app, tech, effort)
                 cells.append((dkey, app, tech, len(jobs), len(pts)))
                 jobs.extend(BatchJob(app, dev, pt) for pt in pts)
-    results = _eval(jobs, runner, engine)
+    results = _eval(jobs, runner, engine, owned)
     db = ResultsDB()
     best: dict = {}
     for dkey, app, tech, offset, count in cells:
@@ -342,9 +355,9 @@ def fig7_lulesh(
     parallel: int = 0,
 ) -> ScatterResult:
     """LULESH speedup/error scatter for TAF, iACT, perforation (Fig 7)."""
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     cells, jobs = _scatter_jobs("lulesh", ("taf", "iact", "perfo"), effort)
-    records = _slice_cells(cells, _eval(jobs, runner, engine))
+    records = _slice_cells(cells, _eval(jobs, runner, engine, owned))
     return ScatterResult(app="lulesh", records=records)
 
 
@@ -366,7 +379,7 @@ def fig8_binomial(
     parallel: int = 0,
 ) -> Fig8Result:
     """Binomial Options TAF/iACT results and the Fig-8c trade-off curve."""
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     items = items or [2, 4, 8, 16, 32, 64, 128, 256, 512]
     cells, jobs = _scatter_jobs("binomial", ("taf", "iact"), effort)
     scatter_len = len(jobs)
@@ -375,7 +388,7 @@ def fig8_binomial(
             BatchJob("binomial", dev, _taf(2, 32, 0.3, "team", ipt))
             for ipt in items
         )
-    results = _eval(jobs, runner, engine)
+    results = _eval(jobs, runner, engine, owned)
     records = _slice_cells(cells, results)
     sweep: dict = {}
     offset = scatter_len
@@ -405,12 +418,12 @@ def fig9_leukocyte_minife(
     engine: BatchEngine | None = None,
     parallel: int = 0,
 ) -> Fig9Result:
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     cells, jobs = _scatter_jobs("leukocyte", ("taf", "iact"), effort)
     scatter_len = len(jobs)
     minife_pts = candidates("minife", "taf", effort)
     jobs.extend(BatchJob("minife", NVIDIA, pt) for pt in minife_pts)
-    results = _eval(jobs, runner, engine)
+    results = _eval(jobs, runner, engine, owned)
     return Fig9Result(
         leukocyte=ScatterResult(
             app="leukocyte", records=_slice_cells(cells, results)
@@ -437,7 +450,7 @@ def fig10_blackscholes(
     parallel: int = 0,
 ) -> Fig10Result:
     """Blackscholes on AMD (kernel-only) and the Fig-10c threshold study."""
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     thresholds = thresholds or [0.1, 0.3, 0.6, 1.0, 3.0, 20.0]
     cells, jobs = _scatter_jobs("blackscholes", ("taf", "iact"), effort)
     scatter_len = len(jobs)
@@ -445,7 +458,7 @@ def fig10_blackscholes(
     jobs.extend(
         BatchJob("blackscholes", AMD, _taf(5, 512, T, ipt=8)) for T in thresholds
     )
-    results = _eval(jobs, runner, engine)
+    results = _eval(jobs, runner, engine, owned)
     records = _slice_cells(cells, results)
     study = {}
     # The quantile comparison needs the raw QoI vectors, not records, so it
@@ -487,7 +500,7 @@ def fig11_lavamd(
     parallel: int = 0,
 ) -> Fig11Result:
     """LavaMD TAF/iACT results and the warp-vs-thread pairing of Fig 11c."""
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     thresholds = thresholds or [0.008, 0.009, 0.01, 0.012]
     cells, jobs = _scatter_jobs("lavamd", ("taf", "iact"), effort)
     scatter_len = len(jobs)
@@ -495,7 +508,7 @@ def fig11_lavamd(
     for T, h, ps in combos:
         jobs.append(BatchJob("lavamd", AMD, _taf(h, ps, T, "thread", 1)))
         jobs.append(BatchJob("lavamd", AMD, _taf(h, ps, T, "warp", 1)))
-    results = _eval(jobs, runner, engine)
+    results = _eval(jobs, runner, engine, owned)
     pairs = []
     for i, (T, h, ps) in enumerate(combos):
         t_rec = results[scatter_len + 2 * i]
@@ -532,9 +545,9 @@ def fig12_kmeans(
     engine: BatchEngine | None = None,
     parallel: int = 0,
 ) -> Fig12Result:
-    runner, engine = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel)
     cells, jobs = _scatter_jobs("kmeans", ("taf", "iact"), effort)
-    records = _slice_cells(cells, _eval(jobs, runner, engine))
+    records = _slice_cells(cells, _eval(jobs, runner, engine, owned))
     points = []
     for recs in records.values():
         for r in recs:

@@ -49,6 +49,13 @@ def format_progress(p: SweepProgress) -> str:
 
 def format_engine_stats(stats) -> str:
     """One summary line for a :class:`~repro.harness.batch.EngineStats`."""
+    spawns = getattr(stats, "pool_spawns", 0)
+    respawns = getattr(stats, "pool_respawns", 0)
+    pool = ""
+    if spawns:
+        pool = f"; {spawns} pool spawn{'s' if spawns != 1 else ''}"
+        if respawns:
+            pool += f" ({respawns} after crashes)"
     return (
         f"batch engine: {stats.submitted} jobs submitted, "
         f"{stats.executed} simulated, {stats.cache_hits} served from cache, "
@@ -56,6 +63,7 @@ def format_engine_stats(stats) -> str:
         f"{stats.pruned} pruned; {stats.baseline_runs} baselines computed "
         f"({stats.worker_baseline_runs} redundantly in workers) "
         f"in {stats.elapsed:.2f}s"
+        + pool
     )
 
 

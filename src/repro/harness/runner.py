@@ -14,11 +14,14 @@ rather than crashing the sweep, the behaviour a real DSE harness needs.
 
 from __future__ import annotations
 
+import sys
+import time
 from dataclasses import asdict, dataclass, field
 
 from repro.apps.common import AppResult, Benchmark
 from repro.errors import ReproError, SharedMemoryError, UnsupportedApproximationError
 from repro.gpusim.device import DeviceSpec, get_device
+from repro.harness.config import UNSET, SweepConfig, resolve_config
 from repro.harness.metrics import convergence_speedup, error, speedup
 from repro.harness.sweep import SweepPoint
 
@@ -196,21 +199,37 @@ class ExperimentRunner:
         points: list[SweepPoint],
         site: str | None = None,
         *,
-        parallel: int | None = None,
-        checkpoint: str | None = None,
-        progress: bool = False,
-        retries: int = 1,
-        preflight: bool = False,
+        config: "SweepConfig | None" = None,
+        engine=None,
+        parallel=UNSET,
+        checkpoint=UNSET,
+        progress=UNSET,
+        retries=UNSET,
+        preflight=UNSET,
+        sanitize=UNSET,
     ) -> list[RunRecord]:
         """Run a list of sweep points, returning all records in input order.
 
-        ``parallel > 1`` fans the points out across a process pool;
-        ``checkpoint`` streams completed records to a JSONL file and skips
-        points already recorded there, so an interrupted sweep resumes where
-        it stopped (see :mod:`repro.harness.executor`).  ``preflight=True``
-        statically vets each point first (:mod:`repro.analysis.preflight`)
-        and records the provably infeasible ones without simulating them."""
-        if (parallel and parallel > 1) or checkpoint is not None or preflight:
+        Execution policy lives in ``config`` (a frozen
+        :class:`~repro.harness.config.SweepConfig`): ``workers > 1`` fans
+        the points out across a process pool; ``checkpoint`` streams
+        completed records to a JSONL file and skips points already recorded
+        there, so an interrupted sweep resumes where it stopped (see
+        :mod:`repro.harness.executor`); ``preflight`` statically vets each
+        point first (:mod:`repro.analysis.preflight`) and records the
+        provably infeasible ones without simulating them; ``progress`` is
+        ``True`` for a stderr line or a callable receiving
+        :class:`~repro.harness.reporting.SweepProgress` — honoured by the
+        serial path too.  ``engine`` routes the sweep through a persistent
+        :class:`~repro.harness.batch.BatchEngine`.  The PR-1 loose keywords
+        (``parallel=``, ``checkpoint=``, ...) remain accepted with a
+        :class:`DeprecationWarning`."""
+        cfg = resolve_config(
+            config, "ExperimentRunner.run_sweep",
+            parallel=parallel, checkpoint=checkpoint, progress=progress,
+            retries=retries, preflight=preflight, sanitize=sanitize,
+        )
+        if engine is not None or cfg.workers > 1 or cfg.checkpoint is not None or cfg.preflight:
             from repro.harness.executor import run_sweep_parallel
 
             report = run_sweep_parallel(
@@ -220,11 +239,42 @@ class ExperimentRunner:
                 site=site,
                 problems=self.problems,
                 seed=self.seed,
-                max_workers=parallel or 1,
-                checkpoint=checkpoint,
-                progress=progress,
-                retries=retries,
-                preflight=preflight,
+                config=cfg,
+                engine=engine,
             )
             return report.records
-        return [self.run_point(app_name, device, pt, site=site) for pt in points]
+        # Serial fast path: byte-identical to the pre-executor loop, but
+        # progress and sanitize are honoured here too (run_sweep used to
+        # silently drop progress callables).
+        report_progress = None
+        if cfg.progress is True:
+            from repro.harness.reporting import format_progress
+
+            def report_progress(p):
+                print(format_progress(p), file=sys.stderr)
+        elif callable(cfg.progress):
+            report_progress = cfg.progress
+        records: list[RunRecord] = []
+        t0 = time.monotonic()
+        feasible = infeasible = 0
+        for pt in points:
+            rec = self.run_point(
+                app_name, device, pt, site=site, sanitize=cfg.sanitize
+            )
+            records.append(rec)
+            feasible += rec.feasible
+            infeasible += not rec.feasible
+            if report_progress is not None:
+                from repro.harness.reporting import SweepProgress
+
+                report_progress(
+                    SweepProgress(
+                        total=len(points),
+                        done=len(records),
+                        feasible=feasible,
+                        infeasible=infeasible,
+                        skipped=0,
+                        elapsed=time.monotonic() - t0,
+                    )
+                )
+        return records

@@ -8,9 +8,18 @@ same :class:`~repro.harness.sweep.SweepPoint` space:
 
 * :func:`random_search` — the standard strong baseline: sample the grid
   uniformly without replacement.
-* :func:`evolutionary_search` — a (μ+λ) evolutionary loop: keep the best
-  configurations under the error budget, mutate one axis at a time toward
-  grid neighbours, and resample when stuck.
+* :func:`evolutionary_search` — a steady-state (μ+λ) evolutionary loop:
+  keep the best configurations under the error budget, mutate one axis at
+  a time toward grid neighbours, and resample when stuck.
+
+Both evaluate through the batch layer when given ``max_workers > 1`` or a
+persistent :class:`~repro.harness.batch.BatchEngine`.  The evolutionary
+loop is *streaming*: it keeps ``population`` evaluations in flight on a
+:class:`~repro.harness.batch.StreamSession` and proposes the next
+offspring the moment a result is consumed, instead of barriering per
+generation — and because the session yields results strictly in
+submission order, the evaluated point sequence depends only on the seed,
+so serial and parallel runs produce identical records.
 
 Both return the full :class:`~repro.harness.database.ResultsDB` so results
 remain queryable exactly like an exhaustive sweep's, plus the best record
@@ -20,6 +29,7 @@ subject to ``error <= max_error``.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,13 +74,16 @@ def random_search(
     space: list[SweepPoint] | None = None,
     max_workers: int = 1,
     checkpoint: str | None = None,
+    engine: "BatchEngine | None" = None,
 ) -> SearchResult:
     """Uniform sampling of the Table-2 grid without replacement.
 
-    The whole sample is known up front, so with ``max_workers > 1`` it is
-    evaluated as one batch through the parallel executor (workers rebuild
-    the runner from its problems/seed); results are identical to the serial
-    path because the simulation is deterministic per seed."""
+    The whole sample is known up front, so with ``max_workers > 1`` (or an
+    ``engine``) it is evaluated as one batch through the parallel executor;
+    results are identical to the serial path because the simulation is
+    deterministic per seed.  ``engine`` reuses a persistent
+    :class:`~repro.harness.batch.BatchEngine` — its warm worker pool and
+    session record cache — instead of spawning a pool for this call."""
     rng = np.random.default_rng(seed)
     points = list(
         space
@@ -81,13 +94,15 @@ def random_search(
     rng.shuffle(points)
     sample = points[: int(budget)]
     db = ResultsDB()
-    if max_workers > 1 or checkpoint is not None:
+    if engine is not None or max_workers > 1 or checkpoint is not None:
+        from repro.harness.config import SweepConfig
         from repro.harness.executor import run_sweep_parallel
 
         report = run_sweep_parallel(
             app, device, sample,
             problems=runner.problems, seed=runner.seed,
-            max_workers=max_workers, checkpoint=checkpoint,
+            config=SweepConfig(workers=max_workers, checkpoint=checkpoint),
+            engine=engine,
         )
         records = report.records
     else:
@@ -130,6 +145,39 @@ def _neighbors(point: SweepPoint, space: list[SweepPoint]) -> list[SweepPoint]:
     return out
 
 
+class _SerialFeed:
+    """Minimal in-process stand-in for a :class:`StreamSession`.
+
+    Jobs queue on ``put`` and evaluate lazily when consumed — the same
+    submission-order semantics the parallel session provides — so the
+    steady-state loop below is one code path at any worker count."""
+
+    def __init__(self, runner: ExperimentRunner) -> None:
+        self._runner = runner
+        self._queue: deque = deque()
+        self._ticket = 0
+
+    def put(self, job) -> int:
+        self._queue.append(job)
+        ticket = self._ticket
+        self._ticket += 1
+        return ticket
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if not self._queue:
+            raise StopIteration
+        job = self._queue.popleft()
+        record = self._runner.run_point(job.app, job.device, job.point, site=job.site)
+        ticket = self._ticket - len(self._queue) - 1
+        return ticket, record
+
+    def close(self) -> None:
+        self._queue.clear()
+
+
 def evolutionary_search(
     runner: ExperimentRunner,
     app: str,
@@ -144,19 +192,19 @@ def evolutionary_search(
     engine: "BatchEngine | None" = None,
     max_workers: int = 1,
 ) -> SearchResult:
-    """(μ+λ) evolutionary search over the Table-2 grid.
+    """Steady-state (μ+λ) evolutionary search over the Table-2 grid.
 
-    Seeds ``population`` random configurations, then evolves one
-    *generation* at a time: the ``population`` fittest survivors each
-    propose an offspring mutated along one grid axis (dead ends resample a
-    fresh random point), and the whole generation is evaluated as one
-    batch.  Every generation's proposals are drawn from the RNG *before*
-    any of them is evaluated, so the evaluated point sequence depends only
-    on the seed — ``max_workers > 1`` (or an explicit ``engine``) fans each
-    generation across the batch layer and returns records identical to the
-    serial loop.  Typically reaches the exhaustive-search optimum's
-    neighbourhood in a small fraction of the grid's size (see the ablation
-    bench).
+    Seeds ``population`` random configurations and then keeps
+    ``population`` evaluations in flight: each time a result is consumed
+    it joins the elite (the ``population`` fittest so far), and *one* new
+    offspring is proposed immediately — mutated along one grid axis from
+    an elite parent, resampling a fresh random point at dead ends — until
+    ``budget`` proposals have been made.  There is no per-generation
+    barrier: with ``max_workers > 1`` (or a persistent ``engine``) the
+    proposals ride a :class:`~repro.harness.batch.StreamSession`, whose
+    strict submission-order consumption makes the evaluated point sequence
+    a function of the seed alone — serial and parallel runs produce
+    identical records.
     """
     rng = np.random.default_rng(seed)
     points = list(
@@ -167,74 +215,73 @@ def evolutionary_search(
     )
     db = ResultsDB()
     seen: set[str] = set()
+    owned_engine = None
     if engine is None and max_workers > 1:
         from repro.harness.batch import BatchEngine
+        from repro.harness.config import SweepConfig
 
-        engine = BatchEngine(
-            problems=runner.problems, seed=runner.seed,
-            max_workers=max_workers, runner=runner,
+        engine = owned_engine = BatchEngine(
+            config=SweepConfig(workers=max_workers), runner=runner
         )
 
-    def eval_generation(pts: list[SweepPoint]) -> list[tuple[SweepPoint, RunRecord]]:
-        pts = pts[: budget - len(db)]
-        if not pts:
-            return []
-        if engine is not None:
-            from repro.harness.batch import BatchJob
-
-            recs = engine.run_jobs([BatchJob(app, device, p) for p in pts])
+    def propose_one(parent: SweepPoint | None) -> SweepPoint | None:
+        """One unseen offspring of ``parent`` (or a fresh random point)."""
+        nbrs = (
+            [n for n in _neighbors(parent, points) if n.label() not in seen]
+            if parent is not None
+            else []
+        )
+        if nbrs:
+            nxt = nbrs[int(rng.integers(len(nbrs)))]
         else:
-            recs = [runner.run_point(app, device, p) for p in pts]
-        db.add(list(recs))
-        return list(zip(pts, recs))
+            fresh = [p for p in points if p.label() not in seen]
+            if not fresh:
+                return None
+            nxt = fresh[int(rng.integers(len(fresh)))]
+        seen.add(nxt.label())
+        return nxt
 
-    def propose(parents: list[SweepPoint], want: int) -> list[SweepPoint]:
-        """Draw one generation of unseen offspring (marked seen now, so a
-        generation never proposes the same point twice)."""
-        offspring: list[SweepPoint] = []
-        for i in range(want):
-            parent = parents[i % len(parents)] if parents else None
-            nbrs = (
-                [n for n in _neighbors(parent, points) if n.label() not in seen]
-                if parent is not None
-                else []
-            )
-            if nbrs:
-                nxt = nbrs[int(rng.integers(len(nbrs)))]
-            else:
-                fresh = [p for p in points if p.label() not in seen]
-                if not fresh:
-                    break
-                nxt = fresh[int(rng.integers(len(fresh)))]
-            seen.add(nxt.label())
-            offspring.append(nxt)
-        return offspring
+    from repro.harness.batch import BatchJob
 
-    # Seed generation.
-    seeds: list[SweepPoint] = []
-    for idx in rng.permutation(len(points))[: int(population)]:
-        pt = points[int(idx)]
-        if pt.label() not in seen:
+    session = (
+        engine.open_stream() if engine is not None else _SerialFeed(runner)
+    )
+    pending: dict[int, SweepPoint] = {}
+    elite: list[tuple[float, SweepPoint, RunRecord]] = []
+    proposals = 0
+    #: Round-robin parent cursor: consecutive offspring come from different
+    #: elite members, like the generational loop's i % len(parents).
+    child_idx = 0
+    try:
+        # Seed wave: population distinct random points, all in flight.
+        for idx in rng.permutation(len(points))[: int(population)]:
+            if proposals >= budget:
+                break
+            pt = points[int(idx)]
+            if pt.label() in seen:
+                continue
             seen.add(pt.label())
-            seeds.append(pt)
-    elite: list[tuple[float, SweepPoint, RunRecord]] = [
-        (_objective(rec, max_error), pt, rec)
-        for pt, rec in eval_generation(seeds)
-    ]
-
-    while len(db) < budget and elite:
-        elite.sort(key=lambda t: -t[0])
-        elite = elite[: int(population)]
-        gen = propose(
-            [pt for _, pt, _ in elite],
-            min(int(population), budget - len(db)),
-        )
-        if not gen:
-            break
-        elite.extend(
-            (_objective(rec, max_error), pt, rec)
-            for pt, rec in eval_generation(gen)
-        )
+            pending[session.put(BatchJob(app, device, pt))] = pt
+            proposals += 1
+        # Steady state: consume strictly in submission order; each consumed
+        # result funds exactly one new proposal.
+        for ticket, rec in session:
+            pt = pending.pop(ticket)
+            db.add(rec)
+            elite.append((_objective(rec, max_error), pt, rec))
+            elite.sort(key=lambda t: -t[0])
+            elite = elite[: int(population)]
+            if proposals < budget:
+                parent = elite[child_idx % len(elite)][1] if elite else None
+                child_idx += 1
+                nxt = propose_one(parent)
+                if nxt is not None:
+                    pending[session.put(BatchJob(app, device, nxt))] = nxt
+                    proposals += 1
+    finally:
+        session.close()
+        if owned_engine is not None:
+            owned_engine.close()
 
     best = db.best_speedup(max_error=max_error)
     if best is None and len(db):

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.harness import figures as F
+from repro.harness.config import SweepConfig
 from repro.harness.batch import (
     AdaptiveChunker,
     BatchEngine,
@@ -51,27 +52,29 @@ def serial_records():
 
 class TestHeterogeneousBatch:
     def test_parallel_matches_serial(self, serial_records):
-        report = run_batch(_jobs(), problems=PROBLEMS, max_workers=2)
+        report = run_batch(_jobs(), problems=PROBLEMS, config=SweepConfig(workers=2))
         assert [r.to_dict() for r in report.records] == [
             r.to_dict() for r in serial_records
         ]
         assert report.evaluated == len(serial_records)
 
     def test_in_process_path_matches_serial(self, serial_records):
-        report = run_batch(_jobs(), problems=PROBLEMS, max_workers=1)
+        report = run_batch(_jobs(), problems=PROBLEMS, config=SweepConfig(workers=1))
         assert [r.to_dict() for r in report.records] == [
             r.to_dict() for r in serial_records
         ]
 
     def test_baselines_resolved_once_in_parent(self):
-        report = run_batch(_jobs(), problems=PROBLEMS, max_workers=2)
+        report = run_batch(_jobs(), problems=PROBLEMS, config=SweepConfig(workers=2))
         # 2 apps × 2 devices among the pending jobs — exactly once each.
         assert report.baseline_runs == 4
         assert report.worker_baseline_runs == 0
 
     def test_share_baselines_off_recomputes_in_workers(self, serial_records):
         report = run_batch(
-            _jobs(), problems=PROBLEMS, max_workers=2, share_baselines=False
+            _jobs(),
+            problems=PROBLEMS,
+            config=SweepConfig(workers=2, share_baselines=False),
         )
         assert report.baseline_runs == 0
         assert report.worker_baseline_runs >= 4  # every pair, per worker
@@ -81,7 +84,7 @@ class TestHeterogeneousBatch:
 
     def test_duplicate_jobs_collapse(self, serial_records):
         jobs = _jobs()
-        report = run_batch(jobs + jobs, problems=PROBLEMS, max_workers=2)
+        report = run_batch(jobs + jobs, problems=PROBLEMS, config=SweepConfig(workers=2))
         assert report.deduped == len(jobs)
         assert report.evaluated == len(jobs)
         assert [r.to_dict() for r in report.records] == [
@@ -91,21 +94,23 @@ class TestHeterogeneousBatch:
     def test_heterogeneous_checkpoint_resume(self, tmp_path, serial_records):
         ck = tmp_path / "batch.jsonl"
         jobs = _jobs()
-        first = run_batch(jobs[:3], problems=PROBLEMS, max_workers=2,
-                          checkpoint=ck)
+        first = run_batch(jobs[:3], problems=PROBLEMS,
+                          config=SweepConfig(workers=2, checkpoint=ck))
         assert first.evaluated == 3
-        rest = run_batch(jobs, problems=PROBLEMS, max_workers=2, checkpoint=ck)
+        rest = run_batch(jobs, problems=PROBLEMS,
+                         config=SweepConfig(workers=2, checkpoint=ck))
         assert rest.skipped == 3
         assert rest.evaluated == len(jobs) - 3
         assert [r.to_dict() for r in rest.records] == [
             r.to_dict() for r in serial_records
         ]
         # Baselines are only resolved for still-pending pairs.
-        again = run_batch(jobs, problems=PROBLEMS, max_workers=2, checkpoint=ck)
+        again = run_batch(jobs, problems=PROBLEMS,
+                          config=SweepConfig(workers=2, checkpoint=ck))
         assert again.evaluated == 0 and again.baseline_runs == 0
 
     def test_empty_batch(self):
-        report = run_batch([], problems=PROBLEMS, max_workers=2)
+        report = run_batch([], problems=PROBLEMS, config=SweepConfig(workers=2))
         assert report.records == [] and report.evaluated == 0
 
 
@@ -144,7 +149,7 @@ class TestAdaptiveChunker:
 
 class TestBatchEngine:
     def test_cross_call_cache(self, serial_records):
-        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        engine = BatchEngine(problems=PROBLEMS, config=SweepConfig(workers=1))
         jobs = _jobs()
         first = engine.run_jobs(jobs)
         assert engine.stats.executed == len(jobs)
@@ -156,13 +161,13 @@ class TestBatchEngine:
         ]
 
     def test_session_wide_baselines_exactly_once(self):
-        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        engine = BatchEngine(problems=PROBLEMS, config=SweepConfig(workers=1))
         engine.run_jobs(_jobs()[:3])  # first call touches 3 of the 4 pairs
         engine.run_jobs(_jobs())  # second call reuses them
         assert engine.stats.baseline_runs == 4
 
     def test_run_point_and_run_sweep_helpers(self):
-        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        engine = BatchEngine(problems=PROBLEMS, config=SweepConfig(workers=1))
         pt = _taf(1, 4, 0.3)
         rec = engine.run_point("blackscholes", "v100_small", pt)
         recs = engine.run_sweep("blackscholes", "v100_small", [pt, _taf(2, 8, 0.3)])
@@ -170,7 +175,7 @@ class TestBatchEngine:
         assert engine.stats.cache_hits == 1
 
     def test_parallel_engine_matches_serial(self, serial_records):
-        engine = BatchEngine(problems=PROBLEMS, max_workers=2)
+        engine = BatchEngine(problems=PROBLEMS, config=SweepConfig(workers=2))
         records = engine.run_jobs(_jobs())
         assert [r.to_dict() for r in records] == [
             r.to_dict() for r in serial_records
@@ -199,7 +204,7 @@ def fig_runner():
 
 @pytest.fixture(scope="module")
 def fig_engine():
-    return BatchEngine(problems=SMALL_PROBLEMS, max_workers=1)
+    return BatchEngine(problems=SMALL_PROBLEMS, config=SweepConfig(workers=1))
 
 
 def _scatter_dicts(scatter):
@@ -276,7 +281,7 @@ class TestFigureEquivalence:
     def test_fig7_parallel_matches_serial(self, fig_runner):
         serial = F.fig7_lulesh(runner=fig_runner)
         par = F.fig7_lulesh(
-            engine=BatchEngine(problems=SMALL_PROBLEMS, max_workers=2)
+            engine=BatchEngine(problems=SMALL_PROBLEMS, config=SweepConfig(workers=2))
         )
         assert _scatter_dicts(serial) == _scatter_dicts(par)
 
@@ -305,7 +310,7 @@ class TestEvolutionaryBatch:
         assert par.best.to_dict() == serial.best.to_dict()
 
     def test_shared_engine_reuses_search_points(self):
-        engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        engine = BatchEngine(problems=PROBLEMS, config=SweepConfig(workers=1))
         first = evolutionary_search(
             engine.runner, "blackscholes", "v100_small", "taf",
             budget=8, seed=5, space=self._space(), engine=engine,

@@ -5,6 +5,7 @@ import json
 
 import pytest
 
+from repro.harness.config import SweepConfig
 from repro.harness.database import (
     CHECKPOINT_SCHEMA_VERSION,
     SCHEMA_KEY,
@@ -135,12 +136,12 @@ class TestGzipCheckpoints:
         pts = _points(3)
         first = run_sweep_parallel(
             "blackscholes", "v100_small", pts[:2],
-            problems=PROBLEMS, max_workers=1, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=1, checkpoint=ck),
         )
         assert first.evaluated == 2
         rest = run_sweep_parallel(
             "blackscholes", "v100_small", pts,
-            problems=PROBLEMS, max_workers=1, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=1, checkpoint=ck),
         )
         assert rest.skipped == 2 and rest.evaluated == 1
 

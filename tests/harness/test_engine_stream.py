@@ -1,0 +1,195 @@
+"""Persistent-engine and streaming-consumption tests.
+
+The acceptance bar from the issue: one engine session running several
+consecutive batches spawns exactly one process pool (counter-asserted),
+streaming yields records before the batch completes while the final
+record set is byte-identical to the blocking path, a crashed worker's
+pool is respawned transparently, and an idle pool is reaped after its
+TTL then respawned on the next use.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.harness.batch import BatchEngine, BatchJob, WorkerPool
+from repro.harness.config import SweepConfig
+from repro.harness.runner import ExperimentRunner
+from repro.harness.sweep import SweepPoint
+
+PROBLEMS = {
+    "blackscholes": {"num_options": 2048, "num_runs": 4},
+    "kmeans": {"num_obs": 2048, "max_iters": 8},
+}
+
+
+def _taf(h, p, t, ipt=2):
+    return SweepPoint("taf", {"hsize": h, "psize": p, "threshold": t}, "thread", ipt)
+
+
+def _jobs(n=6):
+    pts = [
+        _taf(h, p, t)
+        for h in (1, 2)
+        for p in (4, 8, 16)
+        for t in (0.3, 0.9, 3.0)
+    ]
+    return [BatchJob("blackscholes", "v100_small", pt) for pt in pts[:n]]
+
+
+@pytest.fixture(scope="module")
+def blocking_dicts():
+    with BatchEngine(problems=PROBLEMS, config=SweepConfig(workers=2)) as eng:
+        return [r.to_dict() for r in eng.run_jobs(_jobs())]
+
+
+class TestStreaming:
+    def test_streamed_records_identical_to_blocking(self, blocking_dicts):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2)
+        ) as eng:
+            streamed = [r.to_dict() for r in eng.submit(_jobs())]
+            # records() (what run_jobs drains) is job-ordered and must be
+            # byte-identical to the blocking path; direct iteration yields
+            # the same set in readiness order.
+            ordered = [r.to_dict() for r in eng.submit(_jobs()).records()]
+        assert ordered == blocking_dicts
+        key = lambda d: sorted(d["params"].items())  # noqa: E731
+        assert sorted(streamed, key=key) == sorted(blocking_dicts, key=key)
+
+    def test_stream_yields_before_batch_completes(self, blocking_dicts):
+        # chunk_size=1 so each record lands individually: after the first
+        # yield, later slots must still be pending (the consumer overlaps
+        # the pool), yet the drained set matches the blocking one.  Yield
+        # order is readiness order — chunks complete out of job order —
+        # so the comparison is order-insensitive.
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2, chunk_size=1)
+        ) as eng:
+            stream = eng.submit(_jobs())
+            first = next(stream)
+            assert stream.pending > 0
+            rest = list(stream)
+        streamed = [r.to_dict() for r in [first] + rest]
+        key = lambda d: sorted(d["params"].items())  # noqa: E731
+        assert sorted(streamed, key=key) == sorted(blocking_dicts, key=key)
+        assert stream.pending == 0
+
+    def test_serial_stream_identical(self, blocking_dicts):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=1)
+        ) as eng:
+            streamed = [r.to_dict() for r in eng.submit(_jobs())]
+        assert streamed == blocking_dicts
+
+    def test_stream_serves_cache_hits_immediately(self):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2)
+        ) as eng:
+            eng.run_jobs(_jobs(2))
+            stream = eng.submit(_jobs(2) + _jobs(4))
+            # Both cached slots yield without touching the pool again.
+            assert next(stream) is not None
+            assert next(stream) is not None
+            assert eng.stats.cache_hits >= 2
+            list(stream)
+
+
+class TestPersistentPool:
+    def test_one_pool_across_three_batches(self):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2)
+        ) as eng:
+            eng.run_jobs(_jobs(2))
+            eng.run_jobs(_jobs(4)[2:])
+            eng.run_jobs(
+                [BatchJob("kmeans", "v100_small", _taf(1, 7, 0.9, ipt=8))]
+            )
+            assert eng.stats.executed == 5
+            assert eng.stats.pool_spawns == 1
+            assert eng.stats.pool_respawns == 0
+
+    def test_crashed_worker_pool_respawned(self, blocking_dicts):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2)
+        ) as eng:
+            eng.run_jobs(_jobs(1))  # spawn the pool
+            for pid in list(eng.pool._executor._processes):
+                os.kill(pid, signal.SIGKILL)
+            records = eng.run_jobs(_jobs())
+            assert eng.stats.pool_respawns >= 1
+            assert all(r.feasible for r in records)
+            assert [r.to_dict() for r in records] == blocking_dicts
+
+    def test_idle_ttl_reaps_then_respawns(self):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2, idle_ttl=3600.0)
+        ) as eng:
+            eng.run_jobs(_jobs(1))
+            assert eng.pool.alive
+            # Deterministic reap (the timer would fire after idle_ttl).
+            assert eng.pool.reap_idle(force=True)
+            assert not eng.pool.alive
+            # The next batch transparently respawns — same records, one
+            # extra spawn on the counter.
+            records = eng.run_jobs(_jobs(2))
+            assert all(r.feasible for r in records)
+            assert eng.pool.spawns == 2
+            assert eng.stats.pool_spawns == 2
+
+    def test_reap_refuses_while_acquired(self):
+        pool = WorkerPool(2, idle_ttl=0.01)
+        pool.submit(max, 1, 2).result()
+        pool.acquire()
+        try:
+            assert not pool.reap_idle(force=True)
+            assert pool.alive
+        finally:
+            pool.release()
+            pool.shutdown()
+
+
+class TestStreamSession:
+    def test_tickets_yield_in_submission_order(self):
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2)
+        ) as eng:
+            with eng.open_stream() as session:
+                tickets = [session.put(j) for j in _jobs(4)]
+                assert tickets == [0, 1, 2, 3]
+                out = list(session)
+            assert [t for t, _ in out] == tickets
+
+    def test_serial_and_parallel_sessions_identical(self):
+        def drive(workers):
+            with BatchEngine(
+                problems=PROBLEMS, config=SweepConfig(workers=workers)
+            ) as eng:
+                with eng.open_stream() as session:
+                    for j in _jobs(4):
+                        session.put(j)
+                    return [r.to_dict() for _, r in session]
+
+        assert drive(1) == drive(2)
+
+    def test_incremental_put_between_consumes(self):
+        # A consumer that decides its next submission from the last
+        # result (the steady-state search's access pattern).
+        jobs = _jobs(4)
+        with BatchEngine(
+            problems=PROBLEMS, config=SweepConfig(workers=2)
+        ) as eng:
+            with eng.open_stream() as session:
+                session.put(jobs[0])
+                seen = []
+                for ticket, rec in session:
+                    seen.append((ticket, rec.to_dict()))
+                    if len(seen) < len(jobs):
+                        session.put(jobs[len(seen)])
+                assert session.outstanding == 0
+        assert [t for t, _ in seen] == [0, 1, 2, 3]
+        serial = ExperimentRunner(problems=PROBLEMS)
+        assert [d for _, d in seen] == [
+            serial.run_point(j.app, j.device, j.point).to_dict() for j in jobs
+        ]

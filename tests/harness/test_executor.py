@@ -1,12 +1,13 @@
 """Parallel, checkpointed sweep executor tests.
 
 The issue's acceptance bar: a thinned TAF sweep through the executor with
-``max_workers >= 2`` matches the serial path record-for-record, and
+``workers >= 2`` matches the serial path record-for-record, and
 re-running against its checkpoint evaluates zero new points.
 """
 
 import pytest
 
+from repro.harness.config import SweepConfig
 from repro.harness.database import ResultsDB
 from repro.harness.executor import (
     SweepReport,
@@ -43,7 +44,7 @@ class TestEquivalence:
     def test_parallel_matches_serial(self, serial_records):
         report = run_sweep_parallel(
             "blackscholes", "v100_small", _points(),
-            problems=PROBLEMS, max_workers=2,
+            problems=PROBLEMS, config=SweepConfig(workers=2),
         )
         assert [r.to_dict() for r in report.records] == [
             r.to_dict() for r in serial_records
@@ -54,7 +55,7 @@ class TestEquivalence:
     def test_in_process_path_matches_serial(self, serial_records):
         report = run_sweep_parallel(
             "blackscholes", "v100_small", _points(),
-            problems=PROBLEMS, max_workers=1,
+            problems=PROBLEMS, config=SweepConfig(workers=1),
         )
         assert [r.to_dict() for r in report.records] == [
             r.to_dict() for r in serial_records
@@ -63,7 +64,7 @@ class TestEquivalence:
     def test_run_sweep_parallel_kwarg(self, serial_records):
         runner = ExperimentRunner(problems=PROBLEMS)
         records = runner.run_sweep(
-            "blackscholes", "v100_small", _points(), parallel=2
+            "blackscholes", "v100_small", _points(), config=SweepConfig(workers=2)
         )
         assert [r.to_dict() for r in records] == [
             r.to_dict() for r in serial_records
@@ -72,7 +73,7 @@ class TestEquivalence:
     def test_report_counts(self, serial_records):
         report = run_sweep_parallel(
             "blackscholes", "v100_small", _points(),
-            problems=PROBLEMS, max_workers=2,
+            problems=PROBLEMS, config=SweepConfig(workers=2),
         )
         assert report.feasible == sum(r.feasible for r in serial_records)
         assert report.infeasible == 1
@@ -84,19 +85,19 @@ class TestCheckpoint:
         pts = _points()
         first = run_sweep_parallel(
             "blackscholes", "v100_small", pts[:4],
-            problems=PROBLEMS, max_workers=2, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=2, checkpoint=ck),
         )
         assert first.evaluated == 4 and ck.exists()
         rest = run_sweep_parallel(
             "blackscholes", "v100_small", pts,
-            problems=PROBLEMS, max_workers=2, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=2, checkpoint=ck),
         )
         assert rest.skipped == 4
         assert rest.evaluated == len(pts) - 4
         # Full rerun against the finished checkpoint evaluates nothing.
         again = run_sweep_parallel(
             "blackscholes", "v100_small", pts,
-            problems=PROBLEMS, max_workers=2, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=2, checkpoint=ck),
         )
         assert again.evaluated == 0
         assert again.skipped == len(pts)
@@ -109,7 +110,7 @@ class TestCheckpoint:
         ck = tmp_path / "sweep.jsonl"
         run_sweep_parallel(
             "blackscholes", "v100_small", _points()[:3],
-            problems=PROBLEMS, max_workers=1, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=1, checkpoint=ck),
         )
         db = ResultsDB.load(ck)
         assert len(db) == 3
@@ -129,7 +130,7 @@ class TestCheckpoint:
         ).save(ck)
         report = run_sweep_parallel(
             "blackscholes", "v100_small", pts,
-            problems=PROBLEMS, max_workers=1, checkpoint=ck,
+            problems=PROBLEMS, config=SweepConfig(workers=1, checkpoint=ck),
         )
         assert report.skipped == 0 and report.evaluated == 2
 
@@ -187,7 +188,7 @@ class TestRetry:
     def test_sweep_survives_worker_exceptions(self, serial_records):
         report = run_sweep_parallel(
             "blackscholes", "v100_small", _points(),
-            max_workers=2, retries=1,
+            config=SweepConfig(workers=2, retries=1),
             runner_factory=_flaky_factory, factory_args=(PROBLEMS, 2023),
         )
         assert [r.to_dict() for r in report.records] == [
@@ -232,7 +233,7 @@ class TestRetry:
     def test_no_retries_aborts_into_infeasible_records(self):
         report = run_sweep_parallel(
             "blackscholes", "v100_small", _points()[:2],
-            max_workers=1, retries=0,
+            config=SweepConfig(workers=1, retries=0),
             runner_factory=lambda: _FailingRunner(), factory_args=(),
         )
         assert report.evaluated == 2
@@ -245,8 +246,8 @@ class TestProgress:
         snaps = []
         run_sweep_parallel(
             "blackscholes", "v100_small", _points()[:4],
-            problems=PROBLEMS, max_workers=1, chunk_size=1,
-            progress=snaps.append,
+            problems=PROBLEMS,
+            config=SweepConfig(workers=1, chunk_size=1, progress=snaps.append),
         )
         assert [p.done for p in snaps] == [1, 2, 3, 4]
         assert all(p.total == 4 for p in snaps)
@@ -268,7 +269,8 @@ class TestChunking:
 
     def test_empty_sweep(self):
         report = run_sweep_parallel(
-            "blackscholes", "v100_small", [], problems=PROBLEMS, max_workers=2
+            "blackscholes", "v100_small", [], problems=PROBLEMS,
+            config=SweepConfig(workers=2),
         )
         assert isinstance(report, SweepReport)
         assert report.records == [] and report.evaluated == 0

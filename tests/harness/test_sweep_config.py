@@ -1,0 +1,156 @@
+"""Unified SweepConfig tests: frozen policy, legacy shims, progress.
+
+The issue's acceptance bar: one frozen config object threads through
+every entry point; the ~15 old loose keywords still work but warn with
+the replacement field named; and ``progress`` accepts
+``bool | Callable[[SweepProgress], None]`` uniformly — the serial
+``run_sweep`` path included, which previously only took a bool.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.batch import BatchEngine, BatchJob, run_batch
+from repro.harness.config import SweepConfig, resolve_config
+from repro.harness.executor import run_sweep_parallel
+from repro.harness.runner import ExperimentRunner
+from repro.harness.sweep import SweepPoint
+
+PROBLEMS = {"blackscholes": {"num_options": 2048, "num_runs": 4}}
+
+
+def _points(n=3):
+    return [
+        SweepPoint("taf", {"hsize": 1, "psize": p, "threshold": 0.3}, "thread", 2)
+        for p in (4, 8, 16, 32)
+    ][:n]
+
+
+class TestSweepConfig:
+    def test_frozen(self):
+        cfg = SweepConfig(workers=2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.workers = 4
+
+    def test_replace_derives_variant(self):
+        cfg = SweepConfig(workers=2, retries=3)
+        out = cfg.replace(workers=4)
+        assert (out.workers, out.retries) == (4, 3)
+        assert cfg.workers == 2  # original untouched
+
+    def test_merged_overlays_non_defaults(self):
+        base = SweepConfig(workers=4, retries=3)
+        out = base.merged(SweepConfig(checkpoint="ck.jsonl"))
+        assert out.workers == 4 and out.retries == 3
+        assert str(out.checkpoint) == "ck.jsonl"
+        assert base.merged(None) is base
+
+
+class TestResolveConfig:
+    def test_no_legacy_passes_config_through(self):
+        cfg = SweepConfig(workers=3)
+        assert resolve_config(cfg, "x") is cfg
+        assert resolve_config(None, "x") == SweepConfig()
+
+    def test_legacy_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match=r"max_workers= \(use SweepConfig\(workers=\.\.\.\)\)"):
+            cfg = resolve_config(None, "x", max_workers=4)
+        assert cfg.workers == 4
+
+    def test_legacy_overlays_onto_config(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = resolve_config(SweepConfig(retries=5), "x", parallel=2)
+        assert cfg.workers == 2 and cfg.retries == 5
+
+    def test_workers_clamped(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_config(None, "x", max_workers=0).workers == 1
+
+
+class TestDeprecationShims:
+    """Each entry point's old loose keywords warn but keep working."""
+
+    def test_run_sweep_parallel(self):
+        with pytest.warns(DeprecationWarning, match="run_sweep_parallel"):
+            report = run_sweep_parallel(
+                "blackscholes", "v100_small", _points(),
+                problems=PROBLEMS, max_workers=1,
+            )
+        assert report.evaluated == 3
+
+    def test_run_batch(self):
+        jobs = [BatchJob("blackscholes", "v100_small", p) for p in _points()]
+        with pytest.warns(DeprecationWarning, match="run_batch"):
+            report = run_batch(jobs, problems=PROBLEMS, max_workers=1)
+        assert report.evaluated == 3
+
+    def test_batch_engine(self):
+        with pytest.warns(DeprecationWarning, match="BatchEngine"):
+            engine = BatchEngine(problems=PROBLEMS, max_workers=1)
+        assert engine.config.workers == 1
+        engine.close()
+
+    def test_runner_run_sweep_parallel_kwarg(self):
+        runner = ExperimentRunner(problems=PROBLEMS)
+        with pytest.warns(DeprecationWarning, match=r"parallel= \(use SweepConfig\(workers"):
+            records = runner.run_sweep(
+                "blackscholes", "v100_small", _points(), parallel=1
+            )
+        assert len(records) == 3
+
+    def test_config_and_legacy_compose(self):
+        # config= plus a loose kwarg: the kwarg overlays the config.
+        with pytest.warns(DeprecationWarning):
+            report = run_sweep_parallel(
+                "blackscholes", "v100_small", _points(),
+                problems=PROBLEMS, config=SweepConfig(workers=2), retries=0,
+            )
+        assert report.evaluated == 3
+
+
+class TestProgressUnification:
+    def test_serial_run_sweep_accepts_callable(self):
+        runner = ExperimentRunner(problems=PROBLEMS)
+        snaps = []
+        runner.run_sweep(
+            "blackscholes", "v100_small", _points(),
+            config=SweepConfig(progress=snaps.append),
+        )
+        assert [p.done for p in snaps] == [1, 2, 3]
+        assert all(p.total == 3 for p in snaps)
+
+    def test_serial_run_sweep_progress_true(self, capsys):
+        runner = ExperimentRunner(problems=PROBLEMS)
+        runner.run_sweep(
+            "blackscholes", "v100_small", _points(1),
+            config=SweepConfig(progress=True),
+        )
+        assert "1/1" in capsys.readouterr().err
+
+    def test_parallel_and_serial_callables_see_same_totals(self):
+        def drive(workers):
+            snaps = []
+            run_sweep_parallel(
+                "blackscholes", "v100_small", _points(),
+                problems=PROBLEMS,
+                config=SweepConfig(
+                    workers=workers, chunk_size=1, progress=snaps.append
+                ),
+            )
+            return [(p.done, p.total) for p in snaps]
+
+        assert drive(1) == drive(2)
+
+    def test_batch_engine_forwards_progress(self):
+        # chunk_size=1: progress fires per chunk, so this makes it
+        # per-point and the done sequence exact.
+        snaps = []
+        with BatchEngine(
+            problems=PROBLEMS,
+            config=SweepConfig(workers=1, chunk_size=1, progress=snaps.append),
+        ) as eng:
+            eng.run_jobs(
+                [BatchJob("blackscholes", "v100_small", p) for p in _points()]
+            )
+        assert [p.done for p in snaps] == [1, 2, 3]

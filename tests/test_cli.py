@@ -70,6 +70,33 @@ class TestSweep:
         assert "best under 10% error" in second
 
 
+class TestSearch:
+    def test_random_search_prints_table_and_best(self, capsys, tmp_path):
+        out_file = tmp_path / "search.jsonl"
+        assert main([
+            "search", "blackscholes", "--technique", "taf",
+            "--budget", "3", "--output", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "random search: blackscholes taf" in out
+        assert "(3 evaluations)" in out
+        assert "best under 10% error" in out
+        assert out_file.exists()
+
+    def test_evolutionary_strategy_parallel(self, capsys):
+        assert main([
+            "search", "kmeans", "--technique", "taf",
+            "--strategy", "evolutionary", "--budget", "4",
+            "--population", "2", "--parallel", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "evolutionary search: kmeans taf" in out
+
+    def test_search_requires_technique(self):
+        with pytest.raises(SystemExit):
+            main(["search", "kmeans"])
+
+
 class TestCheckpoint:
     def _write_dup_checkpoint(self, path):
         from repro.harness.database import CheckpointWriter
