@@ -13,6 +13,12 @@ Run as a script (``python benchmarks/perf_smoke.py``).  Three measurements:
    through ``engine.run_jobs`` (barrier: nothing until everything) and
    ``engine.submit`` (iterator: records as chunks complete), recording
    time-to-first-record against the blocking wall-clock.
+4. **Lattice pruning + variant cache** — a Table-2-style kmeans TAF
+   sub-grid swept full vs ``prune=0.10, order=True``, recording
+   points-evaluated on both paths and asserting every surviving record is
+   byte-identical; then the full grid re-swept through a shared
+   :class:`VariantCache`, which must serve every point without
+   re-simulating.
 
 Everything lands in ``BENCH_harness.json``.  Exit status is the CI
 contract:
@@ -23,6 +29,9 @@ contract:
 * nonzero if the batched best-speedup output differs from serial, or the
   streamed record set differs from the blocking one;
 * nonzero if the persistent-engine session spawned more than one pool;
+* nonzero if pruning alters any surviving record, evaluates >= the
+  unpruned point count, exceeds 60% of it on this grid, or the
+  variant-cache re-sweep misses;
 * the >= 2x wall-clock criterion applies only on >= 4-core runners (a
   1-core laptop cannot demonstrate it); below that the timing is recorded
   but not enforced.
@@ -46,9 +55,24 @@ from repro.harness.figures import (  # noqa: E402
     fig7_lulesh,
     fig12_kmeans,
 )
+from repro.harness.database import dumps_record  # noqa: E402
+from repro.harness.executor import run_sweep_parallel  # noqa: E402
+from repro.harness.pruning import VariantCache, is_pruned_record  # noqa: E402
 from repro.harness.runner import ExperimentRunner  # noqa: E402
+from repro.harness.sweep import SweepPoint  # noqa: E402
 
 OUT = Path(__file__).resolve().parent.parent / "BENCH_harness.json"
+
+#: Table-2-style TAF sub-grid for the pruning bench (32 points spanning
+#: benign thresholds to QoI-violating ones).
+PRUNE_GRID = [
+    SweepPoint("taf", {"hsize": h, "psize": ps, "threshold": t}, level=lvl)
+    for h in (1, 2)
+    for ps in (4, 8)
+    for t in (0.3, 0.9, 3.0, 20.0)
+    for lvl in ("thread", "warp")
+]
+PRUNE_BOUND = 0.10
 
 
 def _best_dicts(result):
@@ -117,6 +141,40 @@ def main() -> int:
     )
     streamed_identical = canon(streamed_records) == canon(blocking_records)
 
+    # Lattice pruning: full sweep vs pruned+ordered on the TAF sub-grid.
+    t0 = time.monotonic()
+    full_sweep = run_sweep_parallel(
+        "kmeans", "v100_small", PRUNE_GRID, config=SweepConfig()
+    )
+    full_sweep_seconds = time.monotonic() - t0
+    t0 = time.monotonic()
+    pruned_sweep = run_sweep_parallel(
+        "kmeans", "v100_small", PRUNE_GRID,
+        config=SweepConfig(prune=PRUNE_BOUND, order=True),
+    )
+    pruned_sweep_seconds = time.monotonic() - t0
+    full_by_label = {
+        json.dumps([r.app, r.technique, r.params, r.level], sort_keys=True):
+        dumps_record(r)
+        for r in full_sweep.records
+    }
+    survivors_identical = all(
+        full_by_label[
+            json.dumps([r.app, r.technique, r.params, r.level], sort_keys=True)
+        ] == dumps_record(r)
+        for r in pruned_sweep.records
+        if not is_pruned_record(r)
+    )
+    # Variant cache: two passes over the full grid through one cache — the
+    # second must be served entirely from it.
+    vcache = VariantCache()
+    run_sweep_parallel("kmeans", "v100_small", PRUNE_GRID,
+                       config=SweepConfig(variant_cache=vcache))
+    cached_sweep = run_sweep_parallel(
+        "kmeans", "v100_small", PRUNE_GRID,
+        config=SweepConfig(variant_cache=vcache),
+    )
+
     failures = []
     if engine.stats.executed > serial_points:
         failures.append(
@@ -137,6 +195,33 @@ def main() -> int:
         )
     if not streamed_identical:
         failures.append("streamed record set differs from blocking run_jobs")
+    if not survivors_identical:
+        failures.append(
+            "pruned sweep altered a surviving record (must be byte-identical "
+            "to the unpruned sweep)"
+        )
+    if pruned_sweep.evaluated >= full_sweep.evaluated:
+        failures.append(
+            f"pruned sweep evaluated {pruned_sweep.evaluated} points, full "
+            f"sweep {full_sweep.evaluated} — pruning must strictly cut work"
+        )
+    prune_ratio = (
+        pruned_sweep.evaluated / full_sweep.evaluated
+        if full_sweep.evaluated else 1.0
+    )
+    if prune_ratio > 0.60:
+        failures.append(
+            f"pruned sweep evaluated {prune_ratio:.0%} of the full sweep's "
+            f"points on the TAF sub-grid (<= 60% required)"
+        )
+    if cached_sweep.evaluated != 0 or (
+        cached_sweep.extra.get("variant_hits") != len(PRUNE_GRID)
+    ):
+        failures.append(
+            f"variant-cache re-sweep evaluated {cached_sweep.evaluated} "
+            f"points with {cached_sweep.extra.get('variant_hits')} hits "
+            f"(expected 0 evaluated, {len(PRUNE_GRID)} hits)"
+        )
     speedup = serial_seconds / batched_seconds if batched_seconds else 0.0
     if workers >= 4 and speedup < 2.0:
         failures.append(
@@ -176,6 +261,20 @@ def main() -> int:
             "records_identical": streamed_identical,
         },
         "identical_output": _best_dicts(serial) == _best_dicts(batched),
+        "pruning": {
+            "grid_points": len(PRUNE_GRID),
+            "qoi_bound": PRUNE_BOUND,
+            "full_points_evaluated": full_sweep.evaluated,
+            "pruned_points_evaluated": pruned_sweep.evaluated,
+            "lattice_pruned": pruned_sweep.extra.get("lattice_pruned"),
+            "waves": pruned_sweep.extra.get("waves"),
+            "evaluated_ratio": round(prune_ratio, 4),
+            "full_seconds": round(full_sweep_seconds, 3),
+            "pruned_seconds": round(pruned_sweep_seconds, 3),
+            "survivors_identical": survivors_identical,
+            "variant_cache_hits": cached_sweep.extra.get("variant_hits"),
+            "variant_cache_reswept_points": cached_sweep.evaluated,
+        },
         "failures": failures,
     }
     OUT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -124,20 +124,36 @@ def cmd_sweep(args) -> int:
         print(f"no candidate grid for {args.app}/{args.technique}",
               file=sys.stderr)
         return 1
+    vcache = None
+    if args.variant_cache:
+        from repro.harness.pruning import VariantCache
+
+        vcache = VariantCache(args.variant_cache)
     config = SweepConfig(
         workers=max(1, args.parallel), chunk_size=args.chunk_size,
         checkpoint=args.checkpoint, retries=args.retries,
         progress=args.progress, preflight=args.preflight,
+        # --prune takes the QoI bound from --max-error (the same budget the
+        # "best under" selection below uses).
+        prune=(float(args.max_error) if args.prune else False),
+        order=args.order, variant_cache=vcache,
     )
     report = api.sweep(
         args.app, args.device, points=points, config=config, seed=args.seed
     )
+    if vcache is not None:
+        vcache.save()
     db = ResultsDB()
     db.add(report.records)
-    if args.parallel > 1 or args.checkpoint or args.preflight:
+    if (args.parallel > 1 or args.checkpoint or args.preflight
+            or args.prune or args.variant_cache):
+        lattice = report.extra.get("lattice_pruned", 0)
+        vhits = report.extra.get("variant_hits", 0)
         print(f"evaluated {report.evaluated} points "
               f"({report.skipped} resumed from checkpoint, "
-              f"{report.pruned} pruned by preflight) "
+              f"{report.pruned} pruned by preflight, "
+              f"{lattice} pruned by the lattice, "
+              f"{vhits} variant-cache hit(s)) "
               f"in {report.elapsed:.2f}s with {args.parallel} worker(s)")
     print(format_records_table(db.query(feasible=None),
                                title=f"{args.app} {args.technique} on {args.device}"))
@@ -161,7 +177,7 @@ def cmd_search(args) -> int:
         technique=args.technique, strategy=args.strategy,
         budget=args.budget, max_error=args.max_error,
         population=args.population, seed=args.seed,
-        config=SweepConfig(workers=max(1, args.parallel)),
+        config=SweepConfig(workers=max(1, args.parallel), order=args.order),
     )
     print(format_records_table(
         result.db.query(feasible=None),
@@ -353,6 +369,20 @@ def main(argv: list[str] | None = None) -> int:
                          help="statically vet points first; provably "
                               "infeasible ones are recorded (with the HPAC "
                               "diagnostic code) without simulating")
+    p_sweep.add_argument("--prune", action="store_true",
+                         help="subsumption-lattice pruning: once a point's "
+                              "error exceeds --max-error, its un-evaluated "
+                              "more-aggressive descendants are recorded as "
+                              "'pruned' rows (naming the ancestor) without "
+                              "simulating")
+    p_sweep.add_argument("--order", action="store_true",
+                         help="surrogate-order the frontier: likely-Pareto "
+                              "and likely-pruning-root points evaluate "
+                              "first (result set unchanged)")
+    p_sweep.add_argument("--variant-cache", default=None, metavar="FILE",
+                         help="JSONL content-hash record cache shared "
+                              "across campaigns; identical configurations "
+                              "are served without re-simulating")
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_search = sub.add_parser(
@@ -375,6 +405,10 @@ def main(argv: list[str] | None = None) -> int:
     p_search.add_argument("--parallel", type=int, default=1,
                           help="process-pool workers (results identical "
                                "at any worker count)")
+    p_search.add_argument("--order", action="store_true",
+                          help="surrogate-guided: order/choose candidates "
+                               "by predicted error and speedup (see "
+                               "repro.harness.pruning)")
     p_search.add_argument("--output", default=None)
     p_search.set_defaults(fn=cmd_search)
 

@@ -122,12 +122,15 @@ def search(
     ``strategy`` is ``"random"`` (uniform without replacement) or
     ``"evolutionary"`` (steady-state μ+λ fed as results stream in).
     ``config.workers`` fans evaluations across a process pool; ``engine``
-    reuses a persistent one.  Results are identical at any worker count."""
+    reuses a persistent one.  Results are identical at any worker count.
+    ``config.order`` makes the search surrogate-guided (see
+    :mod:`repro.harness.pruning`)."""
     from repro.harness.runner import ExperimentRunner
     from repro.harness.search import evolutionary_search, random_search
 
     runner = runner or ExperimentRunner(problems=problems)
     workers = config.workers if config is not None else 1
+    order = bool(config.order) if config is not None else False
     if strategy == "random":
         return random_search(
             runner, app, device, technique,
@@ -135,7 +138,7 @@ def search(
             threshold_scale=threshold_scale, seed=seed, space=space,
             max_workers=workers,
             checkpoint=(config.checkpoint if config is not None else checkpoint),
-            engine=engine,
+            engine=engine, order=order,
         )
     if strategy == "evolutionary":
         return evolutionary_search(
@@ -143,6 +146,7 @@ def search(
             budget=budget, max_error=max_error,
             threshold_scale=threshold_scale, population=population,
             seed=seed, space=space, engine=engine, max_workers=workers,
+            order=order,
         )
     raise ValueError(f"unknown search strategy {strategy!r}")
 

@@ -52,6 +52,10 @@ class DeviceMemory:
         self.device = device
         self.capacity = int(device.global_mem_bytes)
         self._buffers: dict[str, DeviceBuffer] = {}
+        #: ``id(data) -> name`` reverse index for :meth:`name_of`.  Entries
+        #: live exactly as long as their buffer (alloc adds, free/reset
+        #: remove), so a recycled ``id()`` can never resolve a stale name.
+        self._names_by_id: dict[int, str] = {}
         self._in_use = 0
 
     @property
@@ -69,7 +73,20 @@ class DeviceMemory:
         if name in self._buffers:
             raise ValueError(f"device buffer {name!r} already allocated")
         dtype = np.dtype(dtype)
-        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        # Pure-Python arithmetic: ``np.prod(..., dtype=np.int64)`` silently
+        # wraps for Fig-3-scale shapes (2^27 threads x large tables), and a
+        # wrapped-negative nbytes sails through the capacity check below.
+        dims = [shape] if np.isscalar(shape) else list(shape)
+        count = 1
+        for dim in dims:
+            dim = int(dim)
+            if dim < 0:
+                raise ValueError(
+                    f"device buffer {name!r}: negative dimension {dim} in "
+                    f"shape {shape!r}"
+                )
+            count *= dim
+        nbytes = count * dtype.itemsize
         if nbytes > self.free:
             raise GlobalMemoryError(nbytes, self._in_use, self.capacity)
         if fill is None:
@@ -77,6 +94,7 @@ class DeviceMemory:
         else:
             data = np.full(shape, fill, dtype=dtype)
         self._buffers[name] = DeviceBuffer(name, data)
+        self._names_by_id[id(data)] = name
         self._in_use += nbytes
         return data
 
@@ -92,19 +110,28 @@ class DeviceMemory:
     def name_of(self, arr: np.ndarray) -> str | None:
         """Name of the buffer whose storage *is* ``arr`` (identity, not
         equality) — how ApproxSan attributes a mediated access to a declared
-        section.  Views and copies resolve to None (unchecked)."""
-        for name, buf in self._buffers.items():
-            if buf.data is arr:
-                return name
+        section.  Views and copies resolve to None (unchecked).
+
+        O(1) via the ``id()``-keyed reverse index (this runs on *every*
+        sanitized global access); the identity re-check guards against a
+        recycled ``id()`` resolving to an unrelated live buffer."""
+        name = self._names_by_id.get(id(arr))
+        if name is None:
+            return None
+        buf = self._buffers.get(name)
+        if buf is not None and buf.data is arr:
+            return name
         return None
 
     def free_buffer(self, name: str) -> None:
         buf = self._buffers.pop(name)
+        self._names_by_id.pop(id(buf.data), None)
         self._in_use -= buf.nbytes
 
     def reset(self) -> None:
         """Release every allocation."""
         self._buffers.clear()
+        self._names_by_id.clear()
         self._in_use = 0
 
     def __contains__(self, name: str) -> bool:
@@ -149,8 +176,9 @@ def coalesced_transactions(
         raise ValueError("lane count must be a multiple of warp_size")
     segs = (byte_addresses // segment_bytes).reshape(-1, warp_size).astype(np.int64)
     act = np.asarray(mask, dtype=bool).reshape(-1, warp_size)
-    # Inactive lanes get a per-warp sentinel equal to the row minimum so they
-    # never contribute a distinct segment.
+    # Inactive lanes get the int64-max sentinel: after the per-row sort they
+    # collapse into one run at the top, and the `real` mask below keeps that
+    # run from ever counting as a distinct segment.
     sentinel = np.where(act, segs, np.int64(np.iinfo(np.int64).max))
     sorted_segs = np.sort(sentinel, axis=1)
     first = act.any(axis=1).astype(np.int64)

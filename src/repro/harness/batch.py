@@ -98,6 +98,8 @@ class BatchReport:
     deduped: int = 0
     #: Points recorded as infeasible by the static preflight, unsimulated.
     pruned: int = 0
+    #: Job slots served from the content-hash variant cache.
+    variant_hits: int = 0
     #: Unique (app, device) baselines computed in the parent for sharing.
     baseline_runs: int = 0
     #: Baselines computed inside pool workers (0 when sharing is on).
@@ -426,6 +428,36 @@ def _job_keys(jobs: list[BatchJob], dev_names: dict[str, str]) -> list[tuple]:
     return keys
 
 
+def _order_pending(
+    pending: "OrderedDict[tuple, BatchJob]",
+    order,
+    done: dict,
+    bound: float | None = None,
+) -> "OrderedDict[tuple, BatchJob]":
+    """Reorder the pending frontier per ``SweepConfig.order``.
+
+    A callable receives the pending job list and must return a permutation
+    of it (checked by identity in the checkpoint label space); ``True``
+    scores each job with the incremental surrogate fitted from already-done
+    records (checkpoint rows of this very campaign), descending, stable."""
+    entries = list(pending.items())
+    if callable(order):
+        ordered_jobs = list(order([job for _key, job in entries]))
+        new_keys = _job_keys(ordered_jobs, {})
+        if sorted(new_keys) != sorted(pending):
+            raise ValueError(
+                "order callable must return a permutation of the pending jobs"
+            )
+        return OrderedDict((key, pending[key]) for key in new_keys)
+    from repro.harness.pruning import DEFAULT_QOI_BOUND, Surrogate
+
+    surrogate = Surrogate()
+    surrogate.observe_records(done.values())
+    b = bound if bound is not None else DEFAULT_QOI_BOUND
+    scores = {key: surrogate.score(job.point, b) for key, job in entries}
+    return OrderedDict(sorted(entries, key=lambda kv: -scores[kv[0]]))
+
+
 class BatchStream:
     """Iterator over a batch's records, yielded as they become available.
 
@@ -459,6 +491,7 @@ class BatchStream:
         factory_args: tuple | None = None,
         on_result: Callable[[tuple, RunRecord], None] | None = None,
         on_done: Callable[["BatchStream"], None] | None = None,
+        variant_cache=None,
     ) -> None:
         cfg = config if config is not None else SweepConfig()
         self.config = cfg
@@ -515,6 +548,53 @@ class BatchStream:
             pending = survivors
         self.pruned = len(pruned)
 
+        # Content-hash variant cache: identical lowered configurations from
+        # *other* campaigns (different checkpoint files, figures, apps) are
+        # served without simulating.  Only sound for the stock runner — a
+        # custom runner_factory may not be content-deterministic.
+        self.variant_hits = 0
+        self._vcache = None
+        self._vkeys: dict[tuple, str] = {}
+        vhits: list[tuple[tuple, RunRecord]] = []
+        if default_runner:
+            if variant_cache is not None:
+                self._vcache = variant_cache
+            elif cfg.variant_cache is not None:
+                from repro.harness.pruning import resolve_variant_cache
+
+                self._vcache = resolve_variant_cache(cfg.variant_cache)
+        if self._vcache is not None:
+            fresh_pending: OrderedDict[tuple, BatchJob] = OrderedDict()
+            for key, job in pending.items():
+                vkey = self._vcache.key_for(
+                    job.app, job.device, job.point, site=job.site,
+                    seed=self._args[1], problem=self._args[0],
+                    sanitize=cfg.sanitize,
+                )
+                rec = self._vcache.get(vkey)
+                if rec is None:
+                    self._vkeys[key] = vkey
+                    fresh_pending[key] = job
+                else:
+                    vhits.append((key, rec))
+            pending = fresh_pending
+            self.variant_hits = len(vhits)
+
+        # Surrogate (or caller-supplied) ordering of the pending frontier:
+        # changes dispatch order only — records stay slot-ordered, so the
+        # result set is byte-identical either way.
+        if cfg.order and len(pending) > 1:
+            pending = _order_pending(
+                pending,
+                cfg.order,
+                self._done,
+                bound=(
+                    float(cfg.prune)
+                    if isinstance(cfg.prune, float)
+                    else None
+                ),
+            )
+
         # Baseline pre-resolution: every unique (app, device) among the
         # pending jobs, computed exactly once, shipped to workers alongside
         # their chunks (a persistent pool outlives any one batch, so the
@@ -566,6 +646,14 @@ class BatchStream:
             for key, rec in pruned:
                 self._done[key] = rec
                 self._notify(key, rec)
+        if vhits:
+            # Variant-cache hits come from other campaigns' caches, so they
+            # are written into *this* checkpoint to keep it self-contained.
+            if self._writer is not None:
+                self._writer.write([rec for _key, rec in vhits])
+            for key, rec in vhits:
+                self._done[key] = rec
+                self._notify(key, rec)
 
         # Group pending jobs by (app, device): the adaptive controller's
         # unit of throughput, and the worker's unit of app-cache locality.
@@ -615,6 +703,14 @@ class BatchStream:
             self.evaluated += 1
             self._feasible += rec.feasible
             self._infeasible += not rec.feasible
+            if (
+                self._vcache is not None
+                and key in self._vkeys
+                and not (rec.note or "").startswith(("WorkerError", "WorkerCrash"))
+            ):
+                # Crash/retry-exhaustion records reflect machine state, not
+                # the configuration's content — never cache them.
+                self._vcache.put(self._vkeys[key], rec)
             self._notify(key, rec)
         if self._report_progress is not None:
             self._report_progress(
@@ -768,6 +864,7 @@ class BatchStream:
             skipped=self.skipped,
             deduped=self.deduped,
             pruned=self.pruned,
+            variant_hits=self.variant_hits,
             baseline_runs=self.baseline_runs,
             worker_baseline_runs=self.worker_baseline_runs,
             elapsed=self.elapsed,
@@ -778,6 +875,7 @@ class BatchStream:
             extra={
                 "chunk_log": list(self._chunker.log),
                 "pool_respawns": self.pool_respawns,
+                "variant_hits": self.variant_hits,
             },
         )
 
@@ -900,6 +998,9 @@ class EngineStats:
     skipped: int = 0
     #: Slots recorded by the static preflight without simulating.
     pruned: int = 0
+    #: Slots served from the content-hash variant cache (cross-campaign
+    #: dedupe; see :class:`repro.harness.pruning.VariantCache`).
+    variant_hits: int = 0
     #: Unique (app, device) baselines computed, session-wide.
     baseline_runs: int = 0
     #: Baselines recomputed inside workers (0 when sharing works).
@@ -951,6 +1052,11 @@ class BatchEngine:
         )
         self.runner = runner or ExperimentRunner(problems=problems, seed=seed)
         self.stats = EngineStats()
+        self.variant_cache = None
+        if self.config.variant_cache is not None:
+            from repro.harness.pruning import resolve_variant_cache
+
+            self.variant_cache = resolve_variant_cache(self.config.variant_cache)
         self._cache: dict[tuple, RunRecord] = {}
         self._dev_names: dict[str, str] = {}
         self.pool: WorkerPool | None = (
@@ -1003,6 +1109,7 @@ class BatchEngine:
         self.stats.executed += stream.evaluated
         self.stats.skipped += stream.skipped
         self.stats.pruned += stream.pruned
+        self.stats.variant_hits += stream.variant_hits
         self.stats.worker_baseline_runs += stream.worker_baseline_runs
         self.stats.elapsed += stream.elapsed
         self._sync_pool_stats()
@@ -1044,6 +1151,7 @@ class BatchEngine:
                 serial_runner=self.runner if cfg.workers <= 1 else None,
                 on_result=self._on_result,
                 on_done=self._on_stream_done,
+                variant_cache=self.variant_cache,
             )
             self.stats.baseline_runs += inner.baseline_runs
         return EngineStream(
@@ -1179,6 +1287,7 @@ class EngineStream:
             skipped=inner.skipped + self.cache_hits,
             deduped=inner.deduped + self.deduped,
             pruned=inner.pruned,
+            variant_hits=inner.variant_hits,
             baseline_runs=inner.baseline_runs,
             worker_baseline_runs=inner.worker_baseline_runs,
             elapsed=inner.elapsed,
@@ -1225,6 +1334,7 @@ class StreamSession:
         self._futures: dict = {}
         self._queue: deque = deque()
         self._key_tickets: dict[tuple, list[int]] = {}
+        self._vkeys: dict[tuple, str] = {}
         self._respawns_left = MAX_POOL_RESPAWNS
         self._writer = (
             CheckpointWriter(self._cfg.checkpoint)
@@ -1250,10 +1360,28 @@ class StreamSession:
         if key in engine._cache:
             engine.stats.cache_hits += 1
             self._records[ticket] = engine._cache[key]
-        elif key in self._key_tickets:
+            return ticket
+        if key in self._key_tickets:
             engine.stats.deduped += 1
             self._key_tickets[key].append(ticket)
-        elif engine.pool is None:
+            return ticket
+        vcache = engine.variant_cache
+        if vcache is not None:
+            vkey = vcache.key_for(
+                job.app, job.device, job.point, site=job.site,
+                seed=engine.runner.seed, problem=engine.runner.problems,
+                sanitize=self._cfg.sanitize,
+            )
+            rec = vcache.get(vkey)
+            if rec is not None:
+                engine.stats.variant_hits += 1
+                engine._cache[key] = rec
+                if self._writer is not None:
+                    self._writer.write([rec])
+                self._records[ticket] = rec
+                return ticket
+            self._vkeys[key] = vkey
+        if engine.pool is None:
             self._key_tickets[key] = [ticket]
             self._queue.append((key, job))
         else:
@@ -1281,6 +1409,13 @@ class StreamSession:
     def _settle(self, key: tuple, record: RunRecord) -> None:
         self._engine._cache[key] = record
         self._engine.stats.executed += 1
+        vkey = self._vkeys.pop(key, None)
+        if (
+            vkey is not None
+            and self._engine.variant_cache is not None
+            and not (record.note or "").startswith(("WorkerError", "WorkerCrash"))
+        ):
+            self._engine.variant_cache.put(vkey, record)
         if self._writer is not None:
             self._writer.write([record])
         for ticket in self._key_tickets.pop(key, []):

@@ -79,6 +79,18 @@ class SweepConfig:
     #: Seconds a persistent engine pool may sit idle before its worker
     #: processes are reaped (``None`` keeps them until ``close()``).
     idle_ttl: float | None = None
+    #: Subsumption-lattice pruning for sweeps: ``True`` prunes un-evaluated
+    #: descendants of points violating the default 10% QoI bound; a float
+    #: sets the bound.  See :mod:`repro.harness.pruning`.
+    prune: bool | float = False
+    #: Frontier ordering: ``True`` orders pending work with the incremental
+    #: surrogate regressor; a callable receives the pending job list and
+    #: returns it reordered (must be a permutation).
+    order: bool | Callable = False
+    #: Content-hash record cache shared across campaigns: a
+    #: :class:`repro.harness.pruning.VariantCache` instance, or a path to
+    #: persist one as JSONL.
+    variant_cache: object | str | Path | None = None
 
     def replace(self, **changes) -> "SweepConfig":
         """A copy with ``changes`` applied (the dataclasses idiom)."""

@@ -140,6 +140,28 @@ class CheckpointWriter:
         self.close()
 
 
+#: Row statuses a checkpoint can hold.  ``ok`` is any feasible record;
+#: the infeasible ones split by provenance: statically vetoed
+#: (``preflight``), lattice-pruned with an ancestor's label (``pruned``,
+#: see :mod:`repro.harness.pruning`), lost to worker errors/crashes
+#: (``error``), or dynamically infeasible in the simulator (``infeasible``).
+RECORD_STATUSES = ("ok", "preflight", "pruned", "error", "infeasible")
+
+
+def record_status(record: RunRecord) -> str:
+    """Classify one checkpoint row (see :data:`RECORD_STATUSES`)."""
+    if record.feasible:
+        return "ok"
+    note = record.note or ""
+    if note.startswith("preflight"):
+        return "preflight"
+    if note.startswith("pruned"):
+        return "pruned"
+    if note.startswith(("WorkerError", "WorkerCrash")):
+        return "error"
+    return "infeasible"
+
+
 class ResultsDB:
     """In-memory collection of run records with query helpers."""
 
@@ -167,8 +189,18 @@ class ResultsDB:
         level: str | None = None,
         feasible: bool | None = True,
         predicate: Callable[[RunRecord], bool] | None = None,
+        status: str | None = None,
     ) -> list[RunRecord]:
-        """Filter records; ``device`` matches on substring (vendor or name)."""
+        """Filter records; ``device`` matches on substring (vendor or name).
+
+        ``status`` selects one :data:`RECORD_STATUSES` class and subsumes
+        the ``feasible`` filter (which is ignored when ``status`` is
+        given): ``status="pruned"`` returns the lattice-pruned rows,
+        ``status="ok"`` equals ``feasible=True``."""
+        if status is not None and status not in RECORD_STATUSES:
+            raise ValueError(
+                f"unknown status {status!r}; expected one of {RECORD_STATUSES}"
+            )
         out = []
         for r in self.records:
             if app is not None and r.app != app:
@@ -179,12 +211,22 @@ class ResultsDB:
                 continue
             if level is not None and r.level != level:
                 continue
-            if feasible is not None and r.feasible != feasible:
+            if status is not None:
+                if record_status(r) != status:
+                    continue
+            elif feasible is not None and r.feasible != feasible:
                 continue
             if predicate is not None and not predicate(r):
                 continue
             out.append(r)
         return out
+
+    def status_counts(self, **filters) -> dict[str, int]:
+        """Row count per :data:`RECORD_STATUSES` class (campaign triage)."""
+        counts = {s: 0 for s in RECORD_STATUSES}
+        for r in self.query(feasible=None, **filters):
+            counts[record_status(r)] += 1
+        return counts
 
     def best_speedup(
         self,

@@ -155,6 +155,23 @@ def run_sweep_parallel(
         retries=retries, progress=progress, preflight=preflight,
         share_baselines=share_baselines, sanitize=sanitize,
     )
+    if cfg.prune:
+        # Lattice pruning reorders evaluation into ancestor-first waves —
+        # a different driver entirely (see repro.harness.pruning).  The
+        # records of every point it does evaluate are byte-identical to
+        # this path's.
+        if runner_factory is not None:
+            raise ValueError(
+                "SweepConfig(prune=...) requires the stock runner; "
+                "runner_factory is not supported"
+            )
+        from repro.harness.pruning import run_sweep_pruned
+
+        return run_sweep_pruned(
+            app, device, points,
+            site=site, problems=problems, seed=seed,
+            config=cfg, engine=engine,
+        )
     jobs = [BatchJob(app, device, pt, site=site) for pt in points]
     if engine is not None:
         report = engine.submit(jobs, config=cfg).report()
@@ -178,6 +195,7 @@ def run_sweep_parallel(
             "deduped": report.deduped,
             "baseline_runs": report.baseline_runs,
             "worker_baseline_runs": report.worker_baseline_runs,
+            "variant_hits": report.variant_hits,
             **report.extra,
         },
     )

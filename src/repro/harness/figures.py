@@ -152,21 +152,26 @@ def _executors(
     runner: ExperimentRunner | None,
     engine: BatchEngine | None,
     parallel: int,
+    config: SweepConfig | None = None,
 ) -> tuple[ExperimentRunner, BatchEngine | None, bool]:
     """Resolve the (runner, engine, owned) triple a figure executes on.
 
     An explicit ``engine`` wins (its runner backs the figure's direct
     ``app``/``baseline`` needs unless a ``runner`` is also given);
-    ``parallel > 1`` wraps the runner in a transient parallel engine —
-    flagged ``owned`` so the figure shuts its worker pool down after the
-    evaluation; otherwise the figure runs serially on the runner — the
-    legacy path."""
+    ``parallel > 1`` or a ``config`` wraps the runner in a transient engine
+    carrying that policy (surrogate ordering, a shared variant cache, a
+    worker pool) — flagged ``owned`` so the figure shuts its worker pool
+    down after the evaluation; otherwise the figure runs serially on the
+    runner — the legacy path."""
     if engine is not None:
         return (runner or engine.runner), engine, False
     runner = runner or ExperimentRunner()
     owned = False
-    if parallel and parallel > 1:
-        engine = BatchEngine(config=SweepConfig(workers=parallel), runner=runner)
+    if config is not None or (parallel and parallel > 1):
+        cfg = config if config is not None else SweepConfig()
+        if parallel and parallel > 1 and cfg.workers <= 1:
+            cfg = cfg.replace(workers=parallel)
+        engine = BatchEngine(config=cfg, runner=runner)
         owned = True
     return runner, engine, owned
 
@@ -274,11 +279,12 @@ def fig6_best_speedup(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> Fig6Result:
     """Highest speedup with error < 10% for every benchmark (Fig 6)."""
     apps = apps or FIG6_APPS
     devices = devices or DEVICES
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     cells: list[tuple] = []  # (dkey, app, tech, job offset, count)
     jobs: list[BatchJob] = []
     for dkey, dev in devices.items():
@@ -353,9 +359,10 @@ def fig7_lulesh(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> ScatterResult:
     """LULESH speedup/error scatter for TAF, iACT, perforation (Fig 7)."""
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     cells, jobs = _scatter_jobs("lulesh", ("taf", "iact", "perfo"), effort)
     records = _slice_cells(cells, _eval(jobs, runner, engine, owned))
     return ScatterResult(app="lulesh", records=records)
@@ -377,9 +384,10 @@ def fig8_binomial(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> Fig8Result:
     """Binomial Options TAF/iACT results and the Fig-8c trade-off curve."""
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     items = items or [2, 4, 8, 16, 32, 64, 128, 256, 512]
     cells, jobs = _scatter_jobs("binomial", ("taf", "iact"), effort)
     scatter_len = len(jobs)
@@ -417,8 +425,9 @@ def fig9_leukocyte_minife(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> Fig9Result:
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     cells, jobs = _scatter_jobs("leukocyte", ("taf", "iact"), effort)
     scatter_len = len(jobs)
     minife_pts = candidates("minife", "taf", effort)
@@ -448,9 +457,10 @@ def fig10_blackscholes(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> Fig10Result:
     """Blackscholes on AMD (kernel-only) and the Fig-10c threshold study."""
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     thresholds = thresholds or [0.1, 0.3, 0.6, 1.0, 3.0, 20.0]
     cells, jobs = _scatter_jobs("blackscholes", ("taf", "iact"), effort)
     scatter_len = len(jobs)
@@ -498,9 +508,10 @@ def fig11_lavamd(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> Fig11Result:
     """LavaMD TAF/iACT results and the warp-vs-thread pairing of Fig 11c."""
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     thresholds = thresholds or [0.008, 0.009, 0.01, 0.012]
     cells, jobs = _scatter_jobs("lavamd", ("taf", "iact"), effort)
     scatter_len = len(jobs)
@@ -544,8 +555,9 @@ def fig12_kmeans(
     runner: ExperimentRunner | None = None,
     engine: BatchEngine | None = None,
     parallel: int = 0,
+    config: SweepConfig | None = None,
 ) -> Fig12Result:
-    runner, engine, owned = _executors(runner, engine, parallel)
+    runner, engine, owned = _executors(runner, engine, parallel, config)
     cells, jobs = _scatter_jobs("kmeans", ("taf", "iact"), effort)
     records = _slice_cells(cells, _eval(jobs, runner, engine, owned))
     points = []

@@ -68,6 +68,70 @@ class TestDeviceMemory:
         arr = mem.alloc("x", (5,))
         assert mem.get("x") is arr
 
+    def test_huge_shape_does_not_wrap_int64(self, mem):
+        # 2^31 x 2^33 float64 = 2^67 bytes overflows int64; np.prod-based
+        # sizing wrapped to a small/negative nbytes and sailed past the
+        # capacity check.  Pure-Python sizing must reject it.
+        with pytest.raises(GlobalMemoryError) as ei:
+            mem.alloc("huge", (2**31, 2**33), np.float64)
+        assert ei.value.requested == 2**67
+        assert mem.in_use == 0
+
+    def test_negative_dimension_rejected(self, mem):
+        # A negative dim makes np.prod go negative, which always passed the
+        # `nbytes > free` check; it must be an explicit ValueError instead.
+        with pytest.raises(ValueError, match="negative dimension"):
+            mem.alloc("bad", (16, -4))
+        assert mem.in_use == 0 and "bad" not in mem
+
+    def test_name_of_resolves_identity_only(self, mem):
+        arr = mem.alloc("x", (8,))
+        assert mem.name_of(arr) == "x"
+        assert mem.name_of(arr[:4]) is None  # view, not the buffer
+        assert mem.name_of(arr.copy()) is None
+
+    def test_name_of_after_free(self, mem):
+        arr = mem.alloc("x", (8,))
+        mem.free_buffer("x")
+        assert mem.name_of(arr) is None
+
+    def test_name_of_after_reset(self, mem):
+        arr = mem.alloc("x", (8,))
+        mem.reset()
+        assert mem.name_of(arr) is None
+
+    def test_name_of_survives_id_reuse(self, mem):
+        # CPython recycles id()s aggressively: a freed buffer's id can be
+        # handed to the next allocation.  A stale reverse-index entry must
+        # never attribute the old array to a live buffer (or vice versa).
+        old = mem.alloc("x", (8,))
+        old_id = id(old)
+        mem.free_buffer("x")
+        del old
+        arrays = {}
+        for i in range(64):  # loop until numpy recycles the id (it usually
+            name = f"b{i}"   # does within a few allocations of equal size)
+            arrays[name] = mem.alloc(name, (8,))
+            if id(arrays[name]) == old_id:
+                break
+        for name, arr in arrays.items():
+            assert mem.name_of(arr) == name
+
+    def test_name_of_consistent_under_churn(self, mem):
+        rng = np.random.default_rng(11)
+        live: dict[str, np.ndarray] = {}
+        for step in range(200):
+            if live and rng.random() < 0.4:
+                name = str(rng.choice(sorted(live)))
+                mem.free_buffer(name)
+                dead = live.pop(name)
+                assert mem.name_of(dead) is None
+            else:
+                name = f"n{step}"
+                live[name] = mem.alloc(name, (int(rng.integers(1, 64)),))
+            for n, a in live.items():
+                assert mem.name_of(a) == n
+
 
 class TestCoalescing:
     """The Fig-3/§3.1.5 memory model: distinct 32-byte segments per warp."""
@@ -123,6 +187,38 @@ class TestCoalescing:
     def test_lane_count_must_be_warp_multiple(self):
         with pytest.raises(ValueError):
             coalesced_transactions(np.zeros(33, np.int64), np.ones(33, bool), 32)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_set_reference_on_random_patterns(self, seed):
+        # Property test: for random masks/addresses the vectorized
+        # sort-and-diff must agree with the obvious per-warp set() count.
+        rng = np.random.default_rng(seed)
+        warp_size = int(rng.choice([4, 8, 32]))
+        num_warps = int(rng.integers(1, 12))
+        n = warp_size * num_warps
+        segment_bytes = 32
+        pattern = rng.integers(0, 3)
+        if pattern == 0:  # strided with random base/stride per warp
+            base = np.repeat(rng.integers(0, 2**20, num_warps), warp_size)
+            stride = np.repeat(rng.integers(1, 64, num_warps), warp_size)
+            addr = base + stride * np.tile(np.arange(warp_size), num_warps)
+        elif pattern == 1:  # fully random scatter
+            addr = rng.integers(0, 2**16, n)
+        else:  # heavy duplication: few distinct addresses
+            addr = rng.choice(rng.integers(0, 4096, 8), n)
+        addr = addr.astype(np.int64)
+        mask = rng.random(n) < rng.choice([0.0, 0.3, 0.7, 1.0])
+        got = coalesced_transactions(addr, mask, warp_size, segment_bytes)
+        expect = [
+            len({
+                int(a) // segment_bytes
+                for a, m in zip(addr[w * warp_size:(w + 1) * warp_size],
+                                mask[w * warp_size:(w + 1) * warp_size])
+                if m
+            })
+            for w in range(num_warps)
+        ]
+        assert got.tolist() == expect
 
 
 class TestTransferModel:
