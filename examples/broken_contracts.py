@@ -9,12 +9,20 @@ way:
 
 ========  =============================================================
 HPAC201   ``undeclared_read`` reads ``dzs`` (not declared) and reads
-          ``dxs`` beyond its declared ``[0:4]`` section
+          ``dxs`` beyond its declared ``[0:4]`` section; ``streamed``
+          gathers ``dqs[7]``, outside both declared sections
+          (element-precise via the ``indices=`` payload)
 HPAC202   ``undeclared_write`` writes ``dws``, which ``out(...)`` omits
-HPAC203   ``drift`` declares ``in(unused[i])`` but never reads it
+HPAC203   ``drift`` declares ``in(unused[i])`` but never reads it;
+          ``streamed`` declares ``in(dqs[8:4])`` but its gather never
+          touches [8, 12) (element-precise drift)
 HPAC204   every lane of a warp writes the same shared memo table in one
           write phase (no single-writer election)
 HPAC205   TAF state fetched at kernel scope, outside any region
+HPAC206   two warps write the same ``dcoll`` elements in one launch with
+          no barrier between (cross-warp global write race)
+HPAC207   the ``taint`` region (forced TAF — an approximating producer)
+          writes ``dtnt`` inside its scope; the kernel reads it back
 HPAC210   ``bad_width`` declares a 3-wide capture but ``in_width=2``
 HPAC211   ``bad_syntax`` has an unterminated section
 ========  =============================================================
@@ -78,7 +86,34 @@ class BrokenContracts(Benchmark):
             SiteInfo(name="bad_syntax", in_width=1, out_width=1,
                      techniques=("taf",),
                      contract="in(dxs["),
+            # HPAC207: an approximating producer (build_regions forces this
+            # site to TAF) whose declared output the kernel reads back.
+            SiteInfo(name="taint", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="out(dtnt[i])"),
+            # HPAC201/HPAC203, element-precise: the gather touches
+            # {0, 5, 7} — 7 is outside both sections, [8, 12) is never
+            # touched.
+            SiteInfo(name="streamed", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="in(dqs[0:6], dqs[8:4]) out(dys[i])"),
         ]
+
+    def build_regions(self, technique: str = "none", **kwargs):
+        """Force the ``taint`` site to TAF: HPAC207 needs an approximating
+        producer even in the otherwise-accurate demonstration run."""
+        specs = []
+        for spec in super().build_regions(technique, **kwargs):
+            if spec.name == "taint" and spec.technique is Technique.NONE:
+                spec = RegionSpec(
+                    name="taint",
+                    technique=Technique.TAF,
+                    params=TAFParams(history_size=2, prediction_size=4,
+                                     rsd_threshold=0.1),
+                    out_width=1,
+                )
+            specs.append(spec)
+        return specs
 
     def _execute(
         self,
@@ -92,8 +127,11 @@ class BrokenContracts(Benchmark):
         zs = np.ones(N)
         ws = np.zeros(N)
         unused = np.zeros(N)
+        coll = np.zeros(N)
+        tnt = np.zeros(N)
+        qs = np.ones(N)
 
-        def kernel(ctx, dxs, dys, dzs, dws, unused):
+        def kernel(ctx, dxs, dys, dzs, dws, unused, dcoll, dtnt, dqs):
             idx = ctx.thread_id % N
 
             # HPAC201 (twice): zs is not declared at all; xs is declared
@@ -126,8 +164,39 @@ class BrokenContracts(Benchmark):
 
             taf.get_state(ctx, _STALE_SPEC)
 
+            # HPAC206: both warps write dcoll[0:32] in the same launch with
+            # no barrier between — a cross-warp write-write race.
+            ctx.global_write(dcoll, idx % 32, np.ones(ctx.total_threads))
+
+            # HPAC207: the taint region runs under TAF (an approximating
+            # producer) and writes its declared output; the kernel-scope
+            # read-back is a consumer of approximated data.
+            def write_tainted(am):
+                ctx.global_write(dtnt, idx, np.ones(ctx.total_threads), am)
+                return np.zeros(ctx.total_threads)
+
+            rt.region(ctx, "taint", write_tainted)
+            ctx.global_read(dtnt, idx)
+
+            # Element-precise HPAC201 + HPAC203: the streamed gather's
+            # indices= payload pins each lane to an element — lane 1 reads
+            # dqs[7] (outside both declared sections) and nothing ever
+            # touches the declared dqs[8:4].
+            qidx = np.where(idx % 2 == 0, 0, 5).astype(np.int64)
+            qidx[idx == 1] = 7
+
+            def gather(am):
+                ctx.charge_global_streamed(
+                    1, itemsize=8, mask=am, buffers=("dqs",),
+                    indices={"dqs": qidx},
+                )
+                return np.zeros(ctx.total_threads)
+
+            rt.region(ctx, "streamed", gather)
+
         with prog.target_data(
-            to={"xs": xs, "zs": zs}, from_={"ys": ys, "ws": ws}
+            to={"xs": xs, "zs": zs, "qs": qs},
+            from_={"ys": ys, "ws": ws, "coll": coll, "tnt": tnt},
         ) as env:
             prog.target_teams(
                 kernel,
@@ -140,6 +209,9 @@ class BrokenContracts(Benchmark):
                     "dzs": env.device("zs"),
                     "dws": env.device("ws"),
                     "unused": unused,
+                    "dcoll": env.device("coll"),
+                    "dtnt": env.device("tnt"),
+                    "dqs": env.device("qs"),
                 },
             )
 

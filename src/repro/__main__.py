@@ -21,8 +21,10 @@ so anything the CLI can do a script can do with the same one call:
   caret diagnostics with stable ``HPAC0xx`` codes; exit status reflects the
   worst severity (0 clean/info, 1 warnings, 2 errors);
 * ``python -m repro sanitize [--app A|all] [--device D]`` — run apps under
-  ApproxSan (shadow-memory sanitizer + warp race detector) and report
+  ApproxSan (shadow-memory sanitizer + cross-warp race detector) and report
   ``HPAC2xx`` contract violations; exit status is the worst severity;
+  ``--infer [--write]`` instead records one accurate run per app and emits
+  ready-to-paste ``in(...)/out(...)`` contract text, round-trip verified;
 * ``python -m repro sensitivity <app>`` — rank the app's regions;
 * ``python -m repro figures [fig3 fig4 ...] [--parallel N]`` — regenerate
   evaluation figures and print the paper-style rows; all requested figures
@@ -221,6 +223,8 @@ def cmd_sanitize(args) -> int:
     from repro import api
     from repro.analysis import render_all
 
+    if args.infer:
+        return _cmd_sanitize_infer(args)
     result = api.sanitize(
         args.app, args.device,
         technique=args.technique, params=_technique_kwargs(args),
@@ -228,23 +232,8 @@ def cmd_sanitize(args) -> int:
         items_per_thread=args.items_per_thread, seed=args.seed,
     )
     if args.json:
-        import json
-
-        payload = []
-        for r in result.reports:
-            entry = {
-                "app": r.app,
-                "device": r.device,
-                "technique": r.technique,
-                "static": [d.to_json() for d in r.static],
-            }
-            if r.infeasible is not None:
-                entry["infeasible"] = r.infeasible
-            else:
-                entry["clean"] = not r.diagnostics
-                entry["report"] = r.report.to_dict()
-            payload.append(entry)
-        print(json.dumps(payload, indent=2))
+        # One pure JSON document with stable key order — pipeable to jq.
+        print(result.render_json())
         return result.exit_code
     for r in result.reports:
         print(f"== {r.app} on {r.device} ({r.technique}) ==")
@@ -267,6 +256,46 @@ def cmd_sanitize(args) -> int:
             print(render_all(diags))
         else:
             print("   ApproxSan: no contract violations")
+    return result.exit_code
+
+
+def _cmd_sanitize_infer(args) -> int:
+    """`sanitize --infer`: record an accurate run, emit the pragma text."""
+    from repro import api
+    from repro.analysis import render_all
+
+    result = api.infer_contracts(
+        args.app, args.device,
+        items_per_thread=args.items_per_thread, seed=args.seed,
+        write=args.write,
+    )
+    if args.json:
+        print(result.render_json())
+        return result.exit_code
+    for inf in result.inferences:
+        print(f"== {inf.app} on {inf.device} (accurate, recorded) ==")
+        for reg in inf.regions:
+            print(f"   region {reg.region!r}:")
+            print(f"      declared: {reg.declared or '(none)'}")
+            print(f"      inferred: {reg.inferred or '(none)'}")
+            for note in reg.notes:
+                print(f"      note: {note}")
+        if inf.roundtrip is not None:
+            rt = inf.roundtrip
+            verdict = "clean" if rt["clean"] else "FAILED"
+            print(f"   round-trip: {verdict} "
+                  f"(parse errors: {len(rt['parse_errors'])}, "
+                  f"lint: {len(rt['lint'])}, "
+                  f"violations: {rt['violations_by_code'] or '{}'})")
+        if inf.narrower:
+            print(render_all(inf.narrower))
+        path = result.written.get(inf.app)
+        if path:
+            print(f"   baseline written: {path}")
+    n = len(result.narrower)
+    if n:
+        print(f"{n} declared contract(s) narrower than the recorded run "
+              f"(HPAC212)")
     return result.exit_code
 
 
@@ -440,7 +469,16 @@ def main(argv: list[str] | None = None) -> int:
                        help="benchmark name, or 'all' (default)")
     p_san.add_argument("--device", default="v100_small")
     p_san.add_argument("--json", action="store_true",
-                       help="emit the per-app reports as JSON")
+                       help="emit the per-app reports as one JSON document "
+                            "(stable key order)")
+    p_san.add_argument("--infer", action="store_true",
+                       help="record one accurate run per app and emit "
+                            "ready-to-paste in(...)/out(...) contract text, "
+                            "round-trip verified")
+    p_san.add_argument("--write", action="store_true",
+                       help="with --infer: store the inferred baselines "
+                            "under baselines/approxsan/ (enables the "
+                            "static HPAC212 check)")
     _add_technique_args(p_san)
     p_san.set_defaults(fn=cmd_sanitize)
 

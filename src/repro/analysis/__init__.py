@@ -12,6 +12,12 @@ PR 4 adds the runtime half: ApproxSan (:mod:`~repro.analysis.sanitizer`),
 a shadow-memory sanitizer and warp race detector cross-checking kernels
 against their pragma contracts (:mod:`~repro.analysis.contracts`).  CLI:
 ``python -m repro sanitize``.
+
+ApproxSan v2 closes the loop: one sanitized run records every region's
+observed access set and :mod:`~repro.analysis.infer` collapses it into
+ready-to-paste ``in(...)``/``out(...)`` pragma text, cross-checked against
+the declared contracts (HPAC212).  CLI: ``python -m repro sanitize
+--infer``.
 """
 
 from repro.analysis.contracts import Contract, lint_contracts, parse_contract
@@ -24,6 +30,13 @@ from repro.analysis.diagnostics import (
     render_json,
 )
 from repro.analysis.sanitizer import Sanitizer, SanitizeReport
+from repro.analysis.infer import (
+    AppInference,
+    diff_declared,
+    infer_app,
+    lint_baseline,
+    verify_roundtrip,
+)
 from repro.analysis.lint import (
     RULES,
     LaunchContext,
@@ -43,8 +56,13 @@ from repro.analysis.preflight import (
 import repro.analysis.rules  # noqa: E402,F401
 
 __all__ = [
+    "AppInference",
     "Contract",
     "Diagnostic",
+    "diff_declared",
+    "infer_app",
+    "lint_baseline",
+    "verify_roundtrip",
     "Sanitizer",
     "SanitizeReport",
     "Severity",

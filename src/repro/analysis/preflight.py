@@ -40,14 +40,17 @@ def preflight_diagnostics(
 ) -> list[Diagnostic]:
     """All device-aware diagnostics for one sweep point."""
     from repro.analysis.contracts import lint_contracts
+    from repro.analysis.infer import lint_baseline
     from repro.apps import get_benchmark
 
     dev = get_device(device)
     app = get_benchmark(app_name, problem=(problems or {}).get(app_name))
     # Static half of ApproxSan: contract text vs SiteInfo widths (HPAC21x).
     # Never preflight-pruning — a bad contract doesn't make the point
-    # infeasible, it makes the *sanitizer* report unreliable.
-    diags = lint_contracts(app)
+    # infeasible, it makes the *sanitizer* report unreliable.  HPAC212
+    # joins here too: declared contracts vs the stored inferred baseline
+    # (silent when no baseline has been written for the app).
+    diags = lint_contracts(app) + lint_baseline(app)
     try:
         regions = app.build_regions(
             point.technique, level=point.level, site=site, **point.params

@@ -5,4 +5,5 @@ from repro.analysis.rules import device, directive  # noqa: F401
 # Contract (HPAC21x) and sanitizer (HPAC20x) codes register at import of
 # their home modules, so `RULES` documents every stable code.
 from repro.analysis import contracts as _contracts  # noqa: E402,F401
+from repro.analysis import infer as _infer  # noqa: E402,F401
 from repro.analysis import sanitizer as _sanitizer  # noqa: E402,F401

@@ -8,8 +8,11 @@ the whole stack — :class:`~repro.openmp.runtime.OffloadProgram` and
 a single simulated cycle:
 
 * every mediated global access (``global_read``/``global_write`` element
-  vectors, plus ``charge_global_streamed`` *buffer hints*) into per-buffer
-  shadow state (:mod:`repro.analysis.shadow`);
+  vectors, plus ``charge_global_streamed`` hints — element-precise when the
+  call site supplies an ``indices=`` payload, name-level otherwise) into
+  per-buffer shadow state (:mod:`repro.analysis.shadow`);
+* per-element last-writer warps and write epochs (a new epoch per launch
+  and per barrier), feeding the global-buffer race detector;
 * region lifetimes: :meth:`ApproxRuntime.region`/``loop`` push a scope, so
   accesses attribute to the region that issued them;
 * shared-memory allocations and warp-shared memo-table write phases;
@@ -25,10 +28,17 @@ HPAC202   write outside the region's declared ``out(...)`` sections
 HPAC203   declared-but-untouched section (contract drift)
 HPAC204   write-write race between lanes of one warp on a memo table
 HPAC205   TAF/iACT state accessed outside its owning region's lifetime
+HPAC206   two warps wrote the same global element in one epoch
+HPAC207   read of an element last written by an approximated region
 ========  ============================================================
 
 Violations deduplicate per (code, region, subject) with an occurrence
 count, so a million-invocation run reports each distinct defect once.
+
+With ``record_accesses=True`` the sanitizer additionally accumulates
+per-(region, buffer, direction) element sets and per-event access widths —
+the raw material :mod:`repro.analysis.infer` turns into ``in(...)`` /
+``out(...)`` pragma text.
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ import numpy as np
 from repro.analysis.contracts import Contract, parse_contract
 from repro.analysis.diagnostics import Diagnostic, Severity, exit_code, render_all
 from repro.analysis.lint import RULES, register
-from repro.analysis.shadow import ShadowState
+from repro.analysis.shadow import NO_TAINT, ShadowState
 from repro.errors import PragmaSyntaxError
 
 register("HPAC201", "undeclared-read", Severity.ERROR, "sanitizer",
@@ -58,6 +68,26 @@ register("HPAC204", "warp-table-race", Severity.ERROR, "sanitizer",
 register("HPAC205", "state-lifetime", Severity.ERROR, "sanitizer",
          "TAF/iACT shared state was accessed outside its owning region's "
          "lifetime")(None)
+register("HPAC206", "global-write-race", Severity.ERROR, "sanitizer",
+         "two warps wrote the same flat element of a global buffer within "
+         "one launch/barrier epoch")(None)
+register("HPAC207", "read-after-approximate-write", Severity.WARNING,
+         "sanitizer",
+         "a lane read an element whose last write came from an "
+         "approximated region (taints QoI attribution)")(None)
+
+#: Scope label for accesses issued outside any region.
+KERNEL_SCOPE = "<kernel>"
+
+_APPROX_TECHNIQUES = frozenset({"taf", "iact", "perfo", "noise"})
+
+
+def _spec_is_approx(spec) -> bool:
+    tech = getattr(spec, "technique", None)
+    if tech is None:
+        return False
+    label = getattr(tech, "value", None) or getattr(tech, "name", None) or tech
+    return str(label).lower() in _APPROX_TECHNIQUES
 
 
 @dataclass
@@ -72,6 +102,49 @@ class RegionObservation:
     #: its out(...) product exists even if never stored via the mediated
     #: path (e.g. K-Means distances feed an argmin, never global memory).
     returned: bool = False
+
+
+@dataclass
+class ObservedAccess:
+    """Element set one region touched in one buffer, one direction.
+
+    Only populated under ``record_accesses=True``; the contract-inference
+    pass (:mod:`repro.analysis.infer`) consumes these.
+    """
+
+    region: str
+    buffer: str
+    direction: str  # "in" | "out"
+    #: Per-lane elements per event: None until the first event, -1 once two
+    #: events disagree (ragged payloads also report -1 directly).
+    width: int | None = None
+    events: int = 0
+    #: True when any element was attributed heuristically — the first
+    #: kernel-scope write after the region returned (apps store a region's
+    #: product from kernel scope, e.g. the prices write in Black-Scholes).
+    attributed: bool = False
+    size: int = 0
+    _flags: np.ndarray = field(
+        default_factory=lambda: np.zeros(16, dtype=bool), repr=False)
+
+    @property
+    def elements(self) -> np.ndarray:
+        """Bool flags, one per flat element (logical size)."""
+        return self._flags[: self.size]
+
+    def mark(self, idx: np.ndarray, width: int, *, attributed: bool = False) -> None:
+        if len(idx):
+            top = int(idx.max()) + 1
+            if top > len(self._flags):
+                grown = np.zeros(max(len(self._flags) * 2, top), dtype=bool)
+                grown[: self.size] = self._flags[: self.size]
+                self._flags = grown
+            self._flags[idx] = True
+            self.size = max(self.size, top)
+        self.events += 1
+        self.width = width if self.width is None else (
+            self.width if self.width == width else -1)
+        self.attributed |= attributed
 
 
 @dataclass
@@ -111,24 +184,41 @@ class Sanitizer:
     and counters to ``sanitize=False`` (guarded by the equivalence test).
     """
 
-    def __init__(self, contracts: dict[str, Contract | str] | None = None) -> None:
+    def __init__(self, contracts: dict[str, Contract | str] | None = None, *,
+                 record_accesses: bool = False) -> None:
         self.contracts: dict[str, Contract] = {}
         self.shadow = ShadowState()
         self.regions: dict[str, RegionObservation] = {}
+        self.record_accesses = record_accesses
+        #: region -> (buffer, direction) -> ObservedAccess, only filled
+        #: under record_accesses.
+        self.observed: dict[str, dict[tuple[str, str], ObservedAccess]] = {}
         #: (code, region, subject) -> {message, hint, text, position,
         #:  length, count, data}
         self._violations: dict[tuple, dict] = {}
         self._scope: list[str] = []
+        self._scope_approx: list[bool] = []
+        #: Region that just returned and has not stored its product yet —
+        #: the next kernel-scope write attributes to it (record mode only).
+        self._pending_out: str | None = None
         #: id(array) -> kernel-parameter name, valid for the current launch.
         self._params: dict[int, str] = {}
         self._param_names: set[str] = set()
         self._memory = None
         self._launch_depth = 0
+        #: Happens-before epoch: bumped per launch and per barrier.  Two
+        #: writes to one element from different warps race iff they share
+        #: an epoch.
+        self._epoch = 0
+        self._taint_ids: dict[str, int] = {}
+        self._taint_regions: list[str] = []
         self.counters: dict[str, int] = {
             "launches": 0,
             "reads_checked": 0,
             "writes_checked": 0,
             "streamed_hints": 0,
+            "streamed_name_level": 0,
+            "barriers": 0,
             "table_write_phases": 0,
             "state_accesses": 0,
             "shared_allocs": 0,
@@ -163,6 +253,8 @@ class Sanitizer:
         """A kernel launch starts: map parameter arrays to their names."""
         self._launch_depth += 1
         self.counters["launches"] += 1
+        self._epoch += 1
+        self._pending_out = None
         for pname, value in params.items():
             if isinstance(value, np.ndarray):
                 self._params[id(value)] = pname
@@ -170,11 +262,17 @@ class Sanitizer:
 
     def end_launch(self) -> None:
         self._launch_depth -= 1
+        self._pending_out = None
         if self._launch_depth <= 0:
             # Identity entries die with the launch: short-lived parameter
             # arrays (e.g. MiniFE's fresh x vector per CG iteration) could
             # otherwise alias a recycled id().
             self._params.clear()
+
+    def on_barrier(self) -> None:
+        """A synchronizing boundary: writes before/after cannot race."""
+        self.counters["barriers"] += 1
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # name resolution
@@ -215,20 +313,36 @@ class Sanitizer:
         obs.invocations += 1
         self.counters["region_invocations"] += 1
         self._scope.append(spec.name)
+        self._scope_approx.append(_spec_is_approx(spec))
         try:
             yield self
         finally:
             self._scope.pop()
+            self._scope_approx.pop()
 
     def on_inputs_captured(self, region: str) -> None:
         self.observation(region).captured = True
 
     def on_region_returned(self, region: str) -> None:
         self.observation(region).returned = True
+        if self.record_accesses:
+            self._pending_out = region
 
     @property
     def current_region(self) -> str | None:
         return self._scope[-1] if self._scope else None
+
+    @property
+    def _in_approx_region(self) -> bool:
+        return bool(self._scope_approx) and self._scope_approx[-1]
+
+    def _taint_id(self, region: str) -> int:
+        tid = self._taint_ids.get(region)
+        if tid is None:
+            tid = len(self._taint_regions)
+            self._taint_ids[region] = tid
+            self._taint_regions.append(region)
+        return tid
 
     # ------------------------------------------------------------------
     # memory events (called from GridContext; must charge nothing)
@@ -240,32 +354,183 @@ class Sanitizer:
         if name is None:
             return
         active = np.asarray(idx)[mask]
-        self.shadow.buffer(name, arr.size).mark_read(active)
-        self._check_access(name, active, mask, direction="in")
+        buf = self.shadow.buffer(name, arr.size)
+        buf.mark_read(active)
+        self._check_taint(name, buf, active)
+        self._observe(name, active, 1, "in")
+        self._check_access(name, active, np.flatnonzero(mask), direction="in")
 
     def on_global_write(self, arr: np.ndarray, idx: np.ndarray,
-                        mask: np.ndarray) -> None:
+                        mask: np.ndarray, ctx=None) -> None:
         self.counters["writes_checked"] += 1
         name = self.resolve(arr)
         if name is None:
             return
         active = np.asarray(idx)[mask]
-        self.shadow.buffer(name, arr.size).mark_written(active)
-        self._check_access(name, active, mask, direction="out")
+        buf = self.shadow.buffer(name, arr.size)
+        buf.mark_written(active)
+        lanes = np.flatnonzero(mask)
+        if ctx is not None and len(active):
+            warps = (lanes // int(ctx.warp_size)).astype(np.int32)
+            for elem, wa, wb in buf.update_writers(active, warps, self._epoch):
+                region = self.current_region or KERNEL_SCOPE
+                self._record(
+                    "HPAC206", region, f"{name}#race",
+                    f"write-write race on global buffer {name!r}: element "
+                    f"{elem} written by warps {wa} and {wb} in one epoch "
+                    f"(no launch or barrier boundary between)",
+                    hint="order the writes with ctx.barrier(), split them "
+                         "across launches, or give each element a single "
+                         "owning warp",
+                    element=elem, warps=[wa, wb],
+                )
+        taint = self._taint_id(self.current_region) \
+            if self._in_approx_region else NO_TAINT
+        buf.set_taint(active, taint)
+        self._observe(name, active, 1, "out")
+        self._check_access(name, active, lanes, direction="out")
 
-    def on_streamed_read(self, buffers) -> None:
-        """Attribute a hinted streamed charge to its declared input buffers."""
+    def on_streamed_read(self, buffers, indices=None, mask=None,
+                         writes=None) -> None:
+        """Attribute a hinted streamed charge to its buffers.
+
+        ``indices`` upgrades the hint from name-level to element-level:
+        a dict mapping buffer name to a payload — a per-lane flat-index
+        vector, a 2-D ``(lanes, width)`` index block (negative entries are
+        padding and ignored), or a ``(base, width)`` tuple meaning each
+        lane touches ``[base[lane], base[lane]+width)``.  A bare payload is
+        allowed when the call names exactly one buffer.  ``writes`` names
+        buffers the streamed charge *stores* to (same payload lookup).
+        """
         self.counters["streamed_hints"] += 1
-        names = (buffers,) if isinstance(buffers, str) else tuple(buffers)
-        for name in names:
-            shadow = self.shadow.buffers.get(name)
-            if shadow is None:
-                shadow = self.shadow.buffer(name, 0)
-            shadow.streamed_reads += 1
-            self._check_access(name, None, None, direction="in")
+        names = self._names(buffers)
+        wnames = self._names(writes)
+        single = len(names) + len(wnames) == 1
+        for name, direction in ([(n, "in") for n in names]
+                                + [(n, "out") for n in wnames]):
+            entry = None
+            if isinstance(indices, dict):
+                entry = indices.get(name)
+            elif indices is not None and single:
+                entry = indices
+            if entry is None:
+                # Legacy name-level hint: no element information.
+                self.counters["streamed_name_level"] += 1
+                shadow = self.shadow.buffers.get(name)
+                if shadow is None:
+                    shadow = self.shadow.buffer(name, 0)
+                if direction == "in":
+                    shadow.streamed_reads += 1
+                self._check_access(name, None, None, direction=direction)
+                continue
+            flat, lanes, width = self._resolve_payload(entry, mask)
+            buf = self.shadow.buffers.get(name)
+            if buf is None:
+                buf = self.shadow.buffer(name, 0)
+            if direction == "in":
+                buf.mark_read(flat)
+                self._check_taint(name, buf, flat)
+            else:
+                buf.mark_written(flat)
+                taint = self._taint_id(self.current_region) \
+                    if self._in_approx_region else NO_TAINT
+                buf.set_taint(flat, taint)
+            self._observe(name, flat, width, direction)
+            self._check_access(name, flat, lanes, direction=direction)
+
+    @staticmethod
+    def _names(buffers) -> tuple:
+        if buffers is None:
+            return ()
+        return (buffers,) if isinstance(buffers, str) else tuple(buffers)
+
+    @staticmethod
+    def _resolve_payload(entry, mask):
+        """Normalize an ``indices=`` payload to (flat_idx, lanes, width).
+
+        ``flat_idx`` are the active flat element indices, ``lanes`` the
+        per-element issuing lane ids (or None), ``width`` the consistent
+        per-lane element count (-1 when ragged).
+        """
+        if isinstance(entry, tuple):
+            base, width = entry
+            base = np.asarray(base)
+            if mask is not None and base.shape == np.shape(mask):
+                act = base[mask]
+                lane_ids = np.flatnonzero(mask)
+            else:
+                act = base.ravel()
+                lane_ids = None
+            width = int(width)
+            flat = (act[:, None] + np.arange(width)).ravel()
+            lanes = np.repeat(lane_ids, width) if lane_ids is not None else None
+            return flat, lanes, width
+        arr = np.asarray(entry)
+        if arr.ndim == 2:
+            if mask is not None and arr.shape[0] == np.shape(mask)[0]:
+                act = arr[mask]
+                lane_ids = np.flatnonzero(mask)
+            else:
+                act = arr
+                lane_ids = None
+            w = act.shape[1] if act.size else 0
+            counts = (act >= 0).sum(axis=1) if len(act) else np.array([], dtype=int)
+            width = int(counts[0]) if len(counts) and (counts == counts[0]).all() else -1
+            flat = act.ravel()
+            lanes = np.repeat(lane_ids, w) if lane_ids is not None else None
+            keep = flat >= 0
+            if not keep.all():
+                flat = flat[keep]
+                lanes = lanes[keep] if lanes is not None else None
+            return flat, lanes, width
+        if mask is not None and arr.shape == np.shape(mask):
+            return arr[mask], np.flatnonzero(mask), 1
+        return arr.ravel(), None, 1
+
+    def _check_taint(self, name: str, buf, idx: np.ndarray) -> None:
+        """HPAC207: a read of elements last written under approximation."""
+        if not len(idx):
+            return
+        # mark_read already grew the buffer past every index here.
+        tainted = buf.taint[idx]
+        hits = np.flatnonzero(tainted != NO_TAINT)
+        if not len(hits):
+            return
+        writer = self._taint_regions[int(tainted[hits[0]])]
+        reader = self.current_region or KERNEL_SCOPE
+        first = int(np.asarray(idx)[hits[0]])
+        self._record(
+            "HPAC207", reader, f"{name}@{writer}",
+            f"{reader!r} reads {name}[{first}] whose last write came from "
+            f"approximated region {writer!r} (read-after-approximate-write)",
+            hint="an approximated producer taints this consumer's QoI "
+                 "attribution; re-run with the producer accurate or declare "
+                 "the dependency intentional",
+            element=first, producer=writer,
+        )
+
+    def _observe(self, name: str, idx: np.ndarray, width: int,
+                 direction: str) -> None:
+        """Record an access for contract inference (record mode only)."""
+        if not self.record_accesses:
+            return
+        region = self.current_region
+        attributed = False
+        if region is None:
+            if direction != "out" or self._pending_out is None:
+                return
+            region = self._pending_out
+            self._pending_out = None
+            attributed = True
+        per_region = self.observed.setdefault(region, {})
+        rec = per_region.get((name, direction))
+        if rec is None:
+            rec = ObservedAccess(region, name, direction)
+            per_region[(name, direction)] = rec
+        rec.mark(np.asarray(idx), width, attributed=attributed)
 
     def _check_access(self, name: str, idx: np.ndarray | None,
-                      mask: np.ndarray | None, direction: str) -> None:
+                      lanes: np.ndarray | None, direction: str) -> None:
         region = self.current_region
         if region is None:
             return  # kernel-scope access: outside any contract's remit
@@ -304,8 +569,9 @@ class Sanitizer:
             ok |= (idx >= lo) & (idx < hi)
         if not ok.all():
             bad = int(np.asarray(idx)[~ok][0])
-            lanes = np.flatnonzero(mask) if mask is not None else np.array([])
-            lane = int(lanes[np.flatnonzero(~ok)[0]]) if len(lanes) else -1
+            lane = -1
+            if lanes is not None and len(lanes) == len(idx):
+                lane = int(lanes[np.flatnonzero(~ok)[0]])
             pos, length = contract.section_span(name, clause)
             self._record(
                 code, region, f"{name}#range",
@@ -400,7 +666,9 @@ class Sanitizer:
         *provably* existed (kernel param or device buffer) and was never
         touched by any mediated access, capture, or region return —
         unresolvable names (region-local temporaries) get the benefit of
-        the doubt.
+        the doubt.  Sections with literal bounds are judged element-wise:
+        a declared range none of whose elements were read drifts even when
+        the buffer was touched elsewhere.
         """
         for region, contract in self.contracts.items():
             obs = self.regions.get(region)
@@ -410,16 +678,29 @@ class Sanitizer:
                 if obs.captured:
                     break  # inputs= exercised the whole in(...) capture
                 shadow = self.shadow.buffers.get(sec.name)
-                touched = shadow is not None and (
-                    shadow.was_read or shadow.was_written
-                )
+                span = sec.bounds
+                if shadow is not None and span is not None \
+                        and not shadow.streamed_reads:
+                    # Element-precise: did anything touch this exact range?
+                    lo, hi = max(span[0], 0), min(span[1], shadow.size)
+                    touched = lo < hi and bool(
+                        shadow.read[lo:hi].any() or shadow.written[lo:hi].any()
+                    )
+                    label = f"{sec.name}[{span[0]}:{span[1] - span[0]}]"
+                    subject = f"in:{label}"
+                else:
+                    touched = shadow is not None and (
+                        shadow.was_read or shadow.was_written
+                    )
+                    label = repr(sec.name)
+                    subject = f"in:{sec.name}"
                 if touched or not self._known_name(sec.name):
                     continue
                 pos = sec.position
                 length = max(sec.end - sec.position, 1) if pos >= 0 else 1
                 self._record(
-                    "HPAC203", region, f"in:{sec.name}",
-                    f"region {region!r}: declared in section {sec.name!r} "
+                    "HPAC203", region, subject,
+                    f"region {region!r}: declared in section {label} "
                     f"was never read during the run (contract drift)",
                     text=contract.text, position=pos, length=length,
                     hint="the kernel no longer consumes this input; drop "

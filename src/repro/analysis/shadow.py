@@ -3,12 +3,18 @@
 ASan-style design adapted to the vectorized simulator: the mediated memory
 path (:meth:`~repro.gpusim.context.GridContext.global_read` /
 ``global_write`` / hinted streamed charges) reports each access once per
-*whole-grid step* with per-lane index vectors, so shadow state is a pair of
-boolean arrays per named buffer (one flag per flat element, read and
-written) plus aggregate counters.  Shared-memory allocations are tracked by
-name with their owning region parsed from the runtime's ``taf:<region>:`` /
-``iact:<region>:`` naming convention, and warp-shared memo tables keep the
-per-phase writer multiplicity that the race detector checks.
+*whole-grid step* with per-lane index vectors, so shadow state is a set of
+per-element arrays per named buffer — read/written flags, the last warp to
+write each element, the write epoch it happened in, and an approximation
+taint id — plus aggregate counters.  Shared-memory allocations are tracked
+by name with their owning region parsed from the runtime's
+``taf:<region>:`` / ``iact:<region>:`` naming convention, and warp-shared
+memo tables keep the per-phase writer multiplicity that the race detector
+checks.
+
+All per-element arrays grow geometrically (capacity doubling with a logical
+``size`` field), so a stream of rising-index accesses costs O(n) total
+element copies instead of the O(n^2) a reallocate-per-access scheme pays.
 
 This module holds only the *state*; the checking logic lives in
 :mod:`repro.analysis.sanitizer`.
@@ -20,41 +26,138 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+#: Sentinel for "no warp has written this element yet".
+NO_WARP = -1
+#: Sentinel for "element was never written" in the epoch array.
+NO_EPOCH = -1
+#: Sentinel for "element's last write was accurate" in the taint array.
+NO_TAINT = -1
 
-@dataclass
+_MIN_CAPACITY = 16
+
+
 class ShadowBuffer:
-    """Element-granular access flags for one named device array."""
+    """Element-granular access records for one named device array.
 
-    name: str
-    size: int
-    read: np.ndarray = field(default=None)  # type: ignore[assignment]
-    written: np.ndarray = field(default=None)  # type: ignore[assignment]
-    #: Reads attributed via streamed-charge hints (no element indices).
-    streamed_reads: int = 0
+    Five parallel per-element arrays share a single geometrically-grown
+    capacity; ``read`` / ``written`` / ``last_writer_warp`` /
+    ``write_epoch`` / ``taint`` are views of logical length ``size``.
+    ``copied_elements`` and ``reallocations`` count the growth work done,
+    so tests can pin the amortized O(n) bound.
+    """
 
-    def __post_init__(self) -> None:
-        if self.read is None:
-            self.read = np.zeros(self.size, dtype=bool)
-        if self.written is None:
-            self.written = np.zeros(self.size, dtype=bool)
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.size = int(size)
+        #: Reads attributed via streamed-charge hints carrying no element
+        #: indices (legacy name-level hints).
+        self.streamed_reads = 0
+        self.copied_elements = 0
+        self.reallocations = 0
+        self._capacity = max(self.size, _MIN_CAPACITY)
+        self._alloc(self._capacity)
+
+    def _alloc(self, capacity: int) -> None:
+        self._read = np.zeros(capacity, dtype=bool)
+        self._written = np.zeros(capacity, dtype=bool)
+        self._last_warp = np.full(capacity, NO_WARP, dtype=np.int32)
+        self._epoch = np.full(capacity, NO_EPOCH, dtype=np.int64)
+        self._taint = np.full(capacity, NO_TAINT, dtype=np.int32)
+
+    # -- logical views -------------------------------------------------
+
+    @property
+    def read(self) -> np.ndarray:
+        return self._read[: self.size]
+
+    @property
+    def written(self) -> np.ndarray:
+        return self._written[: self.size]
+
+    @property
+    def last_writer_warp(self) -> np.ndarray:
+        return self._last_warp[: self.size]
+
+    @property
+    def write_epoch(self) -> np.ndarray:
+        return self._epoch[: self.size]
+
+    @property
+    def taint(self) -> np.ndarray:
+        return self._taint[: self.size]
+
+    # -- growth --------------------------------------------------------
 
     def _grow(self, size: int) -> None:
-        # Same buffer name re-uploaded at a larger size between launches.
-        if size > self.size:
-            pad = size - self.size
-            self.read = np.concatenate([self.read, np.zeros(pad, dtype=bool)])
-            self.written = np.concatenate([self.written, np.zeros(pad, dtype=bool)])
-            self.size = size
+        # Same buffer name re-uploaded at a larger size between launches,
+        # or an access past the current logical end.
+        size = int(size)
+        if size <= self.size:
+            return
+        if size > self._capacity:
+            new_cap = max(self._capacity * 2, size)
+            old = (self._read, self._written, self._last_warp,
+                   self._epoch, self._taint)
+            self._alloc(new_cap)
+            n = self.size
+            for dst, src in zip((self._read, self._written, self._last_warp,
+                                 self._epoch, self._taint), old):
+                dst[:n] = src[:n]
+            self.copied_elements += n * len(old)
+            self.reallocations += 1
+            self._capacity = new_cap
+        self.size = size
+
+    # -- element marking -----------------------------------------------
 
     def mark_read(self, idx: np.ndarray) -> None:
         if len(idx):
             self._grow(int(idx.max()) + 1)
-            self.read[idx] = True
+            self._read[idx] = True
 
     def mark_written(self, idx: np.ndarray) -> None:
         if len(idx):
             self._grow(int(idx.max()) + 1)
-            self.written[idx] = True
+            self._written[idx] = True
+
+    def update_writers(self, idx: np.ndarray, warps: np.ndarray,
+                       epoch: int) -> list[tuple[int, int, int]]:
+        """Record per-element last-writer warps for one write event.
+
+        ``idx`` / ``warps`` are aligned per-active-lane vectors.  Returns
+        ``(element, warp_a, warp_b)`` triples for every element written by
+        two distinct warps within the same ``epoch`` — either inside this
+        event or against the stored last writer — then stores the new
+        writers (last lane wins, matching the simulator's write order).
+        """
+        if not len(idx):
+            return []
+        self._grow(int(idx.max()) + 1)
+        conflicts: list[tuple[int, int, int]] = []
+        # Cross-event: stored writer from the same epoch, different warp.
+        prev_warp = self._last_warp[idx]
+        prev_epoch = self._epoch[idx]
+        clash = (prev_epoch == epoch) & (prev_warp != NO_WARP) & (prev_warp != warps)
+        for pos in np.flatnonzero(clash)[:4]:
+            conflicts.append((int(idx[pos]), int(prev_warp[pos]), int(warps[pos])))
+        # Intra-event: two active lanes from different warps, same element.
+        # After a stable sort by element, any element written by more than
+        # one warp has at least one adjacent pair with differing warps.
+        order = np.argsort(idx, kind="stable")
+        si, sw = idx[order], warps[order]
+        intra = (si[1:] == si[:-1]) & (sw[1:] != sw[:-1])
+        for pos in np.flatnonzero(intra)[:4]:
+            conflicts.append((int(si[pos]), int(sw[pos]), int(sw[pos + 1])))
+        self._last_warp[idx] = warps
+        self._epoch[idx] = epoch
+        return conflicts
+
+    def set_taint(self, idx: np.ndarray, taint_id: int) -> None:
+        """Mark elements' last write as coming from region ``taint_id``
+        (``NO_TAINT`` clears — an accurate overwrite launders the data)."""
+        if len(idx):
+            self._grow(int(idx.max()) + 1)
+            self._taint[idx] = taint_id
 
     @property
     def was_read(self) -> bool:
@@ -63,6 +166,12 @@ class ShadowBuffer:
     @property
     def was_written(self) -> bool:
         return bool(self.written.any())
+
+    @property
+    def shadow_nbytes(self) -> int:
+        return (self.read.nbytes + self.written.nbytes
+                + self.last_writer_warp.nbytes + self.write_epoch.nbytes
+                + self.taint.nbytes)
 
 
 @dataclass
@@ -132,4 +241,4 @@ class ShadowState:
     @property
     def shadowed_bytes(self) -> int:
         """Memory the shadow arrays themselves occupy (report metric)."""
-        return sum(b.read.nbytes + b.written.nbytes for b in self.buffers.values())
+        return sum(b.shadow_nbytes for b in self.buffers.values())

@@ -261,6 +261,30 @@ class SanitizeResult:
             (exit_code(r.diagnostics) for r in self.reports), default=0
         )
 
+    def to_payload(self) -> list[dict]:
+        """Pure-JSON document (one entry per app) for ``--json`` output."""
+        payload = []
+        for r in self.reports:
+            entry: dict = {
+                "app": r.app,
+                "device": r.device,
+                "technique": r.technique,
+                "static": [d.to_json() for d in r.static],
+            }
+            if r.infeasible is not None:
+                entry["infeasible"] = r.infeasible
+            else:
+                entry["clean"] = not r.diagnostics
+                entry["report"] = r.report.to_dict()
+            payload.append(entry)
+        return payload
+
+    def render_json(self) -> str:
+        """One JSON document, stable key order, nothing else on stdout."""
+        import json
+
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
 
 def sanitize(
     app: str = "all",
@@ -280,6 +304,7 @@ def sanitize(
     those runs carry the failure note instead of a dynamic report, the
     same way the sweep harness records infeasible rows."""
     from repro.analysis import lint_contracts
+    from repro.analysis.infer import lint_baseline
     from repro.apps import BENCHMARKS, get_benchmark
     from repro.errors import ReproError
 
@@ -289,7 +314,7 @@ def sanitize(
         bench = get_benchmark(name)
         entry = AppSanitizeReport(
             app=name, device=device, technique=technique,
-            static=lint_contracts(bench),
+            static=lint_contracts(bench) + lint_baseline(bench),
         )
         try:
             regions = bench.build_regions(
@@ -305,6 +330,78 @@ def sanitize(
             entry.report = result.extra["approxsan"]
         reports.append(entry)
     return SanitizeResult(reports=reports)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class InferResult:
+    """Outcome of one :func:`infer_contracts` call across apps."""
+
+    #: AppInference per app (see :mod:`repro.analysis.infer`).
+    inferences: list
+    #: Baseline files written (``--write`` mode), by app name.
+    written: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def narrower(self) -> list:
+        """All HPAC212 findings: declared contracts under-reporting."""
+        return [d for inf in self.inferences for d in inf.narrower]
+
+    @property
+    def exit_code(self) -> int:
+        """2 when any declared contract is narrower than observed or any
+        inferred contract fails its round-trip; 0 otherwise."""
+        if self.narrower:
+            return 2
+        for inf in self.inferences:
+            if inf.roundtrip is not None and not inf.roundtrip["clean"]:
+                return 2
+        return 0
+
+    def to_payload(self) -> list[dict]:
+        return [inf.to_dict() for inf in self.inferences]
+
+    def render_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+
+def infer_contracts(
+    app: str = "all",
+    device: str = "v100_small",
+    *,
+    items_per_thread: int | None = None,
+    seed: int = 2023,
+    verify: bool = True,
+    write: bool = False,
+) -> InferResult:
+    """Infer per-region memory contracts from one accurate recorded run.
+
+    For each app: run accurate + sanitized with access recording, collapse
+    the observed per-region access sets into ``in(...)``/``out(...)``
+    pragma text, and diff the declared contracts against the observation
+    (HPAC212 findings when a declared contract is *narrower*).
+    ``verify=True`` round-trips each app: the inferred text must parse,
+    lint clean, and a sanitized re-run under the inferred contracts must
+    report zero HPAC201/202.  ``write=True`` stores the inferred baselines
+    under ``baselines/approxsan/`` for the static HPAC212 preflight rule."""
+    from repro.analysis.infer import infer_app, verify_roundtrip, write_baseline
+    from repro.apps import BENCHMARKS, get_benchmark
+
+    names = sorted(BENCHMARKS) if app == "all" else [app]
+    result = InferResult(inferences=[])
+    for name in names:
+        bench = get_benchmark(name)
+        inference = infer_app(
+            bench, device, items_per_thread=items_per_thread, seed=seed)
+        if verify:
+            verify_roundtrip(bench, inference,
+                             items_per_thread=items_per_thread)
+        if write:
+            result.written[name] = str(write_baseline(inference))
+        result.inferences.append(inference)
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -371,9 +468,11 @@ def lint(
 __all__ = [
     "AppSanitizeReport",
     "FiguresResult",
+    "InferResult",
     "LintResult",
     "SanitizeResult",
     "figures",
+    "infer_contracts",
     "lint",
     "run_point",
     "sanitize",

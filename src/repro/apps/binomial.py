@@ -138,13 +138,15 @@ class BinomialOptions(Benchmark):
                 row = dopts[safe]  # per-lane copy of its block's option
                 if capture_inputs:
                     ctx.charge_global_streamed(
-                        5, itemsize=8, mask=m, buffers=("dopts",)
+                        5, itemsize=8, mask=m, buffers=("dopts",),
+                        indices={"dopts": (safe * 5, 5)},
                     )
 
-                def compute(am, row=row):
+                def compute(am, row=row, safe=safe):
                     if not capture_inputs:
                         ctx.charge_global_streamed(
-                            5, itemsize=8, mask=am, buffers=("dopts",)
+                            5, itemsize=8, mask=am, buffers=("dopts",),
+                            indices={"dopts": (safe * 5, 5)},
                         )
                     ctx.flops(lattice_flops, am)
                     ctx.sfu(_SETUP_SFU, am)

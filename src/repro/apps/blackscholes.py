@@ -135,16 +135,18 @@ class Blackscholes(Benchmark):
                         # iACT reads the declared in(...) section on every
                         # invocation to evaluate distances.
                         ctx.charge_global_streamed(
-                            5, itemsize=8, mask=m, buffers=("dopts",)
+                            5, itemsize=8, mask=m, buffers=("dopts",),
+                            indices={"dopts": (safe * 5, 5)},
                         )
 
-                    def compute(am, row=row):
+                    def compute(am, row=row, safe=safe):
                         if not capture_inputs:
                             # TAF loads the inputs only on the accurate
                             # path: the region closure is skipped entirely
                             # when approximating.
                             ctx.charge_global_streamed(
-                                5, itemsize=8, mask=am, buffers=("dopts",)
+                                5, itemsize=8, mask=am, buffers=("dopts",),
+                                indices={"dopts": (safe * 5, 5)},
                             )
                         ctx.flops(_PRICE_FLOPS, am)
                         ctx.sfu(_PRICE_SFU, am)

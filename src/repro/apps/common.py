@@ -230,7 +230,7 @@ class Benchmark(abc.ABC):
         num_threads: int | None = None,
         items_per_thread: int = 1,
         seed: int = 2023,
-        sanitize: bool = False,
+        sanitize: "bool | object" = False,
     ) -> AppResult:
         """Execute the benchmark and return its result.
 
@@ -242,8 +242,11 @@ class Benchmark(abc.ABC):
         ``sanitize=True`` attaches an ApproxSan sanitizer that cross-checks
         every mediated access against the sites' pragma contracts; the
         resulting :class:`~repro.analysis.sanitizer.SanitizeReport` lands in
-        ``result.extra["approxsan"]``.  Simulated timings and counters are
-        identical either way — the sanitizer only observes.
+        ``result.extra["approxsan"]``.  Passing a ``Sanitizer`` *instance*
+        instead attaches it as-is — no site contracts are auto-registered,
+        so contract inference and round-trip verification fully own what is
+        checked.  Simulated timings and counters are identical either way —
+        the sanitizer only observes.
         """
         dev = get_device(device)
         self.rng = np.random.default_rng(seed)
@@ -253,10 +256,13 @@ class Benchmark(abc.ABC):
             # which imports this module back.
             from repro.analysis.sanitizer import Sanitizer
 
-            sanitizer = Sanitizer()
-            for s in self.sites():
-                if s.contract:
-                    sanitizer.register_contract(s.name, s.contract)
+            if isinstance(sanitize, Sanitizer):
+                sanitizer = sanitize
+            else:
+                sanitizer = Sanitizer()
+                for s in self.sites():
+                    if s.contract:
+                        sanitizer.register_contract(s.name, s.contract)
         prog = OffloadProgram(dev, sanitizer=sanitizer)
         rt = ApproxRuntime(
             regions if regions is not None else self.build_regions(),

@@ -124,13 +124,15 @@ class KMeans(Benchmark):
                     x = dobs[safe]
                     if capture_inputs:
                         ctx.charge_global_streamed(
-                            d, itemsize=8, mask=m, buffers=("dobs",)
+                            d, itemsize=8, mask=m, buffers=("dobs",),
+                            indices={"dobs": (safe * d, d)},
                         )
 
-                    def compute(am, x=x):
+                    def compute(am, x=x, safe=safe):
                         if not capture_inputs:
                             ctx.charge_global_streamed(
-                                d, itemsize=8, mask=am, buffers=("dobs",)
+                                d, itemsize=8, mask=am, buffers=("dobs",),
+                                indices={"dobs": (safe * d, d)},
                             )
                         ctx.shared_access(float(k * d), am)
                         ctx.flops(3.0 * k * d, am)

@@ -177,7 +177,12 @@ class LavaMD(Benchmark):
                     safe_box = np.clip(box, 0, nboxes - 1)
                     pid = ctx.lane_in_block
                     live = np.logical_and(m, pid < ppb)
-                    ctx.charge_global_streamed(4, itemsize=8, mask=live)
+                    pidx = safe_box * ppb + np.clip(pid, 0, ppb - 1)
+                    ctx.charge_global_streamed(
+                        4, itemsize=8, mask=live,
+                        buffers=("dpos", "dcharge"),
+                        indices={"dpos": (pidx * 3, 3), "dcharge": pidx},
+                    )
                     my_box = safe_box
                     my_pos = dpos[my_box, np.clip(pid, 0, ppb - 1)]
 
@@ -207,8 +212,13 @@ class LavaMD(Benchmark):
                             act = np.logical_and(live, nb_of_lane >= 0)
                             if not act.any():
                                 continue
-                            ctx.charge_global_streamed(3, itemsize=8, mask=act)
-                            rel = my_pos - centers[np.clip(nb_of_lane, 0, nboxes - 1)]
+                            nb_safe = np.clip(nb_of_lane, 0, nboxes - 1)
+                            nbidx = nb_safe * ppb + np.clip(pid, 0, ppb - 1)
+                            ctx.charge_global_streamed(
+                                3, itemsize=8, mask=act, buffers=("dpos",),
+                                indices={"dpos": (nbidx * 3, 3)},
+                            )
+                            rel = my_pos - centers[nb_safe]
                             vals = rt.region(
                                 ctx, "neighbor_force",
                                 lambda am, j=j: contrib_of(ctx, dpos, am, safe_box, j),
@@ -219,7 +229,10 @@ class LavaMD(Benchmark):
 
                     lanes = np.where(live)[0]
                     dforce[my_box[lanes], pid[lanes]] = acc_f[lanes]
-                    ctx.charge_global_streamed(4, itemsize=8, mask=live)
+                    ctx.charge_global_streamed(
+                        4, itemsize=8, mask=live, writes=("dforce",),
+                        indices={"dforce": (pidx * 4, 4)},
+                    )
                 # Relocation: x += f·dt (accurate, cheap).
                 ctx.charge_global_streamed(6, itemsize=8)
                 ctx.flops(6.0)

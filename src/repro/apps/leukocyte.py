@@ -145,15 +145,33 @@ class Leukocyte(Benchmark):
                     ce = dfield[safe_cell, py, px]
                     im = dimg[safe_cell, py, px]
                     stencil = np.stack([ce, up, dn, lf, rg], axis=1)
+                    # Flat dfield indices of the 5-point stencil, per lane.
+                    base = safe_cell * npix
+                    stencil_idx = np.stack([
+                        base + py * w + px,
+                        base + np.maximum(py - 1, 0) * w + px,
+                        base + np.minimum(py + 1, w - 1) * w + px,
+                        base + py * w + np.maximum(px - 1, 0),
+                        base + py * w + np.minimum(px + 1, w - 1),
+                    ], axis=1)
 
                     if capture_inputs:
                         # iACT captures the 5-point stencil (5 loads).
-                        ctx.charge_global_streamed(5, itemsize=8, mask=m)
+                        ctx.charge_global_streamed(
+                            5, itemsize=8, mask=m, buffers=("dfield",),
+                            indices={"dfield": stencil_idx},
+                        )
 
-                    def compute(am, ce=ce, up=up, dn=dn, lf=lf, rg=rg, im=im):
+                    def compute(am, ce=ce, up=up, dn=dn, lf=lf, rg=rg, im=im,
+                                stencil_idx=stencil_idx):
                         if not capture_inputs:
+                            # 6 loads: the 5 dfield stencil points plus the
+                            # image force term (charged here, attributed to
+                            # dfield only — dimg stays outside the region's
+                            # declared footprint).
                             ctx.charge_global_streamed(
-                                6, itemsize=8, mask=am, buffers=("dfield",)
+                                6, itemsize=8, mask=am, buffers=("dfield",),
+                                indices={"dfield": stencil_idx},
                             )
                         ctx.flops(_UPDATE_FLOPS, am)
                         avg4 = 0.25 * (up + dn + lf + rg)
@@ -165,7 +183,10 @@ class Leukocyte(Benchmark):
                     )
                     lanes = np.where(m)[0]
                     new_fields[safe_cell[lanes], py[lanes], px[lanes]] = vals[lanes]
-                    ctx.charge_global_streamed(1, itemsize=8, mask=m)
+                    ctx.charge_global_streamed(
+                        1, itemsize=8, mask=m, writes=("dfield",),
+                        indices={"dfield": base + py * w + px},
+                    )
                 dfield[...] = new_fields
                 # Jacobi sweeps synchronize the block between iterations.
                 ctx.barrier()

@@ -142,13 +142,15 @@ class Lulesh(Benchmark):
                 pair = np.stack([de[safe], avg[safe]], axis=1)
                 if capture:
                     ctx.charge_global_streamed(
-                        2, itemsize=8, mask=m, buffers=("de", "avg")
+                        2, itemsize=8, mask=m, buffers=("de", "avg"),
+                        indices={"de": safe, "avg": safe},
                     )
 
                 def compute(am, safe=safe):
                     if not capture:
                         ctx.charge_global_streamed(
-                            2, itemsize=8, mask=am, buffers=("de", "avg")
+                            2, itemsize=8, mask=am, buffers=("de", "avg"),
+                            indices={"de": safe, "avg": safe},
                         )
                     ctx.flops(flops, am)
                     return kappa * (avg[safe] - de[safe])

@@ -103,6 +103,11 @@ class MiniFE(Benchmark):
         x = np.zeros(n)
         num_teams = prog.teams_for(n, num_threads, items_per_thread)
         nnz_per_row = np.diff(A.indptr)
+        # Per-row column indices, -1 padded to the widest row: the ragged
+        # element payload behind the streamed xvec gather hint below.
+        max_nnz = int(nnz_per_row.max())
+        row_cols = np.full((n, max_nnz), -1, dtype=np.int64)
+        row_cols[np.arange(max_nnz) < nnz_per_row[:, None]] = A.indices
 
         def spmv_kernel(ctx, xvec, yvec):
             for _step, idx, m in ctx.team_chunk_stride(n):
@@ -113,7 +118,8 @@ class MiniFE(Benchmark):
                     # the irregular-memory part that dominates SpMV.
                     ctx.flops_per_lane(2.0 * nnz_per_row[safe], am)
                     ctx.charge_global_streamed(
-                        8, itemsize=8, mask=am, buffers=("xvec",)
+                        8, itemsize=8, mask=am, buffers=("xvec",),
+                        indices={"xvec": row_cols[safe]},
                     )
                     rows = A[safe].dot(xvec)
                     return rows

@@ -233,7 +233,7 @@ class GridContext:
         safe = np.where(m, idx, 0)
         self._charge_global(safe * arr.itemsize, m)
         if self.sanitizer is not None:
-            self.sanitizer.on_global_write(arr, safe, m)
+            self.sanitizer.on_global_write(arr, safe, m, self)
         flat = arr.reshape(-1)
         flat[safe[m]] = np.asarray(values)[m] if np.ndim(values) else values
 
@@ -243,6 +243,8 @@ class GridContext:
         itemsize: int = 8,
         mask: np.ndarray | None = None,
         buffers: str | tuple | None = None,
+        indices=None,
+        writes: str | tuple | None = None,
     ) -> None:
         """Charge a perfectly coalesced access of ``elements`` per lane.
 
@@ -251,12 +253,19 @@ class GridContext:
         ``warp_size * itemsize`` contiguous bytes per element.
 
         ``buffers`` optionally names the *input* buffer(s) this access
-        covers (a name or tuple of names from the kernel's parameter
-        namespace).  It is a pure attribution hint for ApproxSan — the cost
-        model ignores it entirely.
+        covers and ``writes`` the output buffer(s) it stores to (names or
+        tuples of names from the kernel's parameter namespace).
+        ``indices`` upgrades the hint to element precision: a dict mapping
+        buffer name to a per-lane flat-index vector, a 2-D
+        ``(lanes, width)`` index block (negative entries ignored), or a
+        ``(base, width)`` tuple meaning each lane touches
+        ``[base[lane], base[lane]+width)``.  All three are pure attribution
+        hints for ApproxSan — the cost model ignores them entirely.
         """
-        if self.sanitizer is not None and buffers:
-            self.sanitizer.on_streamed_read(buffers)
+        if self.sanitizer is not None and (buffers or writes):
+            m = self.mask if mask is None else np.logical_and(self.mask, mask)
+            self.sanitizer.on_streamed_read(
+                buffers, indices=indices, mask=m, writes=writes)
         active = self._warp_any(mask)
         txns_per_warp = float(elements) * np.ceil(
             self.warp_size * itemsize / MEMORY_SEGMENT_BYTES
@@ -395,6 +404,9 @@ class GridContext:
         self.charge_warps(cyc, active)
         self.counters.barrier_cycles += cyc * int(active.sum())
         self.counters.barriers += 1
+        if self.sanitizer is not None:
+            # Synchronizing boundary: the race detector opens a new epoch.
+            self.sanitizer.on_barrier()
 
     def atomic_shared(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
         """Charge ``n`` shared-memory atomic ops (one per active warp)."""

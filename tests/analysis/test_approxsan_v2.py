@@ -1,0 +1,342 @@
+"""ApproxSan v2: cross-warp race detection (HPAC206), approximate-write
+taint (HPAC207), element-level streamed payloads, geometric shadow growth,
+and contract inference (HPAC212)."""
+
+import json
+import math
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.infer import infer_app, lint_baseline, verify_roundtrip
+from repro.analysis.sanitizer import Sanitizer
+from repro.analysis.shadow import ShadowBuffer
+from repro.apps import get_benchmark
+
+#: A 32-lane-warp context: all the race detector reads from it.
+CTX32 = SimpleNamespace(warp_size=32)
+
+
+def codes(diags):
+    return sorted(d.code for d in diags)
+
+
+def spec(name, contract=None, technique="none"):
+    meta = {"contract": contract} if contract else {}
+    return SimpleNamespace(name=name, meta=meta, technique=technique)
+
+
+# ======================================================================
+# shadow growth: geometric, not quadratic
+# ======================================================================
+class TestShadowGrowth:
+    def test_ascending_one_at_a_time_is_geometric(self):
+        n = 4096
+        buf = ShadowBuffer("b", 1)
+        for i in range(n):
+            buf.mark_written(np.array([i]))
+        assert buf.size == n
+        # Doubling: O(log n) reallocations, O(n) elements copied in total
+        # (5 shadow planes per element).  The old resize-to-fit policy made
+        # this pattern O(n) reallocations and O(n²) copies.
+        assert buf.reallocations <= math.ceil(math.log2(n)) + 2
+        assert buf.copied_elements <= 5 * 4 * n
+
+    def test_descending_one_at_a_time_allocates_once(self):
+        n = 2048
+        buf = ShadowBuffer("b", 1)
+        for i in range(n - 1, -1, -1):
+            buf.mark_read(np.array([i]))
+        assert buf.size == n
+        assert buf.reallocations <= 1
+        assert buf.read[: n].all()
+
+    def test_growth_preserves_all_planes(self):
+        buf = ShadowBuffer("b", 4)
+        buf.mark_read(np.array([1]))
+        buf.mark_written(np.array([2]))
+        buf.update_writers(np.array([2]), np.array([3], dtype=np.int32), 7)
+        buf.set_taint(np.array([2]), 1)
+        buf.mark_written(np.array([4000]))  # force several growths
+        assert buf.read[1] and buf.written[2] and buf.written[4000]
+        assert buf.last_writer_warp[2] == 3
+        assert buf.write_epoch[2] == 7
+        assert buf.taint[2] == 1
+
+
+# ======================================================================
+# HPAC206: cross-warp write-write races on global buffers
+# ======================================================================
+class TestGlobalWriteRace:
+    def setup_method(self):
+        self.san = Sanitizer()
+        self.arr = np.zeros(64)
+        self.san.begin_launch("k", {"buf": self.arr})
+        self.m_w0 = np.zeros(64, dtype=bool)
+        self.m_w0[:32] = True
+        self.m_w1 = np.zeros(64, dtype=bool)
+        self.m_w1[32:] = True
+        #: Lane i of either warp targets element i % 32.
+        self.idx = np.tile(np.arange(32), 2)
+
+    def test_two_warps_one_event_is_hpac206(self):
+        self.san.on_global_write(self.arr, self.idx,
+                                 np.ones(64, dtype=bool), CTX32)
+        diags = self.san.finish().diagnostics
+        assert "HPAC206" in codes(diags)
+        d = next(d for d in diags if d.code == "HPAC206")
+        assert "element 0 written by warps 0 and 1" in d.message
+
+    def test_two_warps_across_events_is_hpac206(self):
+        self.san.on_global_write(self.arr, self.idx, self.m_w0, CTX32)
+        self.san.on_global_write(self.arr, self.idx, self.m_w1, CTX32)
+        assert "HPAC206" in codes(self.san.finish().diagnostics)
+
+    def test_same_warp_rewrite_is_clean(self):
+        self.san.on_global_write(self.arr, self.idx, self.m_w0, CTX32)
+        self.san.on_global_write(self.arr, self.idx, self.m_w0, CTX32)
+        assert "HPAC206" not in codes(self.san.finish().diagnostics)
+
+    def test_disjoint_elements_are_clean(self):
+        self.san.on_global_write(self.arr, np.arange(64),
+                                 np.ones(64, dtype=bool), CTX32)
+        assert "HPAC206" not in codes(self.san.finish().diagnostics)
+
+    def test_barrier_is_a_synchronizing_boundary(self):
+        self.san.on_global_write(self.arr, self.idx, self.m_w0, CTX32)
+        self.san.on_barrier()
+        self.san.on_global_write(self.arr, self.idx, self.m_w1, CTX32)
+        assert "HPAC206" not in codes(self.san.finish().diagnostics)
+        assert self.san.counters["barriers"] == 1
+
+    def test_new_launch_is_a_synchronizing_boundary(self):
+        self.san.on_global_write(self.arr, self.idx, self.m_w0, CTX32)
+        self.san.end_launch()
+        self.san.begin_launch("k2", {"buf": self.arr})
+        self.san.on_global_write(self.arr, self.idx, self.m_w1, CTX32)
+        assert "HPAC206" not in codes(self.san.finish().diagnostics)
+
+    def test_without_ctx_no_warp_attribution_no_race(self):
+        # Legacy call shape (no GridContext): races cannot be attributed.
+        self.san.on_global_write(self.arr, self.idx, np.ones(64, dtype=bool))
+        assert "HPAC206" not in codes(self.san.finish().diagnostics)
+
+
+# ======================================================================
+# HPAC207: reads of elements last written under approximation
+# ======================================================================
+class TestApproximateWriteTaint:
+    def setup_method(self):
+        self.san = Sanitizer()
+        self.arr = np.zeros(16)
+        self.san.begin_launch("k", {"t": self.arr})
+        self.idx = np.arange(8)
+        self.m = np.ones(8, dtype=bool)
+
+    def test_read_after_approx_write_is_hpac207(self):
+        with self.san.region_scope(spec("prod", technique="taf")):
+            self.san.on_global_write(self.arr, self.idx, self.m)
+        self.san.on_global_read(self.arr, self.idx, self.m)
+        diags = self.san.finish().diagnostics
+        assert "HPAC207" in codes(diags)
+        d = next(d for d in diags if d.code == "HPAC207")
+        assert "'prod'" in d.message and "t[0]" in d.message
+
+    def test_accurate_region_write_does_not_taint(self):
+        with self.san.region_scope(spec("prod", technique="none")):
+            self.san.on_global_write(self.arr, self.idx, self.m)
+        self.san.on_global_read(self.arr, self.idx, self.m)
+        assert "HPAC207" not in codes(self.san.finish().diagnostics)
+
+    def test_accurate_overwrite_clears_taint(self):
+        with self.san.region_scope(spec("prod", technique="iact")):
+            self.san.on_global_write(self.arr, self.idx, self.m)
+        self.san.on_global_write(self.arr, self.idx, self.m)  # kernel scope
+        self.san.on_global_read(self.arr, self.idx, self.m)
+        assert "HPAC207" not in codes(self.san.finish().diagnostics)
+
+    def test_streamed_write_hint_taints_too(self):
+        with self.san.region_scope(spec("prod", technique="taf")):
+            self.san.on_streamed_read((), writes=("t",),
+                                      indices={"t": self.idx}, mask=self.m)
+        self.san.on_global_read(self.arr, self.idx, self.m)
+        assert "HPAC207" in codes(self.san.finish().diagnostics)
+
+
+# ======================================================================
+# element-level streamed payload formats
+# ======================================================================
+class TestStreamedPayloads:
+    def setup_method(self):
+        self.san = Sanitizer()
+        self.x = np.zeros(64)
+        self.san.begin_launch("k", {"x": self.x})
+
+    def test_base_width_tuple_marks_blocks(self):
+        self.san.on_streamed_read(
+            ("x",), indices={"x": (np.arange(4) * 5, 5)},
+            mask=np.ones(4, dtype=bool))
+        buf = self.san.shadow.buffers["x"]
+        assert buf.read[:20].all() and not buf.read[20:].any()
+        assert self.san.counters["streamed_name_level"] == 0
+
+    def test_flat_vector_marks_elements(self):
+        self.san.on_streamed_read(
+            ("x",), indices={"x": np.array([3, 9])},
+            mask=np.ones(2, dtype=bool))
+        buf = self.san.shadow.buffers["x"]
+        assert buf.read[3] and buf.read[9] and buf.read.sum() == 2
+
+    def test_ragged_block_ignores_negative_padding(self):
+        block = np.array([[0, 1, -1], [5, -1, -1]])
+        self.san.on_streamed_read(
+            ("x",), indices={"x": block}, mask=np.ones(2, dtype=bool))
+        buf = self.san.shadow.buffers["x"]
+        assert buf.read[[0, 1, 5]].all() and buf.read.sum() == 3
+
+    def test_mask_filters_lanes(self):
+        m = np.array([True, False])
+        self.san.on_streamed_read(("x",), indices={"x": np.array([3, 9])},
+                                  mask=m)
+        buf = self.san.shadow.buffers["x"]
+        assert buf.read[3] and buf.read.sum() == 1
+
+    def test_bare_hint_is_name_level(self):
+        self.san.on_streamed_read(("x",), mask=np.ones(2, dtype=bool))
+        assert self.san.counters["streamed_name_level"] == 1
+        assert self.san.shadow.buffers["x"].streamed_reads == 1
+
+
+# ======================================================================
+# every shipped streamed call site carries an indices= payload
+# ======================================================================
+#: Scaled-down problems: the capture paths only need a few launches.
+SMALL = {
+    "lavamd": {"boxes_per_dim": 2, "particles_per_box": 16, "time_steps": 3},
+    "leukocyte": {"num_cells": 2, "window": 8, "iterations": 6},
+    "lulesh": {"mesh": 8, "time_steps": 6},
+    "blackscholes": {"num_options": 2048, "num_runs": 4},
+}
+
+
+class TestCapturePathsAreElementLevel:
+    """iACT capture runs exercise the `capture_inputs` streamed sites."""
+
+    @pytest.mark.parametrize("name", ["blackscholes", "lavamd", "leukocyte",
+                                      "lulesh"])
+    def test_iact_capture_hints_carry_indices(self, name):
+        app = get_benchmark(name, problem=SMALL.get(name))
+        regions = app.build_regions("iact", tsize=4, threshold=0.5)
+        # Leukocyte's default 1024 threads/block overflow shared memory
+        # once each warp carries an iACT table; shrink the block.
+        kwargs = {"num_threads": 256} if name == "leukocyte" else {}
+        report = app.run("v100_small", regions, sanitize=True,
+                         **kwargs).extra["approxsan"]
+        assert report.clean, report.render()
+        assert report.counters["streamed_hints"] > 0
+        assert report.counters["streamed_name_level"] == 0
+
+
+# ======================================================================
+# contract inference + HPAC212
+# ======================================================================
+class TestInference:
+    def test_blackscholes_inference_roundtrips(self):
+        app = get_benchmark("blackscholes", problem=SMALL["blackscholes"])
+        inf = infer_app(app)
+        reg = inf.region("price")
+        assert reg.inferred == "in(dopts[i*5:5]) out(dprices[i])"
+        assert inf.narrower == []
+        verdict = verify_roundtrip(app, inf)
+        assert verdict["clean"], verdict
+
+    def test_kmeans_derived_write_is_not_the_output(self):
+        # dassign (width 1) is a derived product of the distances region
+        # (out_width 5): attribution must drop it, not emit a contract
+        # that would flunk the HPAC210 width lint.
+        app = get_benchmark("kmeans",
+                            problem={"num_obs": 2048, "max_iters": 4})
+        inf = infer_app(app)
+        reg = inf.region("distances")
+        assert reg.inferred == "in(dobs[i*4:4])"
+        assert any("dassign" in n for n in reg.notes)
+        assert verify_roundtrip(app, inf)["clean"]
+
+    def test_hpac212_fires_on_narrower_declared(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HPAC_BASELINE_DIR", str(tmp_path))
+        baseline = {
+            "app": "blackscholes",
+            "regions": {"price": {"observed": {
+                "in": {"dopts": {"width": 5, "intervals": [[0, 100]],
+                                 "attributed": False, "events": 1}},
+                "out": {"dextra": {"width": 1, "intervals": [[0, 10]],
+                                   "attributed": False, "events": 1}},
+            }}},
+        }
+        (tmp_path / "blackscholes.json").write_text(json.dumps(baseline))
+        diags = lint_baseline(get_benchmark("blackscholes"))
+        assert codes(diags) == ["HPAC212"]
+        assert "dextra" in diags[0].message
+
+    def test_hpac212_out_of_bounds_interval(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HPAC_BASELINE_DIR", str(tmp_path))
+        baseline = {
+            "app": "broken", "regions": {"r": {"observed": {
+                "in": {"a": {"width": None, "intervals": [[0, 9]],
+                             "attributed": False, "events": 1}},
+            }}},
+        }
+        (tmp_path / "broken.json").write_text(json.dumps(baseline))
+        app = SimpleNamespace(name="broken", sites=lambda: [
+            SimpleNamespace(name="r", contract="in(a[0:4]) out(o[i])")])
+        diags = lint_baseline(app)
+        assert codes(diags) == ["HPAC212"]
+        assert "[0, 9)" in diags[0].message
+
+    def test_attributed_writes_are_evidence_not_proof(self, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("HPAC_BASELINE_DIR", str(tmp_path))
+        baseline = {
+            "app": "broken", "regions": {"r": {"observed": {
+                "out": {"scratch": {"width": 1, "intervals": [[0, 4]],
+                                    "attributed": True, "events": 1}},
+            }}},
+        }
+        (tmp_path / "broken.json").write_text(json.dumps(baseline))
+        app = SimpleNamespace(name="broken", sites=lambda: [
+            SimpleNamespace(name="r", contract="in(a[0:4]) out(o[i])")])
+        assert lint_baseline(app) == []
+
+    def test_no_baseline_is_silent(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HPAC_BASELINE_DIR", str(tmp_path))
+        assert lint_baseline(get_benchmark("blackscholes")) == []
+
+    def test_hpac212_joins_preflight_but_never_prunes(self, tmp_path,
+                                                      monkeypatch):
+        from repro.analysis.preflight import (preflight_diagnostics,
+                                              preflight_point)
+        from repro.harness.sweep import SweepPoint
+
+        monkeypatch.setenv("HPAC_BASELINE_DIR", str(tmp_path))
+        baseline = {
+            "app": "blackscholes",
+            "regions": {"price": {"observed": {
+                "out": {"dextra": {"width": 1, "intervals": [[0, 10]],
+                                   "attributed": False, "events": 1}},
+            }}},
+        }
+        (tmp_path / "blackscholes.json").write_text(json.dumps(baseline))
+        point = SweepPoint("taf", {"hsize": 2, "psize": 4, "threshold": 0.3},
+                           "thread", 1)
+        diags = preflight_diagnostics("blackscholes", "v100_small", point)
+        assert "HPAC212" in [d.code for d in diags]
+        # An ERROR, but never pruning: the point still simulates.
+        assert preflight_point("blackscholes", "v100_small", point) is None
+
+    def test_shipped_baselines_match_declared_contracts(self):
+        # The committed baselines/approxsan/*.json stay in lockstep with
+        # the apps' declared contracts.
+        for name in ["binomial", "blackscholes", "kmeans", "lavamd",
+                     "leukocyte", "lulesh", "minife"]:
+            assert lint_baseline(get_benchmark(name)) == []

@@ -373,6 +373,9 @@ class TestShippedAppsClean:
         report = result.extra["approxsan"]
         assert report.clean, report.render()
         assert report.counters["launches"] >= 1
+        # Every shipped buffers=/writes= hint carries an indices= payload:
+        # nothing falls back to the name-level (whole-buffer) shadow.
+        assert report.counters["streamed_name_level"] == 0
 
     def test_taf_run_is_clean(self):
         app = get_benchmark("blackscholes")
@@ -380,6 +383,7 @@ class TestShippedAppsClean:
         report = app.run("v100_small", regions,
                          sanitize=True).extra["approxsan"]
         assert report.clean, report.render()
+        assert report.counters["streamed_name_level"] == 0
 
     def test_iact_run_is_clean_including_table_writes(self):
         # iACT's write phase elects one writer per table: no HPAC204.
@@ -389,6 +393,7 @@ class TestShippedAppsClean:
                          sanitize=True).extra["approxsan"]
         assert report.clean, report.render()
         assert report.counters["table_write_phases"] >= 1
+        assert report.counters["streamed_name_level"] == 0
 
     def test_sanitize_off_attaches_no_report(self):
         app = get_benchmark("blackscholes")
@@ -400,17 +405,29 @@ class TestShippedAppsClean:
 # the non-negotiable: sanitize=True changes nothing observable
 # ======================================================================
 class TestEquivalence:
+    #: Scaled-down problems so the two runs per point stay quick; lavamd
+    #: and leukocyte exercise the v2 hooks the original four don't reach
+    #: (indices= block payloads, writes= attribution, in-kernel barriers).
+    PROBLEMS = {
+        "lavamd": {"boxes_per_dim": 2, "particles_per_box": 16,
+                   "time_steps": 3},
+        "leukocyte": {"num_cells": 2, "window": 8, "iterations": 6},
+    }
+
     @pytest.mark.parametrize("name,technique,params", [
         ("blackscholes", "taf", {"hsize": 2, "psize": 4, "threshold": 0.3}),
         ("kmeans", "iact", {"tsize": 8, "threshold": 0.5}),
         ("minife", "none", {}),
         ("lulesh", "perfo", {"kind": "small", "skip": 2}),
+        ("lavamd", "iact", {"tsize": 4, "threshold": 0.5}),
+        ("leukocyte", "taf", {"hsize": 2, "psize": 4, "threshold": 0.3}),
     ])
     def test_sanitized_run_is_byte_identical(self, name, technique, params):
-        app = get_benchmark(name)
+        problem = self.PROBLEMS.get(name)
+        app = get_benchmark(name, problem=problem)
         regions = app.build_regions(technique, **params)
         plain = app.run("v100_small", regions, seed=7)
-        app2 = get_benchmark(name)
+        app2 = get_benchmark(name, problem=problem)
         regions2 = app2.build_regions(technique, **params)
         checked = app2.run("v100_small", regions2, seed=7, sanitize=True)
         assert checked.timing.seconds == plain.timing.seconds

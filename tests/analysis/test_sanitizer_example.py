@@ -11,7 +11,7 @@ from repro.analysis import lint_contracts
 EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "broken_contracts.py"
 
 ALL_CODES = ["HPAC201", "HPAC202", "HPAC203", "HPAC204", "HPAC205",
-             "HPAC210", "HPAC211"]
+             "HPAC206", "HPAC207", "HPAC210", "HPAC211"]
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +90,26 @@ class TestGoldenReport:
             "section or restore the read"
         )
 
+    def test_element_precise_undeclared_read_block(self, diags):
+        assert self._block(diags, "HPAC201", "dqs[7]") == (
+            "<pragma>:1:4: error: region 'streamed' reads dqs[7] outside "
+            "its declared in(...) sections (lane 1) [HPAC201]\n"
+            "  in(dqs[0:6], dqs[8:4]) out(dys[i])\n"
+            "     ^~~~~~~~\n"
+            "  note: declared range(s): [0, 6), [8, 12)"
+        )
+
+    def test_element_precise_drift_block(self, diags):
+        assert self._block(diags, "HPAC203", "dqs[8:4]") == (
+            "<pragma>:1:14: warning: region 'streamed': declared in section "
+            "dqs[8:4] was never read during the run (contract drift) "
+            "[HPAC203]\n"
+            "  in(dqs[0:6], dqs[8:4]) out(dys[i])\n"
+            "               ^~~~~~~~\n"
+            "  note: the kernel no longer consumes this input; drop the "
+            "section or restore the read"
+        )
+
     def test_race_block(self, diags):
         assert self._block(diags, "HPAC204", "table 0") == (
             "<pragma>:1:1: error: region 'race': write-write race on shared "
@@ -106,6 +126,25 @@ class TestGoldenReport:
             "lifetime [HPAC205]\n"
             "  note: approximation state is private to its region; fetch it "
             "only through the runtime's region()/loop() dispatch"
+        )
+
+    def test_global_race_block(self, diags):
+        assert self._block(diags, "HPAC206", "'dcoll'") == (
+            "<pragma>:1:1: error: write-write race on global buffer "
+            "'dcoll': element 0 written by warps 0 and 1 in one epoch "
+            "(no launch or barrier boundary between) [x4] [HPAC206]\n"
+            "  note: order the writes with ctx.barrier(), split them "
+            "across launches, or give each element a single owning warp"
+        )
+
+    def test_read_after_approximate_write_block(self, diags):
+        assert self._block(diags, "HPAC207", "dtnt[0]") == (
+            "<pragma>:1:1: warning: '<kernel>' reads dtnt[0] whose last "
+            "write came from approximated region 'taint' "
+            "(read-after-approximate-write) [HPAC207]\n"
+            "  note: an approximated producer taints this consumer's QoI "
+            "attribution; re-run with the producer accurate or declare the "
+            "dependency intentional"
         )
 
     def test_width_mismatch_block(self, diags):
