@@ -106,6 +106,31 @@ def perforated_grid_stride(
                     stats.skipped += int(mask.sum())
                 continue
             yield step, idx, mask
+        elif ctx.fast:
+            # Same computation, arena-backed: the divergent skip masks are
+            # rewritten in place each step, so per-warp vectors cached
+            # against their ids are dropped first.
+            ctx.invalidate_mask_cache()
+            arena = ctx.arena
+            M = params.skip_factor
+            rem = arena.buf("perfo_rem", idx.shape, idx.dtype)
+            np.remainder(idx, M, out=rem)
+            skipm = arena.buf("perfo_skip", idx.shape, np.bool_)
+            if params.kind is PerforationKind.SMALL:
+                np.equal(rem, M - 1, out=skipm)
+            else:
+                np.not_equal(rem, 0, out=skipm)
+            drop = arena.buf("perfo_drop", idx.shape, np.bool_)
+            np.logical_and(mask, skipm, out=drop)
+            if stats is not None:
+                stats.skipped += int(drop.sum())
+            exec_mask = arena.buf("perfo_exec", idx.shape, np.bool_)
+            np.logical_not(drop, out=exec_mask)
+            np.logical_and(mask, exec_mask, out=exec_mask)
+            # The perforation check itself costs a modulo + compare per
+            # encounter (the runtime counter of §3.3).
+            ctx.flops(2.0, mask)
+            yield step, idx, exec_mask
         else:
             drop = np.logical_and(mask, skip_iteration_mask(params, idx))
             if stats is not None:

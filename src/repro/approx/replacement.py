@@ -18,6 +18,8 @@ class RoundRobinPolicy:
     """Cyclic victim selection: each table keeps an insertion hand."""
 
     name = "round_robin"
+    #: ``on_hit`` is a no-op, so callers may skip gathering hit indices.
+    tracks_hits = False
 
     def __init__(self, num_tables: int, table_size: int) -> None:
         self.table_size = int(table_size)
@@ -45,6 +47,8 @@ class ClockPolicy:
     """
 
     name = "clock"
+    #: Hits set reference bits, so callers must report them.
+    tracks_hits = True
 
     def __init__(self, num_tables: int, table_size: int) -> None:
         self.table_size = int(table_size)

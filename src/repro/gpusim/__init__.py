@@ -13,6 +13,7 @@ substitution argument).  Public surface:
 * the occupancy and memory analysis helpers used by the figure benches.
 """
 
+from repro.gpusim.arena import ScratchArena, fast_path_default, set_fast_path_default
 from repro.gpusim.context import GridContext
 from repro.gpusim.cost import CycleCounters
 from repro.gpusim.device import (
@@ -52,12 +53,14 @@ __all__ = [
     "KernelTiming",
     "OccupancyReport",
     "ProgramTiming",
+    "ScratchArena",
     "SharedMemoryPool",
     "TransferModel",
     "TransferStats",
     "amd_mi250x",
     "blocks_resident_per_sm",
     "coalesced_transactions",
+    "fast_path_default",
     "get_device",
     "global_memory_fraction_for_tables",
     "hiding_efficiency",
@@ -68,6 +71,7 @@ __all__ = [
     "occupancy",
     "per_thread_table_bytes",
     "round_up",
+    "set_fast_path_default",
     "time_kernel",
     "validate_launch",
 ]

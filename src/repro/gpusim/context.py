@@ -29,6 +29,35 @@ paper evaluates; block barriers become synchronization *checks* — reaching a
 barrier under block-divergent masks raises
 :class:`~repro.errors.SimulatedDeadlockError`, reproducing the deadlock
 hazard of §3.1.2 instead of hanging.
+
+Fast path
+---------
+
+Every charging primitive has two implementations selected by
+``GridContext(fast_path=...)`` (default: :func:`repro.gpusim.arena.fast_path_default`,
+i.e. on unless ``REPRO_SIM_FASTPATH=0``):
+
+* the **slow path** is the original, allocation-heavy formulation, kept
+  verbatim as the in-process byte-identity reference;
+* the **fast path** produces bit-identical ``warp_cycles``, counters,
+  collectives, and memory traffic while doing near-zero allocations in
+  steady state: temporaries live in a per-launch
+  :class:`~repro.gpusim.arena.ScratchArena`, the per-warp active vector of
+  a given mask object is identity-cached, the depth-1 all-true mask
+  short-circuits every reshape-reduce, and counter accumulation is
+  journaled per call and folded into :class:`CycleCounters` lazily on
+  ``ctx.counters`` access (finalized once per launch).
+
+Fast-path invariants callers must respect:
+
+* arrays returned by collectives (``ballot``, ``warp_active_count``,
+  ``warp_reduce``, ``block_count``, ``block_active_count``) are **borrowed**
+  scratch — valid until the same collective is called again on this
+  context.  (``global_read`` results are always fresh.)
+* mask arrays passed to charging primitives are treated as immutable;
+  in-place mutation of a previously used mask object must be followed by
+  :meth:`GridContext.invalidate_mask_cache` (pushing/popping masks and the
+  approximation runtime's invocation boundaries do this automatically).
 """
 
 from __future__ import annotations
@@ -38,10 +67,17 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulatedDeadlockError
+from repro.gpusim.arena import ScratchArena, fast_path_default
 from repro.gpusim.cost import CycleCounters
 from repro.gpusim.device import MEMORY_SEGMENT_BYTES, DeviceSpec
 from repro.gpusim.memory import DeviceMemory, coalesced_transactions
 from repro.gpusim.shared import SharedMemoryPool
+
+#: Size of the identity-keyed per-warp active-vector cache.  Entries own a
+#: reference to their key array, so an ``id()`` can never be recycled while
+#: its entry is live; the cache is cleared before its 16th insertion, so a
+#: rotation slot is never overwritten while a live entry still points at it.
+_ACTIVE_CACHE_SLOTS = 16
 
 
 class GridContext:
@@ -55,6 +91,7 @@ class GridContext:
         memory: DeviceMemory | None = None,
         shared_capacity: int | None = None,
         sanitizer=None,
+        fast_path: bool | None = None,
     ) -> None:
         if num_blocks <= 0 or threads_per_block <= 0:
             raise ConfigurationError("grid and block sizes must be positive")
@@ -101,13 +138,49 @@ class GridContext:
 
         #: Cycles accumulated by each warp (timing-model input).
         self.warp_cycles = np.zeros(self.num_warps, dtype=np.float64)
-        self.counters = CycleCounters()
+        self._counters = CycleCounters()
         self._mask_stack: list[np.ndarray] = [
             np.ones(self.total_threads, dtype=bool)
         ]
         #: Free-form per-launch scratch used by the approximation runtime to
         #: keep region state across invocations.
         self.region_state: dict = {}
+
+        #: Fast-path state.  ``fast`` selects the implementation; the arena
+        #: holds every steady-state temporary; the journal holds deferred
+        #: ``(counter_field, delta)`` contributions in call order.
+        self.fast = fast_path_default() if fast_path is None else bool(fast_path)
+        self.arena = ScratchArena()
+        self._journal: list[tuple[str, float]] = []
+        self._base_mask = self._mask_stack[0]
+        self._uniform_active = np.ones(self.num_warps, dtype=bool)
+        self._uniform_active.setflags(write=False)
+        self._active_cache: dict[int, tuple] = {}
+        self._active_slot = 0
+
+    # ------------------------------------------------------------------
+    # counters (deferred finalization)
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> CycleCounters:
+        """Public cycle counters.
+
+        On the fast path, per-call contributions are journaled and folded
+        in **in call order** here — bit-identical to eager accumulation,
+        because the same floats are added in the same sequence.  Reading
+        mid-kernel (as Binomial's barrier-elision adjustment does) flushes
+        everything journaled so far, so direct mutation of the returned
+        object interleaves exactly as it would eagerly.
+        """
+        if self._journal:
+            self._counters.apply_journal(self._journal)
+            self._journal.clear()
+        return self._counters
+
+    @counters.setter
+    def counters(self, value: CycleCounters) -> None:
+        self._journal.clear()
+        self._counters = value
 
     # ------------------------------------------------------------------
     # masks / divergence
@@ -121,11 +194,13 @@ class GridContext:
         """Enter a divergent region: new mask = current AND ``mask``."""
         m = np.logical_and(self.mask, np.asarray(mask, dtype=bool))
         self._mask_stack.append(m)
+        self._active_cache.clear()
 
     def pop_mask(self) -> np.ndarray:
         """Leave the innermost divergent region."""
         if len(self._mask_stack) == 1:
             raise RuntimeError("mask stack underflow")
+        self._active_cache.clear()
         return self._mask_stack.pop()
 
     @contextmanager
@@ -137,10 +212,75 @@ class GridContext:
         finally:
             self.pop_mask()
 
+    def invalidate_mask_cache(self) -> None:
+        """Drop cached per-warp active vectors.
+
+        Required only if a mask array previously passed to a charging
+        primitive has been mutated **in place** (the cache is keyed by
+        array identity).  The approximation runtime calls this at every
+        region-invocation and perforation-step boundary.
+        """
+        self._active_cache.clear()
+
     def _warp_any(self, mask: np.ndarray | None = None) -> np.ndarray:
         """Bool per warp: does any lane of the warp execute?"""
+        if self.fast:
+            return self._active_info(mask)[0]
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         return m.reshape(self.num_warps, self.warp_size).any(axis=1)
+
+    # -- fast-path mask helpers ----------------------------------------
+    def _combined_mask(self, mask) -> np.ndarray:
+        """Effective bool mask = divergence-stack top AND ``mask``.
+
+        Returns the base all-true mask object itself when nothing masks,
+        which downstream fast paths test by identity to short-circuit.
+        """
+        if mask is None:
+            return self._mask_stack[-1]
+        if len(self._mask_stack) == 1:
+            if isinstance(mask, np.ndarray) and mask.dtype == np.bool_:
+                return mask
+            return np.asarray(mask, dtype=bool)
+        return np.logical_and(self._mask_stack[-1], mask)
+
+    def _active_info(self, mask) -> tuple[np.ndarray, int]:
+        """Per-warp active vector + number of active warps, cached by the
+        identity of the combined mask object (borrowed; do not mutate)."""
+        if mask is None:
+            m = self._mask_stack[-1]
+        elif len(self._mask_stack) == 1:
+            if isinstance(mask, np.ndarray) and mask.dtype == np.bool_:
+                m = mask
+            else:
+                m = np.asarray(mask, dtype=bool)
+        else:
+            m = np.logical_and(self._mask_stack[-1], mask)
+        if m is self._base_mask:
+            return self._uniform_active, self.num_warps
+        cache = self._active_cache
+        ent = cache.get(id(m))
+        if ent is not None and ent[0] is m:
+            return ent[1], ent[2]
+        if len(cache) >= _ACTIVE_CACHE_SLOTS:
+            cache.clear()
+        buf = self.arena.buf(
+            ("warp_any", self._active_slot), (self.num_warps,), np.bool_
+        )
+        self._active_slot = (self._active_slot + 1) % _ACTIVE_CACHE_SLOTS
+        np.any(m.reshape(self.num_warps, self.warp_size), axis=1, out=buf)
+        count = int(np.count_nonzero(buf))
+        cache[id(m)] = (m, buf, count)
+        return buf, count
+
+    def _charge_warps_counted(self, cyc, active: np.ndarray, count: int) -> None:
+        """``charge_warps`` given a precomputed active-warp count: the
+        all-warps case adds unmasked (bitwise-identical to the fancy-index
+        add over an all-true mask) and skips indexing entirely."""
+        if count == self.num_warps:
+            self.warp_cycles += cyc
+        else:
+            self.warp_cycles[active] += cyc
 
     # ------------------------------------------------------------------
     # cycle charging
@@ -164,6 +304,12 @@ class GridContext:
         SIMD semantics: a warp with at least one active lane pays the full
         ``n * alu_cycles``; fully inactive warps pay nothing.
         """
+        if self.fast:
+            active, count = self._active_info(mask)
+            cyc = float(n) * self.device.alu_cycles
+            self._charge_warps_counted(cyc, active, count)
+            self._journal.append(("alu_cycles", cyc * count))
+            return
         active = self._warp_any(mask)
         cyc = float(n) * self.device.alu_cycles
         self.charge_warps(cyc, active)
@@ -175,6 +321,19 @@ class GridContext:
         Models per-lane loops with data-dependent trip counts (e.g. LavaMD
         neighbour loops): SIMD warps run as long as their slowest lane.
         """
+        if self.fast:
+            m = self._combined_mask(mask)
+            arena = self.arena
+            lanes = arena.buf("fpl_lanes", (self.total_threads,), np.float64)
+            lanes.fill(0.0)
+            np.copyto(lanes, n_per_lane, where=m)
+            per_warp = arena.buf("fpl_warp", (self.num_warps,), np.float64)
+            lanes.reshape(self.num_warps, self.warp_size).max(axis=1, out=per_warp)
+            cyc = arena.buf("fpl_cyc", (self.num_warps,), np.float64)
+            np.multiply(per_warp, self.device.alu_cycles, out=cyc)
+            self.warp_cycles += cyc
+            self._journal.append(("alu_cycles", float(cyc.sum())))
+            return
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         lanes = np.where(m, np.asarray(n_per_lane, dtype=np.float64), 0.0)
         per_warp = lanes.reshape(self.num_warps, self.warp_size).max(axis=1)
@@ -184,6 +343,12 @@ class GridContext:
 
     def sfu(self, n: float, mask: np.ndarray | None = None) -> None:
         """Charge ``n`` special-function ops (exp/log/sqrt/...) per lane."""
+        if self.fast:
+            active, count = self._active_info(mask)
+            cyc = float(n) * self.device.sfu_cycles
+            self._charge_warps_counted(cyc, active, count)
+            self._journal.append(("sfu_cycles", cyc * count))
+            return
         active = self._warp_any(mask)
         cyc = float(n) * self.device.sfu_cycles
         self.charge_warps(cyc, active)
@@ -193,9 +358,21 @@ class GridContext:
     # global memory
     # ------------------------------------------------------------------
     def _charge_global(self, byte_addresses: np.ndarray, mask: np.ndarray | None) -> None:
+        if self.fast:
+            m = self._combined_mask(mask)
+            self._charge_global_fast(
+                np.asarray(byte_addresses, dtype=np.int64), m, m is self._base_mask
+            )
+            return
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
+        # full_mask=False pins the sort-based reference path: the slow
+        # context is the in-process baseline the fast path is measured
+        # against, so it must not silently inherit the analytic shortcut.
         txns = coalesced_transactions(
-            np.asarray(byte_addresses, dtype=np.int64), m, self.warp_size
+            np.asarray(byte_addresses, dtype=np.int64),
+            m,
+            self.warp_size,
+            full_mask=False,
         )
         cyc = txns * self.device.mem_txn_cycles
         self.warp_cycles += cyc
@@ -205,14 +382,62 @@ class GridContext:
         self.counters.dram_bytes += ntx * MEMORY_SEGMENT_BYTES
         self.counters.global_accesses += 1
 
+    def _charge_global_fast(self, addr: np.ndarray, m: np.ndarray, uniform: bool) -> None:
+        arena = self.arena
+        txns = coalesced_transactions(
+            addr,
+            m,
+            self.warp_size,
+            # True: skip the all-lanes check; None: let the helper test the
+            # mask itself (a non-base mask can still be all-true, e.g. full
+            # grid-stride steps) so affine address vectors stay analytic.
+            full_mask=True if uniform else None,
+            out=arena.buf("gmem_txns", (self.num_warps,), np.int64),
+            scratch=arena,
+        )
+        cyc = np.multiply(
+            txns,
+            self.device.mem_txn_cycles,
+            out=arena.buf("gmem_cyc", (self.num_warps,), np.float64),
+        )
+        self.warp_cycles += cyc
+        ntx = int(txns.sum())
+        j = self._journal
+        j.append(("mem_cycles", float(cyc.sum())))
+        j.append(("global_transactions", ntx))
+        j.append(("dram_bytes", ntx * MEMORY_SEGMENT_BYTES))
+        j.append(("global_accesses", 1))
+
     def global_read(
         self, arr: np.ndarray, idx: np.ndarray, mask: np.ndarray | None = None
     ) -> np.ndarray:
         """Read ``arr[idx]`` per lane, charging coalescing-aware cost.
 
         ``idx`` is a per-lane element index into a flat device array.  Lanes
-        outside the mask return 0 and issue no memory request.
+        outside the mask return 0 and issue no memory request.  The returned
+        array is always freshly allocated (it escapes to application code).
         """
+        if self.fast:
+            m = self._combined_mask(mask)
+            uniform = m is self._base_mask
+            arena = self.arena
+            safe = arena.buf("gmem_safe", (self.total_threads,), np.int64)
+            if uniform:
+                np.copyto(safe, idx, casting="unsafe")
+            else:
+                safe.fill(0)
+                np.copyto(safe, idx, where=m, casting="unsafe")
+            addr = arena.buf("gmem_addr", (self.total_threads,), np.int64)
+            np.multiply(safe, arr.itemsize, out=addr)
+            self._charge_global_fast(addr, m, uniform)
+            if self.sanitizer is not None:
+                self.sanitizer.on_global_read(arr, safe, m)
+            flat = arr.reshape(-1)
+            gathered = arena.buf("gmem_gather", (self.total_threads,), flat.dtype)
+            np.take(flat, safe, out=gathered)
+            if uniform:
+                return gathered.copy()
+            return np.where(m, gathered, np.zeros((), dtype=arr.dtype))
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         safe = np.where(m, idx, 0)
         self._charge_global(safe * arr.itemsize, m)
@@ -229,6 +454,27 @@ class GridContext:
         mask: np.ndarray | None = None,
     ) -> None:
         """Write ``values`` to ``arr[idx]`` per lane with coalescing cost."""
+        if self.fast:
+            m = self._combined_mask(mask)
+            uniform = m is self._base_mask
+            arena = self.arena
+            safe = arena.buf("gmem_safe", (self.total_threads,), np.int64)
+            if uniform:
+                np.copyto(safe, idx, casting="unsafe")
+            else:
+                safe.fill(0)
+                np.copyto(safe, idx, where=m, casting="unsafe")
+            addr = arena.buf("gmem_addr", (self.total_threads,), np.int64)
+            np.multiply(safe, arr.itemsize, out=addr)
+            self._charge_global_fast(addr, m, uniform)
+            if self.sanitizer is not None:
+                self.sanitizer.on_global_write(arr, safe, m, self)
+            flat = arr.reshape(-1)
+            if uniform:
+                flat[safe] = np.asarray(values) if np.ndim(values) else values
+            else:
+                flat[safe[m]] = np.asarray(values)[m] if np.ndim(values) else values
+            return
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         safe = np.where(m, idx, 0)
         self._charge_global(safe * arr.itemsize, m)
@@ -261,7 +507,35 @@ class GridContext:
         ``(base, width)`` tuple meaning each lane touches
         ``[base[lane], base[lane]+width)``.  All three are pure attribution
         hints for ApproxSan — the cost model ignores them entirely.
+
+        Accounting convention for fractional ``elements`` (an *average*
+        per-lane element count): ``mem_cycles`` stay exact — time is
+        continuous, so each active warp pays the un-rounded
+        ``elements * ceil(warp_size*itemsize/segment) * mem_txn_cycles`` —
+        while the discrete event counters (``global_transactions`` and the
+        ``dram_bytes`` derived from them) round the per-warp transaction
+        count **once**, half-to-even, and reuse that single rounded value
+        for both, so transactions and bytes can never disagree.  Integral
+        ``elements`` are unaffected.
         """
+        if self.fast:
+            if self.sanitizer is not None and (buffers or writes):
+                m = self._combined_mask(mask)
+                self.sanitizer.on_streamed_read(
+                    buffers, indices=indices, mask=m, writes=writes)
+            active, count = self._active_info(mask)
+            txns_per_warp = float(elements) * np.ceil(
+                self.warp_size * itemsize / MEMORY_SEGMENT_BYTES
+            )
+            ntx_warp = int(round(txns_per_warp))
+            cyc = txns_per_warp * self.device.mem_txn_cycles
+            self._charge_warps_counted(cyc, active, count)
+            j = self._journal
+            j.append(("mem_cycles", cyc * count))
+            j.append(("global_transactions", ntx_warp * count))
+            j.append(("dram_bytes", ntx_warp * count * MEMORY_SEGMENT_BYTES))
+            j.append(("global_accesses", 1))
+            return
         if self.sanitizer is not None and (buffers or writes):
             m = self.mask if mask is None else np.logical_and(self.mask, mask)
             self.sanitizer.on_streamed_read(
@@ -270,12 +544,13 @@ class GridContext:
         txns_per_warp = float(elements) * np.ceil(
             self.warp_size * itemsize / MEMORY_SEGMENT_BYTES
         )
+        ntx_warp = int(round(txns_per_warp))
         cyc = txns_per_warp * self.device.mem_txn_cycles
         self.charge_warps(cyc, active)
         nwarps = int(active.sum())
         self.counters.mem_cycles += cyc * nwarps
-        self.counters.global_transactions += int(txns_per_warp) * nwarps
-        self.counters.dram_bytes += int(txns_per_warp) * nwarps * MEMORY_SEGMENT_BYTES
+        self.counters.global_transactions += ntx_warp * nwarps
+        self.counters.dram_bytes += ntx_warp * nwarps * MEMORY_SEGMENT_BYTES
         self.counters.global_accesses += 1
 
     # ------------------------------------------------------------------
@@ -283,6 +558,14 @@ class GridContext:
     # ------------------------------------------------------------------
     def shared_access(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
         """Charge ``n`` conflict-free shared-memory accesses per lane."""
+        if self.fast:
+            active, count = self._active_info(mask)
+            cyc = float(n) * self.device.shared_cycles
+            self._charge_warps_counted(cyc, active, count)
+            j = self._journal
+            j.append(("shared_cycles", cyc * count))
+            j.append(("shared_accesses", 1))
+            return
         active = self._warp_any(mask)
         cyc = float(n) * self.device.shared_cycles
         self.charge_warps(cyc, active)
@@ -309,30 +592,87 @@ class GridContext:
         """
         self.shared_access(float(accesses), mask)
         if self.sanitizer is not None:
-            m = self.mask if mask is None else np.logical_and(self.mask, mask)
+            if self.fast:
+                m = self._combined_mask(mask)
+            else:
+                m = self.mask if mask is None else np.logical_and(self.mask, mask)
             self.sanitizer.on_table_write(region, np.asarray(table_ids), m, self)
 
     # ------------------------------------------------------------------
     # warp collectives / intrinsics
     # ------------------------------------------------------------------
     def _charge_intrinsic(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
+        if self.fast:
+            active, count = self._active_info(mask)
+            cyc = float(n) * self.device.intrinsic_cycles
+            self._charge_warps_counted(cyc, active, count)
+            j = self._journal
+            j.append(("intrinsic_cycles", cyc * count))
+            j.append(("intrinsics", 1))
+            return
         active = self._warp_any(mask)
         cyc = float(n) * self.device.intrinsic_cycles
         self.charge_warps(cyc, active)
         self.counters.intrinsic_cycles += cyc * int(active.sum())
         self.counters.intrinsics += 1
 
+    def _ballot_counts(self, pred: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Fast-path ballot without the per-lane broadcast: per-warp counts
+        of active predicate-true lanes (borrowed buffer).  Charges exactly
+        like :meth:`ballot`."""
+        m = self._combined_mask(mask)
+        arena = self.arena
+        if (
+            m is self._base_mask
+            and isinstance(pred, np.ndarray)
+            and pred.dtype == np.bool_
+        ):
+            # AND with the all-true base mask is the identity.
+            p = pred
+        else:
+            p = arena.buf("ballot_pred", (self.total_threads,), np.bool_)
+            np.logical_and(pred, m, out=p)
+        counts = arena.buf("ballot_counts", (self.num_warps,), np.int64)
+        p.reshape(self.num_warps, self.warp_size).sum(axis=1, out=counts)
+        self._charge_intrinsic(1.0, mask)
+        return counts
+
     def ballot(self, pred: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         """``__ballot_sync`` + ``popc``: per-lane broadcast of the number of
         active lanes in the lane's warp whose predicate is true."""
+        if self.fast:
+            counts = self._ballot_counts(pred, mask)
+            out = self.arena.buf("ballot_lanes", (self.total_threads,), np.int64)
+            out.reshape(self.num_warps, self.warp_size)[:] = counts[:, None]
+            return out
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         p = np.logical_and(np.asarray(pred, dtype=bool), m)
         counts = p.reshape(self.num_warps, self.warp_size).sum(axis=1)
         self._charge_intrinsic(1.0, mask)
         return np.repeat(counts, self.warp_size)
 
+    def _warp_counts(self, m: np.ndarray) -> np.ndarray:
+        """Per-warp active-lane counts of an already-combined mask
+        (borrowed buffer; no cycles charged)."""
+        counts = self.arena.buf("warp_counts", (self.num_warps,), np.int64)
+        if m is self._base_mask:
+            counts.fill(self.warp_size)
+        else:
+            m.reshape(self.num_warps, self.warp_size).sum(axis=1, out=counts)
+        return counts
+
     def warp_active_count(self, mask: np.ndarray | None = None) -> np.ndarray:
         """Per-lane broadcast of the number of active lanes in its warp."""
+        if self.fast:
+            m = self._combined_mask(mask)
+            counts = self.arena.buf("wac_counts", (self.num_warps,), np.int64)
+            if m is self._base_mask:
+                counts.fill(self.warp_size)
+            else:
+                m.reshape(self.num_warps, self.warp_size).sum(axis=1, out=counts)
+            out = self.arena.buf("wac_lanes", (self.total_threads,), np.int64)
+            out.reshape(self.num_warps, self.warp_size)[:] = counts[:, None]
+            return out
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         counts = m.reshape(self.num_warps, self.warp_size).sum(axis=1)
         return np.repeat(counts, self.warp_size)
@@ -345,6 +685,37 @@ class GridContext:
         Charges log2(warp_size) shuffle intrinsics, like the shfl.down tree
         a real implementation would use.
         """
+        if self.fast:
+            m = self._combined_mask(mask)
+            arena = self.arena
+            if op == "sum":
+                ident = 0.0
+            elif op == "max":
+                ident = -np.inf
+            elif op == "min":
+                ident = np.inf
+            else:
+                raise ValueError(f"unknown warp reduction {op!r}")
+            if m is self._base_mask:
+                grid = np.asarray(values, dtype=np.float64).reshape(
+                    self.num_warps, self.warp_size
+                )
+            else:
+                tmp = arena.buf("wred_vals", (self.total_threads,), np.float64)
+                tmp.fill(ident)
+                np.copyto(tmp, values, where=m)
+                grid = tmp.reshape(self.num_warps, self.warp_size)
+            red = arena.buf("wred_red", (self.num_warps,), np.float64)
+            if op == "sum":
+                grid.sum(axis=1, out=red)
+            elif op == "max":
+                grid.max(axis=1, out=red)
+            else:
+                grid.min(axis=1, out=red)
+            self._charge_intrinsic(float(np.log2(self.warp_size)), mask)
+            out = arena.buf("wred_lanes", (self.total_threads,), np.float64)
+            out.reshape(self.num_warps, self.warp_size)[:] = red[:, None]
+            return out
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         v = np.asarray(values, dtype=np.float64)
         grid = v.reshape(self.num_warps, self.warp_size)
@@ -388,6 +759,34 @@ class GridContext:
         threads reach the barrier while others were masked off by divergent
         control flow — the hang scenario of §3.1.2.
         """
+        if self.fast:
+            m = self._combined_mask(mask)
+            if m is self._base_mask:
+                active, count = self._uniform_active, self.num_warps
+            else:
+                per_block = m.reshape(self.num_blocks, self.threads_per_block)
+                arena = self.arena
+                some = arena.buf("bar_some", (self.num_blocks,), np.bool_)
+                per_block.any(axis=1, out=some)
+                diverged = arena.buf("bar_div", (self.num_blocks,), np.bool_)
+                per_block.all(axis=1, out=diverged)
+                np.logical_not(diverged, out=diverged)
+                np.logical_and(some, diverged, out=diverged)
+                if diverged.any():
+                    bad = int(np.argmax(diverged))
+                    raise SimulatedDeadlockError(
+                        f"barrier reached under divergent control flow in block {bad}: "
+                        f"{int(per_block[bad].sum())}/{self.threads_per_block} threads arrived"
+                    )
+                active, count = self._active_info(mask)
+            cyc = self.device.barrier_cycles
+            self._charge_warps_counted(cyc, active, count)
+            j = self._journal
+            j.append(("barrier_cycles", cyc * count))
+            j.append(("barriers", 1))
+            if self.sanitizer is not None:
+                self.sanitizer.on_barrier()
+            return
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         per_block = m.reshape(self.num_blocks, self.threads_per_block)
         some = per_block.any(axis=1)
@@ -410,11 +809,38 @@ class GridContext:
 
     def atomic_shared(self, n: float = 1.0, mask: np.ndarray | None = None) -> None:
         """Charge ``n`` shared-memory atomic ops (one per active warp)."""
+        if self.fast:
+            active, count = self._active_info(mask)
+            cyc = float(n) * self.device.atomic_cycles
+            self._charge_warps_counted(cyc, active, count)
+            j = self._journal
+            j.append(("atomic_cycles", cyc * count))
+            j.append(("atomics", 1))
+            return
         active = self._warp_any(mask)
         cyc = float(n) * self.device.atomic_cycles
         self.charge_warps(cyc, active)
         self.counters.atomic_cycles += cyc * int(active.sum())
         self.counters.atomics += 1
+
+    def _block_counts(self, pred: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+        """Fast-path :meth:`block_count` without the per-lane broadcast:
+        per-block counts (borrowed buffer), charging the identical §3.3
+        sequence (ballot+popc, leader atomic, full barrier, readback)."""
+        m = self._combined_mask(mask)
+        arena = self.arena
+        p = arena.buf("bc_pred", (self.total_threads,), np.bool_)
+        np.logical_and(pred, m, out=p)
+        per_block = arena.buf("bc_counts", (self.num_blocks,), np.int64)
+        p.reshape(self.num_blocks, self.threads_per_block).sum(axis=1, out=per_block)
+        self._charge_intrinsic(1.0, mask)  # ballot + popc
+        self.atomic_shared(1.0, mask)  # leader atomicAdd
+        # The barrier is block-wide: ``mask`` selects who *votes*, not who
+        # reaches the synchronization point — every converged thread of the
+        # block arrives (a ragged tail still synchronizes on real hardware).
+        self.barrier()
+        self.shared_access(1.0, mask)  # read back the total
+        return per_block
 
     def block_count(self, pred: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
         """Count predicate-true threads per block, broadcast per lane.
@@ -423,6 +849,11 @@ class GridContext:
         first lane of each warp atomically adding into shared memory, a
         barrier, then every thread reading the total.
         """
+        if self.fast:
+            per_block = self._block_counts(pred, mask)
+            out = self.arena.buf("bc_lanes", (self.total_threads,), np.int64)
+            out.reshape(self.num_blocks, self.threads_per_block)[:] = per_block[:, None]
+            return out
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         p = np.logical_and(np.asarray(pred, dtype=bool), m)
         per_block = p.reshape(self.num_blocks, self.threads_per_block).sum(axis=1)
@@ -435,8 +866,24 @@ class GridContext:
         self.shared_access(1.0, mask)  # read back the total
         return np.repeat(per_block, self.threads_per_block)
 
+    def _block_active_counts(self, m: np.ndarray) -> np.ndarray:
+        """Per-block active-lane counts of an already-combined mask
+        (borrowed buffer; no cost)."""
+        counts = self.arena.buf("bact_counts", (self.num_blocks,), np.int64)
+        if m is self._base_mask:
+            counts.fill(self.threads_per_block)
+        else:
+            m.reshape(self.num_blocks, self.threads_per_block).sum(axis=1, out=counts)
+        return counts
+
     def block_active_count(self, mask: np.ndarray | None = None) -> np.ndarray:
         """Active threads per block (no cost — a compile-time constant)."""
+        if self.fast:
+            m = self._combined_mask(mask)
+            counts = self._block_active_counts(m)
+            out = self.arena.buf("bac_lanes", (self.total_threads,), np.int64)
+            out.reshape(self.num_blocks, self.threads_per_block)[:] = counts[:, None]
+            return out
         m = self.mask if mask is None else np.logical_and(self.mask, mask)
         counts = m.reshape(self.num_blocks, self.threads_per_block).sum(axis=1)
         return np.repeat(counts, self.threads_per_block)
@@ -461,8 +908,16 @@ class GridContext:
         base = start + self.thread_id
         while start + step * stride < n:
             idx = base + step * stride
-            live = idx < n
-            yield step, idx, np.logical_and(self.mask, live)
+            if self.fast and len(self._mask_stack) == 1:
+                # Full steps (every lane live) yield the base mask object,
+                # which downstream charging recognizes by identity.
+                if start + (step + 1) * stride <= n:
+                    yield step, idx, self._base_mask
+                else:
+                    yield step, idx, idx < n
+            else:
+                live = idx < n
+                yield step, idx, np.logical_and(self.mask, live)
             step += 1
 
     def block_stride(self, n: int):
@@ -476,8 +931,14 @@ class GridContext:
         step = 0
         while step * self.num_blocks < n:
             item = self.block_id + step * self.num_blocks
-            live = item < n
-            yield step, item, np.logical_and(self.mask, live)
+            if self.fast and len(self._mask_stack) == 1:
+                if (step + 1) * self.num_blocks <= n:
+                    yield step, item, self._base_mask
+                else:
+                    yield step, item, item < n
+            else:
+                live = item < n
+                yield step, item, np.logical_and(self.mask, live)
             step += 1
 
     def team_chunk_stride(self, n: int):
@@ -499,10 +960,23 @@ class GridContext:
         base = self.block_id * chunk + self.lane_in_block
         step = 0
         while step * self.threads_per_block < chunk:
-            offset = self.lane_in_block + step * self.threads_per_block
             idx = base + step * self.threads_per_block
-            live = np.logical_and(offset < chunk, idx < n)
-            yield step, idx, np.logical_and(self.mask, live)
+            if self.fast and len(self._mask_stack) == 1:
+                # Full step: the last lane of the last block stays in its
+                # chunk and inside the iteration space.
+                if (step + 1) * self.threads_per_block <= chunk and (
+                    (self.num_blocks - 1) * chunk
+                    + (step + 1) * self.threads_per_block
+                    <= n
+                ):
+                    yield step, idx, self._base_mask
+                else:
+                    offset = self.lane_in_block + step * self.threads_per_block
+                    yield step, idx, np.logical_and(offset < chunk, idx < n)
+            else:
+                offset = self.lane_in_block + step * self.threads_per_block
+                live = np.logical_and(offset < chunk, idx < n)
+                yield step, idx, np.logical_and(self.mask, live)
             step += 1
 
     def block_chunk_stride(self, n: int):
@@ -518,6 +992,12 @@ class GridContext:
         step = 0
         while step < chunk:
             item = self.block_id * chunk + step
-            live = item < n
-            yield step, item, np.logical_and(self.mask, live)
+            if self.fast and len(self._mask_stack) == 1:
+                if (self.num_blocks - 1) * chunk + step < n:
+                    yield step, item, self._base_mask
+                else:
+                    yield step, item, item < n
+            else:
+                live = item < n
+                yield step, item, np.logical_and(self.mask, live)
             step += 1

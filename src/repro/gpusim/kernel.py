@@ -92,6 +92,7 @@ def launch(
     shared_capacity: int | None = None,
     params: dict | None = None,
     sanitizer=None,
+    fast_path: bool | None = None,
 ) -> KernelResult:
     """Execute ``fn`` as a kernel on a simulated grid and time it.
 
@@ -99,6 +100,8 @@ def launch(
     keyword arguments; its return value is surfaced on the result.  When a
     ``sanitizer`` (ApproxSan) is attached it observes the launch through the
     context; the timing and counter paths are identical with or without it.
+    ``fast_path`` selects the context implementation (None = module
+    default); both produce byte-identical results.
     """
     validate_launch(device, num_blocks, threads_per_block, shared_capacity)
     ctx = GridContext(
@@ -108,6 +111,7 @@ def launch(
         memory=memory,
         shared_capacity=shared_capacity,
         sanitizer=sanitizer,
+        fast_path=fast_path,
     )
     kname = name or getattr(fn, "__name__", "kernel")
     if sanitizer is not None:
@@ -118,13 +122,17 @@ def launch(
             sanitizer.end_launch()
     else:
         value = fn(ctx, **(params or {}))
+    # ``ctx.counters`` finalizes the fast path's deferred journal: every
+    # per-call contribution folds into the public counters here, once per
+    # launch, in call order (bit-identical to eager accumulation).
+    counters = ctx.counters
     timing = time_kernel(
         device,
         kname,
         ctx.warp_cycles,
-        ctx.counters,
+        counters,
         num_blocks,
         threads_per_block,
         shared_bytes_per_block=ctx.shared.used_per_block,
     )
-    return KernelResult(timing=timing, counters=ctx.counters, context=ctx, value=value)
+    return KernelResult(timing=timing, counters=counters, context=ctx, value=value)

@@ -68,8 +68,16 @@ class DeviceMemory:
         """Bytes still available."""
         return self.capacity - self._in_use
 
-    def alloc(self, name: str, shape, dtype=np.float64, fill=None) -> np.ndarray:
-        """Allocate a named device buffer; raises if capacity is exceeded."""
+    def alloc(
+        self, name: str, shape, dtype=np.float64, fill=None, *, _uninitialized=False
+    ) -> np.ndarray:
+        """Allocate a named device buffer; raises if capacity is exceeded.
+
+        ``_uninitialized`` is internal (:meth:`upload`): it skips the
+        zero/``fill`` initialization for storage the caller overwrites in
+        full immediately, so capacity accounting and the name index behave
+        exactly as for a normal allocation.
+        """
         if name in self._buffers:
             raise ValueError(f"device buffer {name!r} already allocated")
         dtype = np.dtype(dtype)
@@ -89,7 +97,9 @@ class DeviceMemory:
         nbytes = count * dtype.itemsize
         if nbytes > self.free:
             raise GlobalMemoryError(nbytes, self._in_use, self.capacity)
-        if fill is None:
+        if _uninitialized:
+            data = np.empty(shape, dtype=dtype)
+        elif fill is None:
             data = np.zeros(shape, dtype=dtype)
         else:
             data = np.full(shape, fill, dtype=dtype)
@@ -99,8 +109,15 @@ class DeviceMemory:
         return data
 
     def upload(self, name: str, host_array: np.ndarray) -> np.ndarray:
-        """Allocate a buffer and copy a host array into it."""
-        arr = self.alloc(name, host_array.shape, host_array.dtype)
+        """Allocate a buffer and copy a host array into it.
+
+        The backing storage is allocated uninitialized and filled once by
+        the copy (a zero-filled alloc would touch every byte twice for
+        large app inputs).
+        """
+        arr = self.alloc(
+            name, host_array.shape, host_array.dtype, _uninitialized=True
+        )
         arr[...] = host_array
         return arr
 
@@ -138,11 +155,81 @@ class DeviceMemory:
         return name in self._buffers
 
 
+def _affine_transactions(
+    addresses: np.ndarray,
+    warp_size: int,
+    segment_bytes: int,
+    out: np.ndarray | None,
+    scratch,
+) -> np.ndarray | None:
+    """Closed-form per-warp segment counts for an affine address vector.
+
+    Applies when the whole (fully active) lane vector is constant-stride:
+    ``addr[j] = addr[0] + j*s``.  Per warp the touched segments are the
+    floors of an arithmetic progression, so:
+
+    * ``s == 0`` — every lane hits one address: 1 transaction;
+    * ``0 < |s| < segment_bytes`` — consecutive (sorted) lane floors step by
+      0 or 1, touching **every** segment between the endpoints:
+      ``hi//seg - lo//seg + 1`` transactions;
+    * ``|s| >= segment_bytes`` — floors are strictly monotone, all distinct:
+      ``warp_size`` transactions.
+
+    Returns None when the vector is not affine (caller falls back to the
+    sort-based reference path).  O(lanes) for the affinity check, O(warps)
+    for the counts.
+    """
+    n = addresses.shape[0]
+    nwarps = n // warp_size
+    stride = int(addresses[1]) - int(addresses[0])
+    if scratch is not None:
+        diff = scratch.buf("coal_diff", (n - 1,), np.int64)
+        np.subtract(addresses[1:], addresses[:-1], out=diff)
+        affine = scratch.buf("coal_affine", (n - 1,), np.bool_)
+        np.equal(diff, stride, out=affine)
+        if not affine.all():
+            return None
+    elif not bool((np.diff(addresses) == stride).all()):
+        return None
+    res = out if out is not None else np.empty(nwarps, dtype=np.int64)
+    if stride == 0:
+        res.fill(1)
+        return res
+    if abs(stride) >= segment_bytes:
+        res.fill(warp_size)
+        return res
+    # Warp bases are a strided view — no gather.  lo/hi are each warp's
+    # lowest/highest touched address, sign-aware.
+    first = addresses[0::warp_size]
+    span = (warp_size - 1) * stride
+    if scratch is not None:
+        lo = scratch.buf("coal_lo", (nwarps,), np.int64)
+        hi = scratch.buf("coal_hi", (nwarps,), np.int64)
+    else:
+        lo = np.empty(nwarps, dtype=np.int64)
+        hi = np.empty(nwarps, dtype=np.int64)
+    if stride > 0:
+        np.floor_divide(first, segment_bytes, out=lo)
+        np.add(first, span, out=hi)
+        np.floor_divide(hi, segment_bytes, out=hi)
+    else:
+        np.add(first, span, out=lo)
+        np.floor_divide(lo, segment_bytes, out=lo)
+        np.floor_divide(first, segment_bytes, out=hi)
+    np.subtract(hi, lo, out=res)
+    res += 1
+    return res
+
+
 def coalesced_transactions(
     byte_addresses: np.ndarray,
     mask: np.ndarray,
     warp_size: int,
     segment_bytes: int = MEMORY_SEGMENT_BYTES,
+    *,
+    full_mask: bool | None = None,
+    out: np.ndarray | None = None,
+    scratch=None,
 ) -> np.ndarray:
     """Per-warp count of memory transactions for one warp-wide access.
 
@@ -157,6 +244,17 @@ def coalesced_transactions(
         Lanes per warp.
     segment_bytes:
         DRAM transaction granularity.
+    full_mask:
+        Caller's promise about the mask: ``True`` — every lane is active
+        (the all-lanes check is skipped); ``False`` — treat as partial and
+        go straight to the sort path; ``None`` (default) — test the mask
+        here.  Only fully active accesses are eligible for the analytic
+        affine path.
+    out:
+        Optional preallocated int64 ``(num_warps,)`` result buffer.
+    scratch:
+        Optional :class:`~repro.gpusim.arena.ScratchArena` for the affine
+        check's temporaries (fast-path contexts pass their arena).
 
     Returns
     -------
@@ -170,10 +268,22 @@ def coalesced_transactions(
     (perfectly coalesced); a stride-N access touches up to 32 segments (fully
     scattered).  Divergent perforation patterns fall between the two, which
     is exactly the fragmentation effect §3.1.5 describes.
+
+    Fully active constant-stride vectors are counted in closed form
+    (:func:`_affine_transactions`) — bit-identical to the sort-based
+    reference, proven by a randomized property test — so unit-stride
+    reads/writes never pay a per-lane sort.
     """
     n = byte_addresses.shape[0]
     if n % warp_size:
         raise ValueError("lane count must be a multiple of warp_size")
+    if full_mask is None:
+        full_mask = bool(np.all(mask))
+    if full_mask and n >= 2:
+        addresses = np.asarray(byte_addresses, dtype=np.int64)
+        res = _affine_transactions(addresses, warp_size, segment_bytes, out, scratch)
+        if res is not None:
+            return res
     segs = (byte_addresses // segment_bytes).reshape(-1, warp_size).astype(np.int64)
     act = np.asarray(mask, dtype=bool).reshape(-1, warp_size)
     # Inactive lanes get the int64-max sentinel: after the per-row sort they
@@ -186,7 +296,11 @@ def coalesced_transactions(
     # A diff at position j counts a new segment only if lane j+1 is a real
     # (non-sentinel) value; sentinel runs collapse because they are equal.
     real = sorted_segs[:, 1:] != np.iinfo(np.int64).max
-    return first + np.count_nonzero(diffs & real, axis=1)
+    counts = first + np.count_nonzero(diffs & real, axis=1)
+    if out is not None:
+        out[:] = counts
+        return out
+    return counts
 
 
 @dataclass

@@ -1,0 +1,66 @@
+"""Fast-path equivalence matrix: 7 apps × {taf, iact, perfo} × levels.
+
+The fast simulator core must be **byte-identical** to the original
+implementation on every full application run — same QoI bytes, same kernel
+timings, same counters, same region stats, same ApproxSan report.  Each
+supported cell runs through both paths in one process and both digests must
+match the committed seed golden
+(``tests/approx/goldens/equivalence.json``, written by
+``record_equivalence_goldens.py`` against the slow path).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.approx.equivalence_util import (
+    SKIP_ERRORS,
+    iter_matrix,
+    run_combo,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "goldens" / "equivalence.json"
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+MATRIX = list(iter_matrix())
+
+
+@pytest.mark.parametrize("name,tech,level", MATRIX, ids=lambda v: str(v))
+def test_fast_and_slow_match_golden(name, tech, level):
+    key = f"{name}/{tech}/{level}"
+    try:
+        slow = run_combo(name, tech, level, fast=False)
+    except SKIP_ERRORS:
+        assert key not in GOLDENS, f"{key} was recorded but now raises"
+        pytest.skip(f"{key} unsupported")
+    assert key in GOLDENS, (
+        f"{key} runs but has no golden — re-record with "
+        f"record_equivalence_goldens.py"
+    )
+    assert slow == GOLDENS[key], f"slow path drifted from seed golden for {key}"
+    fast = run_combo(name, tech, level, fast=True)
+    assert fast == GOLDENS[key], f"fast path not byte-identical for {key}"
+
+
+@pytest.mark.parametrize(
+    "name,tech,level",
+    [("blackscholes", "taf", "warp"), ("kmeans", "iact", "warp")],
+)
+def test_sanitizer_attached_is_still_identical(name, tech, level):
+    """ApproxSan only observes: attaching it must not change a byte on
+    either path, and its own report must be identical across paths."""
+    key = f"{name}/{tech}/{level}+san"
+    slow = run_combo(name, tech, level, fast=False, sanitize=True)
+    assert slow == GOLDENS[key], f"slow+sanitizer drifted for {key}"
+    fast = run_combo(name, tech, level, fast=True, sanitize=True)
+    assert fast == GOLDENS[key], f"fast+sanitizer not byte-identical for {key}"
+
+
+def test_matrix_coverage_has_not_silently_shrunk():
+    """At least 20 cells must actually execute — if a refactor starts
+    raising skip-class errors everywhere, the matrix would silently pass
+    while testing nothing."""
+    assert len(GOLDENS) >= 20

@@ -256,3 +256,145 @@ class TestFig3Model:
         f1 = global_memory_fraction_for_tables(2**20)
         f2 = global_memory_fraction_for_tables(2**21)
         assert f2 == pytest.approx(2 * f1)
+
+
+class TestAffineCoalescing:
+    """The closed-form affine path must be bit-identical to the sort path."""
+
+    def _sort_reference(self, addr, warp_size, segment_bytes):
+        n = len(addr)
+        return [
+            len({int(a) // segment_bytes
+                 for a in addr[w * warp_size:(w + 1) * warp_size]})
+            for w in range(n // warp_size)
+        ]
+
+    @pytest.mark.parametrize("seed", range(16))
+    def test_affine_matches_sort_reference(self, seed):
+        # Random affine vectors spanning every stride regime: broadcast
+        # (s=0), intra-segment (0<|s|<seg), and fully scattered (|s|>=seg),
+        # both signs, random bases (so segment floors straddle boundaries).
+        rng = np.random.default_rng(seed)
+        warp_size = int(rng.choice([4, 8, 32]))
+        num_warps = int(rng.integers(1, 9))
+        n = warp_size * num_warps
+        segment_bytes = 32
+        stride = int(rng.choice([0, 1, 3, 7, 8, 16, 31, 32, 33, 4096]))
+        if rng.random() < 0.5:
+            stride = -stride
+        base = int(rng.integers(0, 2**20))
+        addr = (base + stride * np.arange(n)).astype(np.int64)
+        if stride < 0:
+            addr -= addr.min()  # keep addresses non-negative
+        mask = np.ones(n, bool)
+        got = coalesced_transactions(addr, mask, warp_size, segment_bytes)
+        assert got.tolist() == self._sort_reference(addr, warp_size, segment_bytes)
+
+    def test_affine_with_scratch_and_out(self):
+        from repro.gpusim.arena import ScratchArena
+
+        addr = np.arange(64, dtype=np.int64) * 8
+        scratch = ScratchArena()
+        out = np.empty(2, dtype=np.int64)
+        got = coalesced_transactions(
+            addr, np.ones(64, bool), 32, 32, full_mask=True, out=out, scratch=scratch
+        )
+        assert got is out
+        assert got.tolist() == [8, 8]
+        # Second call reuses every scratch buffer.
+        coalesced_transactions(
+            addr, np.ones(64, bool), 32, 32, full_mask=True, out=out, scratch=scratch
+        )
+        assert scratch.misses == len(scratch._buffers)
+        assert scratch.hits == scratch.misses
+
+    def test_full_mask_false_forces_sort_path(self):
+        # Same affine vector, full_mask=False: must still give the same
+        # counts (through the sort path).
+        addr = np.arange(32, dtype=np.int64) * 8
+        mask = np.ones(32, bool)
+        a = coalesced_transactions(addr, mask, 32, 32, full_mask=True)
+        b = coalesced_transactions(addr, mask, 32, 32, full_mask=False)
+        assert a.tolist() == b.tolist() == [8]
+
+    def test_non_affine_full_mask_falls_back(self):
+        addr = np.arange(32, dtype=np.int64) * 8
+        addr[17] += 8192  # break affinity
+        got = coalesced_transactions(addr, np.ones(32, bool), 32, 32)
+        assert got.tolist() == self._sort_reference(addr, 32, 32)
+
+
+class TestUploadAllocation:
+    def test_upload_respects_capacity(self, mem):
+        # The uninitialized-alloc path must go through the same capacity
+        # check as a normal alloc.
+        huge = np.lib.stride_tricks.as_strided(
+            np.zeros(1), shape=(mem.capacity,), strides=(0,)
+        )
+        with pytest.raises(GlobalMemoryError):
+            mem.upload("huge", huge)
+        assert "huge" not in mem
+        assert mem.in_use == 0
+
+    def test_upload_accounts_and_is_named(self, mem):
+        host = np.arange(10, dtype=np.float32)
+        dev = mem.upload("x", host)
+        assert mem.in_use == host.nbytes
+        assert mem.name_of(dev) == "x"
+        np.testing.assert_array_equal(dev, host)
+
+    def test_upload_fills_storage_exactly_once(self, mem, monkeypatch):
+        # upload() allocates uninitialized storage and lets the copy do the
+        # single fill; a zeroing alloc would touch every byte twice.
+        calls = {"zeros": 0}
+        real_zeros = np.zeros
+
+        def counting_zeros(*a, **k):
+            calls["zeros"] += 1
+            return real_zeros(*a, **k)
+
+        monkeypatch.setattr(np, "zeros", counting_zeros)
+        host = np.arange(128, dtype=np.float64)
+        dev = mem.upload("y", host)
+        assert calls["zeros"] == 0
+        np.testing.assert_array_equal(dev, host)
+
+
+class TestStreamedFractionalAccounting:
+    """charge_global_streamed with fractional per-lane element counts.
+
+    Time is continuous: mem_cycles keep the exact fractional transaction
+    count.  Event counters are discrete: the per-warp transaction count is
+    rounded once (half-to-even) and that single value feeds both
+    global_transactions and dram_bytes, so they can never disagree.
+    """
+
+    ELEMENTS = 0.3125  # x 8 txns/element = 2.5 txns/warp: exercises rounding
+
+    def _run(self, fast):
+        from repro.gpusim import launch
+
+        def kernel(ctx):
+            ctx.charge_global_streamed(self.ELEMENTS, itemsize=8)
+
+        return launch(kernel, nvidia_v100(), 2, 64, fast_path=fast)
+
+    def test_round_once_half_to_even(self):
+        r = self._run(fast=True)
+        c = r.counters
+        nwarps = 4
+        txns_exact = self.ELEMENTS * 8  # 2.5 per warp
+        # Discrete counters: 2.5 rounds half-to-even to 2, once.
+        assert c.global_transactions == 2 * nwarps
+        assert c.dram_bytes == c.global_transactions * 32
+        # Continuous counter: the un-rounded 2.5 txns/warp.
+        dev = nvidia_v100()
+        assert c.mem_cycles == pytest.approx(
+            txns_exact * dev.mem_txn_cycles * nwarps
+        )
+
+    def test_fast_and_slow_agree(self):
+        rf = self._run(fast=True)
+        rs = self._run(fast=False)
+        assert vars(rf.counters) == vars(rs.counters)
+        assert np.array_equal(rf.context.warp_cycles, rs.context.warp_cycles)
