@@ -180,6 +180,34 @@ def main() -> int:
     if final["hits"] <= warm["hits"]:
         failures.append("arena hits did not grow in steady state")
 
+    # Sanitizer no-regression: attaching ApproxSan (now carrying the v3
+    # launch-lineage/sync-clock planes) must never change simulated cycles
+    # or counters — it observes, it does not charge.  The wall-clock
+    # overhead ratio is recorded as information, not gated: shadow
+    # tracking is allowed to cost host time, never simulated time.
+    from repro.analysis.sanitizer import Sanitizer
+
+    t_plain, r_plain = bench(primitive_kernel, fast=True)
+    t_san, r_san = float("inf"), None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        r_san = launch(primitive_kernel, DEV, NUM_BLOCKS, THREADS_PER_BLOCK,
+                       fast_path=True, sanitizer=Sanitizer())
+        t_san = min(t_san, time.perf_counter() - t0)
+    same = identical(r_plain, r_san)
+    report["sanitizer"] = {
+        "plain_seconds": t_plain,
+        "attached_seconds": t_san,
+        "overhead": round(t_san / t_plain, 3),
+        "identical": same,
+    }
+    print(
+        f"sanitizer  plain={t_plain * 1e3:8.2f}ms attached={t_san * 1e3:8.2f}ms "
+        f"x{t_san / t_plain:5.2f} identical={same}"
+    )
+    if not same:
+        failures.append("sanitizer: attaching ApproxSan changed simulated results")
+
     # Full applications, sanitizer attached: the whole record must digest
     # identically on both paths.
     apps = {}

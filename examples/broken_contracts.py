@@ -23,8 +23,21 @@ HPAC206   two warps write the same ``dcoll`` elements in one launch with
           no barrier between (cross-warp global write race)
 HPAC207   the ``taint`` region (forced TAF — an approximating producer)
           writes ``dtnt`` inside its scope; the kernel reads it back
+HPAC208   ``race_writer_a`` and ``race_writer_b`` both launch ``nowait``
+          and write the same ``drace`` elements with no synchronizing
+          launch, taskwait, or map-back between them (cross-launch
+          write-write race, vector-clock engine)
+HPAC209   ``race_writer_b`` reads ``dst``, last written by the unjoined
+          nowait launch ``race_writer_a`` (read of an unsynchronized
+          write)
 HPAC210   ``bad_width`` declares a 3-wide capture but ``in_width=2``
 HPAC211   ``bad_syntax`` has an unterminated section
+HPAC213   the static launch plan shows ``racer_a`` and ``racer_b`` (both
+          nowait) declaring overlapping ``out(drace[i])`` write sets —
+          the static shadow of HPAC208
+HPAC214   ``stale_read`` declares ``in(dmiss[i])`` but no plan step
+          produces ``dmiss`` and ``plan_inputs`` omits it (the plan
+          under-declares its host-provided buffers)
 ========  =============================================================
 
 The golden-report test (``tests/analysis/test_sanitizer_example.py``)
@@ -60,6 +73,18 @@ class BrokenContracts(Benchmark):
     name = "broken_contracts"
     qoi_description = "Nothing meaningful; this app exists to be wrong."
     default_num_threads = N
+    # Static launch plan (HPAC213/214): the two racer launches are nowait
+    # with no join, and plan_inputs deliberately omits dmiss, the buffer
+    # stale_read declares reading.
+    launch_plan = (
+        {"launch": "broken_kernel",
+         "regions": ("undeclared_read", "undeclared_write", "drift",
+                     "bad_width", "bad_syntax", "taint", "streamed",
+                     "stale_read")},
+        {"launch": "race_writer_a", "regions": ("racer_a",), "nowait": True},
+        {"launch": "race_writer_b", "regions": ("racer_b",), "nowait": True},
+    )
+    plan_inputs = ("dxs", "unused", "dqs")
 
     def default_problem(self) -> dict:
         return {}
@@ -97,6 +122,20 @@ class BrokenContracts(Benchmark):
             SiteInfo(name="streamed", in_width=1, out_width=1,
                      techniques=("taf",),
                      contract="in(dqs[0:6], dqs[8:4]) out(dys[i])"),
+            # HPAC214 (static): dmiss has no declared producer and is not
+            # in plan_inputs.  The dynamic run is clean for this region —
+            # the kernel really does read dmiss.
+            SiteInfo(name="stale_read", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="in(dmiss[i]) out(dys[i])"),
+            # HPAC208/HPAC213: both racer regions declare writing drace
+            # and their launches are nowait with no join between.
+            SiteInfo(name="racer_a", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="out(drace[i])"),
+            SiteInfo(name="racer_b", in_width=1, out_width=1,
+                     techniques=("taf",),
+                     contract="out(drace[i])"),
         ]
 
     def build_regions(self, technique: str = "none", **kwargs):
@@ -130,8 +169,11 @@ class BrokenContracts(Benchmark):
         coll = np.zeros(N)
         tnt = np.zeros(N)
         qs = np.ones(N)
+        miss = np.zeros(N)
+        race = np.zeros(N)
+        stale = np.zeros(N)
 
-        def kernel(ctx, dxs, dys, dzs, dws, unused, dcoll, dtnt, dqs):
+        def kernel(ctx, dxs, dys, dzs, dws, unused, dcoll, dtnt, dqs, dmiss):
             idx = ctx.thread_id % N
 
             # HPAC201 (twice): zs is not declared at all; xs is declared
@@ -194,9 +236,41 @@ class BrokenContracts(Benchmark):
 
             rt.region(ctx, "streamed", gather)
 
+            # Statically flagged as HPAC214 (nothing in the plan produces
+            # dmiss); the read itself is real and matches the contract.
+            def read_missing(am):
+                return ctx.global_read(dmiss, idx, am)
+
+            rt.region(ctx, "stale_read", read_missing)
+
+        # HPAC208/HPAC209: two nowait launches with no taskwait between.
+        # writer_a produces drace (declared) and stores dst from kernel
+        # scope; writer_b reads dst before any join (HPAC209) and writes
+        # the same drace elements (HPAC208).
+        def writer_a(ctx, drace, dst):
+            idx = ctx.thread_id % N
+
+            def produce(am):
+                ctx.global_write(drace, idx, np.ones(ctx.total_threads), am)
+                return np.zeros(ctx.total_threads)
+
+            rt.region(ctx, "racer_a", produce)
+            ctx.global_write(dst, idx, np.ones(ctx.total_threads))
+
+        def writer_b(ctx, drace, dst):
+            idx = ctx.thread_id % N
+            ctx.global_read(dst, idx)
+
+            def produce(am):
+                ctx.global_write(drace, idx, np.ones(ctx.total_threads), am)
+                return np.zeros(ctx.total_threads)
+
+            rt.region(ctx, "racer_b", produce)
+
         with prog.target_data(
             to={"xs": xs, "zs": zs, "qs": qs},
-            from_={"ys": ys, "ws": ws, "coll": coll, "tnt": tnt},
+            from_={"ys": ys, "ws": ws, "coll": coll, "tnt": tnt,
+                   "race": race, "stale": stale},
         ) as env:
             prog.target_teams(
                 kernel,
@@ -212,17 +286,30 @@ class BrokenContracts(Benchmark):
                     "dcoll": env.device("coll"),
                     "dtnt": env.device("tnt"),
                     "dqs": env.device("qs"),
+                    "dmiss": miss,
                 },
             )
+            race_params = {"drace": env.device("race"),
+                           "dst": env.device("stale")}
+            prog.target_teams(writer_a, num_teams=1,
+                              num_threads=num_threads,
+                              name="race_writer_a", params=race_params,
+                              nowait=True)
+            prog.target_teams(writer_b, num_teams=1,
+                              num_threads=num_threads,
+                              name="race_writer_b", params=race_params,
+                              nowait=True)
 
         return AppResult(qoi=ys, timing=prog.timing, region_stats={})
 
 
 def main() -> int:
-    from repro.analysis import exit_code, lint_contracts, render_all
+    from repro.analysis import (exit_code, lint_contracts, lint_dataflow,
+                                render_all)
 
     app = BrokenContracts()
-    static = lint_contracts(app)  # HPAC210 + HPAC211
+    # HPAC210 + HPAC211 (contract text) and HPAC213 + HPAC214 (launch plan)
+    static = lint_contracts(app) + lint_dataflow(app)
     result = app.run("v100_small", app.build_regions(), sanitize=True)
     report = result.extra["approxsan"]
     diags = static + report.diagnostics

@@ -267,13 +267,16 @@ def _cmd_sanitize_infer(args) -> int:
     result = api.infer_contracts(
         args.app, args.device,
         items_per_thread=args.items_per_thread, seed=args.seed,
-        write=args.write,
+        seeds=args.seeds, write=args.write,
     )
     if args.json:
         print(result.render_json())
         return result.exit_code
     for inf in result.inferences:
         print(f"== {inf.app} on {inf.device} (accurate, recorded) ==")
+        if len(inf.seeds) > 1:
+            print(f"   union of {len(inf.seeds)} accurate runs "
+                  f"(seeds {inf.seeds})")
         for reg in inf.regions:
             print(f"   region {reg.region!r}:")
             print(f"      declared: {reg.declared or '(none)'}")
@@ -287,6 +290,8 @@ def _cmd_sanitize_infer(args) -> int:
                   f"(parse errors: {len(rt['parse_errors'])}, "
                   f"lint: {len(rt['lint'])}, "
                   f"violations: {rt['violations_by_code'] or '{}'})")
+            if rt.get("dirty_seeds"):
+                print(f"   dirty under seed(s): {rt['dirty_seeds']}")
         if inf.narrower:
             print(render_all(inf.narrower))
         path = result.written.get(inf.app)
@@ -475,6 +480,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="record one accurate run per app and emit "
                             "ready-to-paste in(...)/out(...) contract text, "
                             "round-trip verified")
+    p_san.add_argument("--seeds", type=int, default=None, metavar="N",
+                       help="with --infer: union the access sets of N "
+                            "accurate runs (seeds --seed .. --seed+N-1) "
+                            "before collapsing, hardening data-dependent "
+                            "footprints against single-seed luck")
     p_san.add_argument("--write", action="store_true",
                        help="with --infer: store the inferred baselines "
                             "under baselines/approxsan/ (enables the "

@@ -21,6 +21,7 @@ the declared contracts (HPAC212).  CLI: ``python -m repro sanitize
 """
 
 from repro.analysis.contracts import Contract, lint_contracts, parse_contract
+from repro.analysis.rules.dataflow import lint_dataflow
 from repro.analysis.diagnostics import (
     Diagnostic,
     Severity,
@@ -68,6 +69,7 @@ __all__ = [
     "Severity",
     "exit_code",
     "lint_contracts",
+    "lint_dataflow",
     "max_severity",
     "parse_contract",
     "render_all",

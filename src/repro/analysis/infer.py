@@ -12,6 +12,10 @@ minimal array sections and emits ready-to-paste contract text:
 * ragged access patterns (e.g. MiniFE's CSR row gather) collapse to the
   minimal literal interval union ``buf[lo:len]``, the envelope ``[min,
   max)`` when the union is too fragmented to be a usable pragma;
+* ``seeds=N`` unions the access sets of N accurate runs under distinct
+  seeds before collapsing, with per-seed provenance recorded on each
+  observed record — the hardening that keeps data-dependent footprints
+  (CSR gathers) from producing contracts a different seed violates;
 * output sections come from writes observed *inside* the region scope,
   plus one heuristic: apps store a region's returned product from kernel
   scope right after the region returns, so the first post-return
@@ -84,6 +88,9 @@ class AppInference:
     device: str
     seed: int
     regions: list[RegionInference] = field(default_factory=list)
+    #: Every seed whose accurate run fed the union (``[seed]`` for the
+    #: classic single-seed inference).
+    seeds: list[int] = field(default_factory=list)
     #: HPAC212-style findings: declared narrower than observed.
     narrower: list[Diagnostic] = field(default_factory=list)
     #: Round-trip verification (None until verify_roundtrip runs).
@@ -100,6 +107,7 @@ class AppInference:
             "app": self.app,
             "device": self.device,
             "seed": self.seed,
+            "seeds": list(self.seeds) or [self.seed],
             "regions": {r.region: r.to_dict() for r in self.regions},
             "narrower": [d.to_json() for d in self.narrower],
         }
@@ -174,27 +182,94 @@ def _emit_direction(recs: list, *, symbolic_only_width: int | None,
     return sections
 
 
+def _seed_list(seed: int, seeds) -> list[int]:
+    """Normalize the ``seeds=`` argument into an explicit seed list."""
+    if seeds is None:
+        return [int(seed)]
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError(f"seeds must be >= 1, got {seeds}")
+        return [int(seed) + k for k in range(seeds)]
+    out = [int(s) for s in seeds]
+    if not out:
+        raise ValueError("seeds list must not be empty")
+    return out
+
+
+def _fold_observed(merged: dict, run_obs: dict, seed: int) -> None:
+    """Union one seed's recorded access sets into ``merged`` in place.
+
+    ``merged`` maps region -> (buffer, direction) -> ObservedAccess, with
+    each record carrying a ``seed_new_elements`` provenance map (elements
+    that seed contributed beyond the union so far).  Width survives only
+    when every seed agrees (-1 otherwise, same rule as within one run);
+    ``attributed`` ANDs — one directly observed sighting in any seed
+    proves the access is the region's own, not a heuristic attribution.
+    """
+    import copy
+
+    for region, per in run_obs.items():
+        dst = merged.setdefault(region, {})
+        for key, rec in per.items():
+            m = dst.get(key)
+            if m is None:
+                m = copy.deepcopy(rec)
+                m.seed_new_elements = {
+                    str(seed): int(rec.elements.sum())}
+                dst[key] = m
+                continue
+            before = int(m.elements.sum())
+            idx = np.flatnonzero(rec.elements)
+            if len(idx):
+                top = int(idx.max()) + 1
+                if top > len(m._flags):
+                    grown = np.zeros(max(len(m._flags) * 2, top), dtype=bool)
+                    grown[: m.size] = m._flags[: m.size]
+                    m._flags = grown
+                m._flags[idx] = True
+                m.size = max(m.size, top)
+            m.seed_new_elements[str(seed)] = int(m.elements.sum()) - before
+            m.events += rec.events
+            if rec.width is not None:
+                m.width = rec.width if m.width is None else (
+                    m.width if m.width == rec.width else -1)
+            m.attributed = m.attributed and rec.attributed
+
+
 def infer_app(app, device: str = "v100_small", *,
               items_per_thread: int | None = None,
-              seed: int = 2023) -> AppInference:
-    """Record one accurate run of ``app`` and infer per-region contracts.
+              seed: int = 2023, seeds=None) -> AppInference:
+    """Record accurate run(s) of ``app`` and infer per-region contracts.
 
-    ``app`` is a benchmark name or instance.  The run is sanitized but
+    ``app`` is a benchmark name or instance.  Each run is sanitized but
     contract-free (observation only) and approximation-off, so the access
     sets are the region's true accurate footprint.
+
+    ``seeds`` widens the evidence base: an int ``N`` records ``N`` runs
+    under seeds ``seed, seed+1, ..., seed+N-1``; an explicit list records
+    those seeds.  The per-region access sets are the *union* over all
+    runs, which is what makes data-dependent footprints (MiniFE's CSR row
+    gather) robust — a single unlucky seed under-observes the envelope
+    and the resulting contract flunks verification under any other seed.
     """
     from repro.analysis.sanitizer import Sanitizer
     from repro.apps import get_benchmark
 
     bench = get_benchmark(app) if isinstance(app, str) else app
-    san = Sanitizer(record_accesses=True)
+    seed_list = _seed_list(seed, seeds)
     ipt = items_per_thread or bench.baseline_items_per_thread or 1
-    bench.run(device, bench.build_regions(), items_per_thread=ipt,
-              seed=seed, sanitize=san)
+    merged: dict = {}
+    for s in seed_list:
+        san = Sanitizer(record_accesses=True)
+        bench.run(device, bench.build_regions(), items_per_thread=ipt,
+                  seed=s, sanitize=san)
+        _fold_observed(merged, san.observed, s)
 
-    inference = AppInference(app=bench.name, device=device, seed=seed)
+    inference = AppInference(app=bench.name, device=device,
+                             seed=seed_list[0], seeds=list(seed_list))
+    multi = len(seed_list) > 1
     for site in bench.sites():
-        obs = san.observed.get(site.name, {})
+        obs = merged.get(site.name, {})
         notes: list[str] = []
         in_recs = [r for (_, d), r in obs.items() if d == "in"]
         out_recs = []
@@ -226,12 +301,25 @@ def infer_app(app, device: str = "v100_small", *,
                          "region; nothing to infer")
         observed = {}
         for (buf, d), r in sorted(obs.items()):
-            observed.setdefault(d, {})[buf] = {
+            entry = {
                 "width": r.width,
                 "intervals": [list(s) for s in _collapsed_intervals(r.elements)],
                 "attributed": bool(r.attributed),
                 "events": r.events,
             }
+            if multi:
+                prov = dict(getattr(r, "seed_new_elements", {}))
+                entry["seed_new_elements"] = prov
+                widened = {s: n for s, n in prov.items()
+                           if n and s != str(seed_list[0])}
+                if widened:
+                    grew = ", ".join(f"seed {s}: +{n}"
+                                     for s, n in sorted(widened.items()))
+                    notes.append(
+                        f"{d}({buf}): later seeds widened the first-seed "
+                        f"envelope ({grew}) — a single-seed contract would "
+                        f"under-cover this data-dependent access set")
+            observed.setdefault(d, {})[buf] = entry
         inference.regions.append(RegionInference(
             region=site.name, declared=site.contract or None,
             inferred=inferred, observed=observed, notes=notes,
@@ -335,6 +423,7 @@ def write_baseline(inference: AppInference) -> Path:
         "app": inference.app,
         "device": inference.device,
         "seed": inference.seed,
+        "seeds": list(inference.seeds) or [inference.seed],
         "regions": {
             r.region: {
                 "declared": r.declared,
@@ -388,9 +477,11 @@ def verify_roundtrip(app, inference: AppInference, *,
     """Prove the inferred contracts are usable: parse, lint, re-run.
 
     Returns a dict with ``parse_errors`` (region -> message), ``lint``
-    (HPAC21x diagnostics against the inferred text), and ``report`` (the
-    sanitized accurate re-run under the inferred contracts — acceptance is
-    zero HPAC201/202).  Stored on ``inference.roundtrip``.
+    (HPAC21x diagnostics against the inferred text), ``seeds`` /
+    ``dirty_seeds`` (every evidence seed is re-run sanitized under the
+    inferred contracts; acceptance is zero HPAC201/202 on all of them),
+    and the aggregated ``violations_by_code``.  Stored on
+    ``inference.roundtrip``.
     """
     import dataclasses
 
@@ -425,21 +516,32 @@ def verify_roundtrip(app, inference: AppInference, *,
 
     lint_diags = lint_contracts(_Shim)
 
-    san = Sanitizer(contracts=contracts)
+    # Re-run under *every* seed that fed the union: a multi-seed contract
+    # must hold on each of its evidence runs, and a single-seed contract
+    # only has its own run to answer for.
+    seeds = list(inference.seeds) or [inference.seed]
     ipt = items_per_thread or bench.baseline_items_per_thread or 1
-    result = bench.run(inference.device, bench.build_regions(),
-                       items_per_thread=ipt, seed=inference.seed,
-                       sanitize=san)
-    report = result.extra["approxsan"]
     by_code: dict[str, int] = {}
-    for d in report.diagnostics:
-        by_code[d.code] = by_code.get(d.code, 0) + 1
+    dirty_seeds: list[int] = []
+    for s in seeds:
+        san = Sanitizer(contracts=contracts)
+        result = bench.run(inference.device, bench.build_regions(),
+                           items_per_thread=ipt, seed=s, sanitize=san)
+        report = result.extra["approxsan"]
+        run_dirty = False
+        for d in report.diagnostics:
+            by_code[d.code] = by_code.get(d.code, 0) + 1
+            if d.code in ("HPAC201", "HPAC202"):
+                run_dirty = True
+        if run_dirty:
+            dirty_seeds.append(s)
     verdict = {
         "parse_errors": parse_errors,
         "lint": [d.to_json() for d in lint_diags],
+        "seeds": seeds,
+        "dirty_seeds": dirty_seeds,
         "violations_by_code": by_code,
-        "clean": (not parse_errors and not lint_diags
-                  and not by_code.get("HPAC201") and not by_code.get("HPAC202")),
+        "clean": (not parse_errors and not lint_diags and not dirty_seeds),
     }
     inference.roundtrip = verdict
     return verdict

@@ -41,6 +41,7 @@ def preflight_diagnostics(
     """All device-aware diagnostics for one sweep point."""
     from repro.analysis.contracts import lint_contracts
     from repro.analysis.infer import lint_baseline
+    from repro.analysis.rules.dataflow import lint_dataflow
     from repro.apps import get_benchmark
 
     dev = get_device(device)
@@ -49,8 +50,10 @@ def preflight_diagnostics(
     # Never preflight-pruning — a bad contract doesn't make the point
     # infeasible, it makes the *sanitizer* report unreliable.  HPAC212
     # joins here too: declared contracts vs the stored inferred baseline
-    # (silent when no baseline has been written for the app).
-    diags = lint_contracts(app) + lint_baseline(app)
+    # (silent when no baseline has been written for the app), as does the
+    # contract-dataflow walk over the app's launch plan (HPAC213/214,
+    # silent when no plan is declared).
+    diags = lint_contracts(app) + lint_baseline(app) + lint_dataflow(app)
     try:
         regions = app.build_regions(
             point.technique, level=point.level, site=site, **point.params

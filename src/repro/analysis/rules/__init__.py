@@ -1,6 +1,6 @@
 """Lint rule implementations; importing this package registers them all."""
 
-from repro.analysis.rules import device, directive  # noqa: F401
+from repro.analysis.rules import dataflow, device, directive  # noqa: F401
 
 # Contract (HPAC21x) and sanitizer (HPAC20x) codes register at import of
 # their home modules, so `RULES` documents every stable code.

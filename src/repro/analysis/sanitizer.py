@@ -30,10 +30,27 @@ HPAC204   write-write race between lanes of one warp on a memo table
 HPAC205   TAF/iACT state accessed outside its owning region's lifetime
 HPAC206   two warps wrote the same global element in one epoch
 HPAC207   read of an element last written by an approximated region
+HPAC208   two launches wrote the same element with no sync between
+HPAC209   read of an element whose cross-launch write is unsynchronized
 ========  ============================================================
 
-Violations deduplicate per (code, region, subject) with an occurrence
-count, so a million-invocation run reports each distinct defect once.
+The v2 epoch model orders warps *within* a launch (a new epoch per launch
+and per barrier); v3 adds a **vector-clock happens-before engine** across
+launches.  A global sync clock advances at every join point — the start
+and end of a default (synchronous) launch, an explicit
+:meth:`~repro.openmp.runtime.OffloadProgram.taskwait`, and a
+``target_data`` map-back.  Each launch records the clock it started under;
+each written element stores its writer's ``(launch id, clock)`` lineage.
+Two accesses from *different* launches are ordered iff a join advanced
+the clock between them — ``nowait`` launches skip both bumps, so an
+unsynchronized pair shares a clock value and raises HPAC208 (write/write)
+or HPAC209 (write/read).  The boolean ``written`` plane pre-filters, so
+the clock path only runs on candidate conflicts.
+
+Violations deduplicate per (code, region, subject, lineage) with an
+occurrence count, so a million-invocation run reports each distinct
+defect once — and two conflicts with the same span but different launch
+lineages stay distinct reports.
 
 With ``record_accesses=True`` the sanitizer additionally accumulates
 per-(region, buffer, direction) element sets and per-event access widths —
@@ -75,6 +92,14 @@ register("HPAC207", "read-after-approximate-write", Severity.WARNING,
          "sanitizer",
          "a lane read an element whose last write came from an "
          "approximated region (taints QoI attribution)")(None)
+register("HPAC208", "cross-launch-write-race", Severity.ERROR, "sanitizer",
+         "two different launches wrote the same flat element of a global "
+         "buffer with no synchronizing launch, taskwait, or map-back "
+         "between them")(None)
+register("HPAC209", "read-of-unsynchronized-write", Severity.WARNING,
+         "sanitizer",
+         "a launch read an element last written by a different launch "
+         "whose completion was never synchronized (stale-read hazard)")(None)
 
 #: Scope label for accesses issued outside any region.
 KERNEL_SCOPE = "<kernel>"
@@ -193,8 +218,8 @@ class Sanitizer:
         #: region -> (buffer, direction) -> ObservedAccess, only filled
         #: under record_accesses.
         self.observed: dict[str, dict[tuple[str, str], ObservedAccess]] = {}
-        #: (code, region, subject) -> {message, hint, text, position,
-        #:  length, count, data}
+        #: (code, region, subject, lineage) -> {message, hint, text,
+        #:  position, length, count, data}
         self._violations: dict[tuple, dict] = {}
         self._scope: list[str] = []
         self._scope_approx: list[bool] = []
@@ -210,6 +235,20 @@ class Sanitizer:
         #: writes to one element from different warps race iff they share
         #: an epoch.
         self._epoch = 0
+        #: Global sync clock for the cross-launch vector-clock engine:
+        #: advanced at every join point (synchronous launch start/end,
+        #: taskwait, target_data map-back).  Two launches are ordered iff
+        #: the clock advanced between them.
+        self._clock = 0
+        #: Monotonic launch ids; 0 means "no launch active yet".
+        self._launch_seq = 0
+        self._launch_id = 0
+        #: Sync clock the current launch started under.
+        self._launch_clock = 0
+        #: (launch_id, launch_clock, nowait) per nesting level.
+        self._launch_stack: list[tuple[int, int, bool]] = []
+        #: launch id -> kernel name, for HPAC208/209 messages.
+        self._launch_names: dict[int, str] = {}
         self._taint_ids: dict[str, int] = {}
         self._taint_regions: list[str] = []
         self.counters: dict[str, int] = {
@@ -219,6 +258,7 @@ class Sanitizer:
             "streamed_hints": 0,
             "streamed_name_level": 0,
             "barriers": 0,
+            "sync_joins": 0,
             "table_write_phases": 0,
             "state_accesses": 0,
             "shared_allocs": 0,
@@ -249,11 +289,26 @@ class Sanitizer:
         """Let the sanitizer resolve device-buffer identities by name."""
         self._memory = memory
 
-    def begin_launch(self, name: str, params: dict) -> None:
-        """A kernel launch starts: map parameter arrays to their names."""
+    def begin_launch(self, name: str, params: dict, *,
+                     nowait: bool = False) -> None:
+        """A kernel launch starts: map parameter arrays to their names.
+
+        A default (synchronous) launch is a join point: it waits for all
+        prior device work, so the sync clock advances before it records
+        its start clock.  A ``nowait`` launch skips the bump — its
+        accesses stay unordered against other unjoined launches, which is
+        exactly what the vector-clock engine flags.
+        """
         self._launch_depth += 1
         self.counters["launches"] += 1
         self._epoch += 1
+        self._launch_seq += 1
+        if not nowait:
+            self._clock += 1
+        self._launch_stack.append((self._launch_seq, self._clock, nowait))
+        self._launch_id = self._launch_seq
+        self._launch_clock = self._clock
+        self._launch_names[self._launch_seq] = name
         self._pending_out = None
         for pname, value in params.items():
             if isinstance(value, np.ndarray):
@@ -263,14 +318,36 @@ class Sanitizer:
     def end_launch(self) -> None:
         self._launch_depth -= 1
         self._pending_out = None
+        if self._launch_stack:
+            _, _, nowait = self._launch_stack.pop()
+            # A synchronous launch completes before the host proceeds:
+            # everything issued later is ordered after its writes.
+            if not nowait:
+                self._clock += 1
+        if self._launch_stack:
+            self._launch_id, self._launch_clock, _ = self._launch_stack[-1]
+        else:
+            self._launch_id = 0
+            self._launch_clock = self._clock
         if self._launch_depth <= 0:
             # Identity entries die with the launch: short-lived parameter
             # arrays (e.g. MiniFE's fresh x vector per CG iteration) could
             # otherwise alias a recycled id().
             self._params.clear()
 
+    def on_sync(self) -> None:
+        """An explicit device join (taskwait, map-back, pool respawn):
+        every launch issued so far happens-before everything after."""
+        self.counters["sync_joins"] += 1
+        self._clock += 1
+
     def on_barrier(self) -> None:
-        """A synchronizing boundary: writes before/after cannot race."""
+        """A synchronizing boundary: writes before/after cannot race.
+
+        Joins the per-warp clocks *within* the current launch (the epoch
+        bump); cross-launch ordering is the sync clock's job — a block
+        barrier cannot order two different kernels.
+        """
         self.counters["barriers"] += 1
         self._epoch += 1
 
@@ -356,6 +433,23 @@ class Sanitizer:
         active = np.asarray(idx)[mask]
         buf = self.shadow.buffer(name, arr.size)
         buf.mark_read(active)
+        if self._launch_id and len(active):
+            reader = self._launch_names.get(self._launch_id, "?")
+            for elem, writer in buf.stale_reads(
+                    active, self._launch_id, self._launch_clock):
+                region = self.current_region or KERNEL_SCOPE
+                wname = self._launch_names.get(writer, "?")
+                self._record(
+                    "HPAC209", region, f"{name}#stale",
+                    f"launch {reader!r} reads {name}[{elem}] last written "
+                    f"by launch {wname!r}, which was never synchronized "
+                    f"(the read may observe a stale value)",
+                    hint="join the producing launch first: drop its "
+                         "nowait, insert a taskwait, or close the "
+                         "target_data region",
+                    lineage=(writer, self._launch_id),
+                    element=elem, writer_launch=wname, reader_launch=reader,
+                )
         self._check_taint(name, buf, active)
         self._observe(name, active, 1, "in")
         self._check_access(name, active, np.flatnonzero(mask), direction="in")
@@ -382,7 +476,26 @@ class Sanitizer:
                     hint="order the writes with ctx.barrier(), split them "
                          "across launches, or give each element a single "
                          "owning warp",
+                    lineage=self._launch_id,
                     element=elem, warps=[wa, wb],
+                )
+        if self._launch_id and len(active):
+            cur = self._launch_names.get(self._launch_id, "?")
+            for elem, prev in buf.update_launch_writers(
+                    active, self._launch_id, self._launch_clock):
+                region = self.current_region or KERNEL_SCOPE
+                pname = self._launch_names.get(prev, "?")
+                self._record(
+                    "HPAC208", region, f"{name}#xlaunch",
+                    f"cross-launch write-write race on global buffer "
+                    f"{name!r}: element {elem} written by launches "
+                    f"{pname!r} and {cur!r} with no synchronizing launch, "
+                    f"taskwait, or map-back between them",
+                    hint="the two kernels are unordered on the device; "
+                         "drop nowait from one of them or join with a "
+                         "taskwait before relaunching",
+                    lineage=(prev, self._launch_id),
+                    element=elem, writer_launches=[pname, cur],
                 )
         taint = self._taint_id(self.current_region) \
             if self._in_approx_region else NO_TAINT
@@ -647,8 +760,12 @@ class Sanitizer:
     # ------------------------------------------------------------------
     def _record(self, code: str, region: str, subject: str, message: str, *,
                 text: str = "", position: int = -1, length: int = 1,
-                hint: str | None = None, **data) -> None:
-        key = (code, region, subject)
+                hint: str | None = None, lineage=None, **data) -> None:
+        # ``lineage`` keeps reports with an identical (code, span) but a
+        # different launch ancestry distinct: two cross-launch races on the
+        # same buffer from different launch pairs are two defects, not one
+        # defect seen twice.
+        key = (code, region, subject, lineage)
         rec = self._violations.get(key)
         if rec is None:
             self._violations[key] = {
@@ -729,7 +846,7 @@ class Sanitizer:
         """Run end-of-run checks and build the violation report."""
         self._drift()
         diags = []
-        for (code, _region, _subject), rec in self._violations.items():
+        for (code, _region, _subject, _lineage), rec in self._violations.items():
             message = rec["message"]
             if rec["count"] > 1:
                 message += f" [x{rec['count']}]"

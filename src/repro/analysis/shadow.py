@@ -32,6 +32,9 @@ NO_WARP = -1
 NO_EPOCH = -1
 #: Sentinel for "element's last write was accurate" in the taint array.
 NO_TAINT = -1
+#: Sentinel for "no launch has written this element yet" in the lineage
+#: planes (vector-clock engine, ApproxSan v3).
+NO_LAUNCH = -1
 
 _MIN_CAPACITY = 16
 
@@ -39,11 +42,18 @@ _MIN_CAPACITY = 16
 class ShadowBuffer:
     """Element-granular access records for one named device array.
 
-    Five parallel per-element arrays share a single geometrically-grown
+    Seven parallel per-element arrays share a single geometrically-grown
     capacity; ``read`` / ``written`` / ``last_writer_warp`` /
-    ``write_epoch`` / ``taint`` are views of logical length ``size``.
-    ``copied_elements`` and ``reallocations`` count the growth work done,
-    so tests can pin the amortized O(n) bound.
+    ``write_epoch`` / ``taint`` / ``writer_launch`` / ``writer_clock`` are
+    views of logical length ``size``.  ``copied_elements`` and
+    ``reallocations`` count the growth work done, so tests can pin the
+    amortized O(n) bound.
+
+    The last two planes are the vector-clock lineage (ApproxSan v3): the
+    id of the launch that last wrote each element and the global sync
+    clock that launch started under.  The ``written`` / ``write_epoch``
+    planes double as a cheap pre-filter — the clock comparison only runs
+    on elements some launch already wrote.
     """
 
     def __init__(self, name: str, size: int) -> None:
@@ -63,6 +73,8 @@ class ShadowBuffer:
         self._last_warp = np.full(capacity, NO_WARP, dtype=np.int32)
         self._epoch = np.full(capacity, NO_EPOCH, dtype=np.int64)
         self._taint = np.full(capacity, NO_TAINT, dtype=np.int32)
+        self._launch = np.full(capacity, NO_LAUNCH, dtype=np.int64)
+        self._clock = np.full(capacity, NO_LAUNCH, dtype=np.int64)
 
     # -- logical views -------------------------------------------------
 
@@ -86,6 +98,14 @@ class ShadowBuffer:
     def taint(self) -> np.ndarray:
         return self._taint[: self.size]
 
+    @property
+    def writer_launch(self) -> np.ndarray:
+        return self._launch[: self.size]
+
+    @property
+    def writer_clock(self) -> np.ndarray:
+        return self._clock[: self.size]
+
     # -- growth --------------------------------------------------------
 
     def _grow(self, size: int) -> None:
@@ -97,11 +117,12 @@ class ShadowBuffer:
         if size > self._capacity:
             new_cap = max(self._capacity * 2, size)
             old = (self._read, self._written, self._last_warp,
-                   self._epoch, self._taint)
+                   self._epoch, self._taint, self._launch, self._clock)
             self._alloc(new_cap)
             n = self.size
             for dst, src in zip((self._read, self._written, self._last_warp,
-                                 self._epoch, self._taint), old):
+                                 self._epoch, self._taint, self._launch,
+                                 self._clock), old):
                 dst[:n] = src[:n]
             self.copied_elements += n * len(old)
             self.reallocations += 1
@@ -152,6 +173,56 @@ class ShadowBuffer:
         self._epoch[idx] = epoch
         return conflicts
 
+    # -- launch lineage (vector-clock engine) ---------------------------
+
+    def _unordered(self, idx: np.ndarray, launch_id: int,
+                   clock: int) -> np.ndarray:
+        """Positions in ``idx`` whose last write is unordered with a launch
+        that started at sync ``clock``.
+
+        Pre-filter first: the boolean ``written`` plane short-circuits
+        buffers (and elements) nothing ever wrote, so the int64 clock
+        comparison only runs on candidate conflicts.
+        """
+        if not self._written[idx].any():
+            return np.array([], dtype=np.intp)
+        prev_launch = self._launch[idx]
+        cand = (prev_launch != NO_LAUNCH) & (prev_launch != launch_id)
+        if not cand.any():
+            return np.array([], dtype=np.intp)
+        # A write is ordered before this launch iff a sync point advanced
+        # the global clock after the writer started; equality means no
+        # join happened between the two launches.
+        return np.flatnonzero(cand & (self._clock[idx] >= clock))
+
+    def stale_reads(self, idx: np.ndarray, launch_id: int,
+                    clock: int) -> list[tuple[int, int]]:
+        """``(element, writer_launch)`` pairs for reads of elements whose
+        last write is not ordered before the reading launch (HPAC209)."""
+        if not len(idx):
+            return []
+        self._grow(int(idx.max()) + 1)
+        hits = self._unordered(idx, launch_id, clock)
+        return [(int(idx[p]), int(self._launch[idx[p]])) for p in hits[:4]]
+
+    def update_launch_writers(self, idx: np.ndarray, launch_id: int,
+                              clock: int) -> list[tuple[int, int]]:
+        """Record per-element launch lineage for one write event.
+
+        Returns ``(element, prev_launch)`` pairs for elements whose stored
+        last writer is a *different* launch not ordered before this one
+        (HPAC208), then stores the new lineage.
+        """
+        if not len(idx):
+            return []
+        self._grow(int(idx.max()) + 1)
+        hits = self._unordered(idx, launch_id, clock)
+        conflicts = [(int(idx[p]), int(self._launch[idx[p]]))
+                     for p in hits[:4]]
+        self._launch[idx] = launch_id
+        self._clock[idx] = clock
+        return conflicts
+
     def set_taint(self, idx: np.ndarray, taint_id: int) -> None:
         """Mark elements' last write as coming from region ``taint_id``
         (``NO_TAINT`` clears — an accurate overwrite launders the data)."""
@@ -171,7 +242,8 @@ class ShadowBuffer:
     def shadow_nbytes(self) -> int:
         return (self.read.nbytes + self.written.nbytes
                 + self.last_writer_warp.nbytes + self.write_epoch.nbytes
-                + self.taint.nbytes)
+                + self.taint.nbytes + self.writer_launch.nbytes
+                + self.writer_clock.nbytes)
 
 
 @dataclass

@@ -229,7 +229,7 @@ class AppSanitizeReport:
     app: str
     device: str
     technique: str
-    #: Static HPAC21x contract diagnostics (width/parse), always collected.
+    #: Static HPAC21x contract + dataflow diagnostics, always collected.
     static: list = field(default_factory=list)
     #: The dynamic ApproxSan report; None when the config was infeasible.
     report: object | None = None
@@ -303,7 +303,7 @@ def sanitize(
     (HPAC21x) are collected even when the configuration is infeasible —
     those runs carry the failure note instead of a dynamic report, the
     same way the sweep harness records infeasible rows."""
-    from repro.analysis import lint_contracts
+    from repro.analysis import lint_contracts, lint_dataflow
     from repro.analysis.infer import lint_baseline
     from repro.apps import BENCHMARKS, get_benchmark
     from repro.errors import ReproError
@@ -314,7 +314,8 @@ def sanitize(
         bench = get_benchmark(name)
         entry = AppSanitizeReport(
             app=name, device=device, technique=technique,
-            static=lint_contracts(bench) + lint_baseline(bench),
+            static=lint_contracts(bench) + lint_baseline(bench)
+            + lint_dataflow(bench),
         )
         try:
             regions = bench.build_regions(
@@ -373,19 +374,24 @@ def infer_contracts(
     *,
     items_per_thread: int | None = None,
     seed: int = 2023,
+    seeds: "int | list[int] | None" = None,
     verify: bool = True,
     write: bool = False,
 ) -> InferResult:
-    """Infer per-region memory contracts from one accurate recorded run.
+    """Infer per-region memory contracts from accurate recorded run(s).
 
     For each app: run accurate + sanitized with access recording, collapse
     the observed per-region access sets into ``in(...)``/``out(...)``
     pragma text, and diff the declared contracts against the observation
     (HPAC212 findings when a declared contract is *narrower*).
+    ``seeds=N`` (or an explicit seed list) unions N runs' access sets
+    before collapsing, with per-seed provenance — the defense against
+    data-dependent footprints a single seed under-observes.
     ``verify=True`` round-trips each app: the inferred text must parse,
     lint clean, and a sanitized re-run under the inferred contracts must
-    report zero HPAC201/202.  ``write=True`` stores the inferred baselines
-    under ``baselines/approxsan/`` for the static HPAC212 preflight rule."""
+    report zero HPAC201/202 for every evidence seed.  ``write=True``
+    stores the inferred baselines under ``baselines/approxsan/`` for the
+    static HPAC212 preflight rule."""
     from repro.analysis.infer import infer_app, verify_roundtrip, write_baseline
     from repro.apps import BENCHMARKS, get_benchmark
 
@@ -394,7 +400,8 @@ def infer_contracts(
     for name in names:
         bench = get_benchmark(name)
         inference = infer_app(
-            bench, device, items_per_thread=items_per_thread, seed=seed)
+            bench, device, items_per_thread=items_per_thread, seed=seed,
+            seeds=seeds)
         if verify:
             verify_roundtrip(bench, inference,
                              items_per_thread=items_per_thread)
@@ -444,7 +451,7 @@ def lint(
     for path in files:
         diags.extend(lint_file(path))
     if app:
-        from repro.analysis import lint_contracts
+        from repro.analysis import lint_contracts, lint_dataflow
         from repro.apps import get_benchmark
         from repro.errors import ReproError
         from repro.gpusim.device import get_device
@@ -453,6 +460,7 @@ def lint(
         bench = get_benchmark(app)
         dev = get_device(device)
         diags.extend(lint_contracts(bench))
+        diags.extend(lint_dataflow(bench))
         try:
             regions = bench.build_regions(
                 technique, level=level, site=site, **(params or {})

@@ -75,6 +75,9 @@ class BinomialOptions(Benchmark):
     default_num_threads = 128
     baseline_items_per_thread = 2
     iact_threshold_scale = 0.3  # normalized option-parameter space
+    # One lattice-pricing launch per run; the portfolio is host-mapped in.
+    launch_plan = ({"launch": "binomial_kernel", "regions": ("option_price",)},)
+    plan_inputs = ("dopts",)
 
     def default_problem(self) -> dict:
         return {

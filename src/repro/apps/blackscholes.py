@@ -66,6 +66,9 @@ class Blackscholes(Benchmark):
     kernel_only = True
     default_num_threads = 256
     iact_threshold_scale = 0.3  # normalized option-parameter space
+    # One pricing launch per run; the portfolio is host-mapped in.
+    launch_plan = ({"launch": "bs_kernel", "regions": ("price",)},)
+    plan_inputs = ("dopts",)
 
     def default_problem(self) -> dict:
         return {

@@ -145,6 +145,16 @@ class Benchmark(abc.ABC):
     #: scaled the way a user would tune the pragma per region.
     taf_threshold_scale: float = 1.0
     iact_threshold_scale: float = 1.0
+    #: Static launch plan for the contract-dataflow verifier
+    #: (:mod:`repro.analysis.rules.dataflow`): tuple of steps, each either a
+    #: launch ``{"launch": "<kernel>", "regions": (<site names>, ...),
+    #: "nowait": bool}`` or an explicit join ``{"sync": True}``.  ``None``
+    #: opts out — the verifier is then silent for the app.
+    launch_plan: tuple | None = None
+    #: Buffers the plan treats as produced outside any contracted region
+    #: (host maps, accurate kernel-scope code): the availability seed for
+    #: the HPAC214 read-before-any-declared-write check.
+    plan_inputs: tuple = ()
 
     def __init__(self, problem: dict | None = None) -> None:
         self.problem = {**self.default_problem(), **(problem or {})}

@@ -49,6 +49,10 @@ class KMeans(Benchmark):
     error_metric = "mcr"
     default_num_threads = 64  # short intra-team stride keeps herding local
     baseline_items_per_thread = 8
+    # One Lloyd-iteration launch (repeated; each repetition is synchronous,
+    # so a single representative step captures the whole loop's dataflow).
+    launch_plan = ({"launch": "kmeans_lloyd", "regions": ("distances",)},)
+    plan_inputs = ("dobs", "dcent")
 
     def default_problem(self) -> dict:
         return {

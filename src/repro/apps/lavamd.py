@@ -51,6 +51,10 @@ class LavaMD(Benchmark):
     error_metric = "mape"
     default_num_threads = 64  # one thread per particle; 64 = one AMD wave
     taf_threshold_scale = 0.01  # step-to-step force RSD is ~1e-2
+    # One force launch per step; particle positions are host-mapped in and
+    # the relative-displacement capture is built in kernel-scope code.
+    launch_plan = ({"launch": "lavamd_kernel", "regions": ("neighbor_force",)},)
+    plan_inputs = ("rel",)
 
     def default_problem(self) -> dict:
         return {

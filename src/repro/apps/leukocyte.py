@@ -47,6 +47,10 @@ class Leukocyte(Benchmark):
     default_num_threads = 1024
     taf_threshold_scale = 0.1  # converged-field RSD values are small
     iact_threshold_scale = 0.5
+    # One IMGVF relaxation launch per iteration; the field updates in place
+    # (dfield appears in both in(...) and out(...)).
+    launch_plan = ({"launch": "imgvf_kernel", "regions": ("imgvf_update",)},)
+    plan_inputs = ("dfield",)
 
     def default_problem(self) -> dict:
         return {

@@ -53,6 +53,17 @@ class Lulesh(Benchmark):
     default_num_threads = 128
     baseline_items_per_thread = 8
     iact_threshold_scale = 0.1  # hourglass inputs are O(0.1) energies
+    # One Lagrange-leapfrog step: four synchronous kernels in dependence
+    # order, the middle two carrying the contracted hourglass regions.
+    launch_plan = (
+        {"launch": "stress_integration"},
+        {"launch": "CalcHourglassControlForElems",
+         "regions": ("hourglass_control",)},
+        {"launch": "CalcFBHourglassForceForElems",
+         "regions": ("fb_hourglass",)},
+        {"launch": "energy_update"},
+    )
+    plan_inputs = ("de", "avg")
 
     def default_problem(self) -> dict:
         return {

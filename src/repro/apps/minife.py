@@ -66,6 +66,16 @@ class MiniFE(Benchmark):
     error_metric = "mape"
     default_num_threads = 128
     baseline_items_per_thread = 8
+    # One CG iteration: SpMV (the contracted region) then the vector
+    # kernels, all synchronous.  xvec is the re-uploaded search direction.
+    launch_plan = (
+        {"launch": "minife_spmv", "regions": ("spmv_row",)},
+        {"launch": "minife_dot"},
+        {"launch": "minife_axpy"},
+        {"launch": "minife_dot"},
+        {"launch": "minife_axpy"},
+    )
+    plan_inputs = ("xvec",)
 
     def default_problem(self) -> dict:
         return {

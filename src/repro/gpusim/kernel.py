@@ -93,6 +93,7 @@ def launch(
     params: dict | None = None,
     sanitizer=None,
     fast_path: bool | None = None,
+    nowait: bool = False,
 ) -> KernelResult:
     """Execute ``fn`` as a kernel on a simulated grid and time it.
 
@@ -101,7 +102,10 @@ def launch(
     ``sanitizer`` (ApproxSan) is attached it observes the launch through the
     context; the timing and counter paths are identical with or without it.
     ``fast_path`` selects the context implementation (None = module
-    default); both produce byte-identical results.
+    default); both produce byte-identical results.  ``nowait`` marks the
+    launch asynchronous for the sanitizer's cross-launch happens-before
+    engine (the simulator still executes launches serially; timing and
+    counters are unaffected).
     """
     validate_launch(device, num_blocks, threads_per_block, shared_capacity)
     ctx = GridContext(
@@ -115,7 +119,7 @@ def launch(
     )
     kname = name or getattr(fn, "__name__", "kernel")
     if sanitizer is not None:
-        sanitizer.begin_launch(kname, params or {})
+        sanitizer.begin_launch(kname, params or {}, nowait=nowait)
         try:
             value = fn(ctx, **(params or {}))
         finally:

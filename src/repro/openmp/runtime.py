@@ -82,6 +82,11 @@ class OffloadProgram:
             yield env
         finally:
             self.timing.add_transfer(env.exit())
+            # Mapping buffers back to the host waits for the device: every
+            # launch issued inside the region happens-before whatever the
+            # host does next (observed by the sanitizer's clock engine).
+            if self.sanitizer is not None:
+                self.sanitizer.on_sync()
 
     # ------------------------------------------------------------------
     def target_teams(
@@ -92,12 +97,17 @@ class OffloadProgram:
         num_threads: int,
         name: str | None = None,
         params: dict | None = None,
+        nowait: bool = False,
     ) -> KernelResult:
         """``#pragma omp target teams distribute parallel for``.
 
         Launches ``num_teams`` blocks of ``num_threads`` threads (rounded up
         to a warp multiple, as OpenMP runtimes do) and accounts the kernel
-        into the program timing.
+        into the program timing.  ``nowait`` mirrors the OpenMP clause: the
+        launch is asynchronous with respect to other device work until a
+        :meth:`taskwait`, a synchronous launch, or the enclosing
+        ``target_data`` exit joins it — purely a happens-before annotation
+        for ApproxSan; simulated timing is unchanged.
         """
         if num_teams <= 0 or num_threads <= 0:
             raise ConfigurationError("num_teams and num_threads must be positive")
@@ -112,9 +122,19 @@ class OffloadProgram:
             shared_capacity=self.ac_shared_bytes,
             params=params,
             sanitizer=self.sanitizer,
+            nowait=nowait,
         )
         self.timing.add_kernel(result.timing)
         return result
+
+    def taskwait(self) -> None:
+        """``#pragma omp taskwait``: join all outstanding nowait launches.
+
+        A sanitizer-visible synchronization point only; the simulator runs
+        launches serially, so there is no time to account.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync()
 
     # ------------------------------------------------------------------
     def host_work(self, seconds: float) -> None:

@@ -6,12 +6,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import lint_contracts
+from repro.analysis import lint_contracts, lint_dataflow
 
 EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "broken_contracts.py"
 
 ALL_CODES = ["HPAC201", "HPAC202", "HPAC203", "HPAC204", "HPAC205",
-             "HPAC206", "HPAC207", "HPAC210", "HPAC211"]
+             "HPAC206", "HPAC207", "HPAC208", "HPAC209", "HPAC210",
+             "HPAC211", "HPAC213", "HPAC214"]
 
 
 @pytest.fixture(scope="module")
@@ -25,7 +26,7 @@ def example():
 @pytest.fixture(scope="module")
 def diags(example):
     app = example.BrokenContracts()
-    static = lint_contracts(app)
+    static = lint_contracts(app) + lint_dataflow(app)
     result = app.run("v100_small", app.build_regions(), sanitize=True)
     return static + result.extra["approxsan"].diagnostics
 
@@ -145,6 +146,54 @@ class TestGoldenReport:
             "  note: an approximated producer taints this consumer's QoI "
             "attribution; re-run with the producer accurate or declare the "
             "dependency intentional"
+        )
+
+    def test_cross_launch_race_block(self, diags):
+        assert self._block(diags, "HPAC208", "'drace'") == (
+            "<pragma>:1:1: error: cross-launch write-write race on global "
+            "buffer 'drace': element 0 written by launches 'race_writer_a' "
+            "and 'race_writer_b' with no synchronizing launch, taskwait, "
+            "or map-back between them [x4] [HPAC208]\n"
+            "  note: the two kernels are unordered on the device; drop "
+            "nowait from one of them or join with a taskwait before "
+            "relaunching"
+        )
+
+    def test_stale_read_block(self, diags):
+        assert self._block(diags, "HPAC209", "dst[0]") == (
+            "<pragma>:1:1: warning: launch 'race_writer_b' reads dst[0] "
+            "last written by launch 'race_writer_a', which was never "
+            "synchronized (the read may observe a stale value) [x4] "
+            "[HPAC209]\n"
+            "  note: join the producing launch first: drop its nowait, "
+            "insert a taskwait, or close the target_data region"
+        )
+
+    def test_static_overlap_block(self, diags):
+        assert self._block(diags, "HPAC213", "'drace'") == (
+            "<pragma>:1:5: error: broken_contracts/racer_b: regions "
+            "'racer_a' (launch 'race_writer_a') and 'racer_b' (launch "
+            "'race_writer_b') both declare writes to buffer 'drace' with "
+            "no synchronizing launch, taskwait, or map-back between their "
+            "launches [HPAC213]\n"
+            "  out(drace[i])\n"
+            "      ^~~~~~~~\n"
+            "  note: drop nowait from one of the launches or join them "
+            "with a taskwait; unordered kernels racing on one buffer "
+            "corrupt it nondeterministically"
+        )
+
+    def test_read_before_declared_write_block(self, diags):
+        assert self._block(diags, "HPAC214", "'dmiss'") == (
+            "<pragma>:1:4: warning: broken_contracts/stale_read: launch "
+            "'broken_kernel' declares reading 'dmiss', but no earlier "
+            "launch declares writing it and the plan's inputs do not "
+            "provide it [HPAC214]\n"
+            "  in(dmiss[i]) out(dys[i])\n"
+            "     ^~~~~~~~\n"
+            "  note: add the producing region to an earlier plan step, or "
+            "name the buffer in plan_inputs if the host (or accurate "
+            "kernel code) provides it"
         )
 
     def test_width_mismatch_block(self, diags):
