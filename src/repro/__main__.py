@@ -30,9 +30,21 @@ so anything the CLI can do a script can do with the same one call:
   evaluation figures and print the paper-style rows; all requested figures
   share one batch engine (``--parallel`` fans their simulation grids
   across a process pool, and overlapping grids evaluate once);
+* ``python -m repro campaign split|work|merge|status <dir>`` — the
+  distributed campaign fabric: partition a sweep's point space into shard
+  jobs, have any number of worker sessions claim them under leases with
+  heartbeats (dead workers' shards are reclaimed after the TTL), and
+  merge the shard files back into one checkpoint byte-identical to a
+  serial sweep;
 * ``python -m repro checkpoint compact <file>`` — dedupe a checkpoint's
   re-run labels, keeping the latest record per point;
 * ``python -m repro devices`` — list the device presets.
+
+Each subcommand builds the matching frozen request object
+(:class:`repro.api.SweepRequest`, :class:`repro.api.SearchRequest`,
+:class:`repro.api.CampaignSpec`, ...), hands it to :func:`repro.api.execute`
+(or the campaign facade), and renders the typed result — ``--json``
+prints ``result.render_json()`` and the process exits ``result.exit_code``.
 """
 
 from __future__ import annotations
@@ -87,30 +99,34 @@ def _technique_kwargs(args) -> dict:
 
 
 def cmd_run(args) -> int:
+    from repro import api
     from repro.apps import get_benchmark
-    from repro.harness.metrics import error
+    from repro.harness.runner import ExperimentRunner
 
     app = get_benchmark(args.app)
     ipt = args.items_per_thread or app.baseline_items_per_thread or 1
-    baseline = app.run(args.device, items_per_thread=ipt, seed=args.seed)
+    runner = ExperimentRunner(seed=args.seed)
+    baseline = runner.baseline(args.app, args.device)
     print(f"{args.app} on {args.device}: accurate "
           f"{baseline.seconds * 1e3:.3f} ms end-to-end "
           f"({baseline.kernel_seconds * 1e3:.3f} ms kernels)")
     if args.technique == "none":
         return 0
-    regions = app.build_regions(
-        args.technique, level=args.level, site=args.site, **_technique_kwargs(args)
+    request = api.PointRequest(
+        app=args.app, device=args.device,
+        technique=args.technique, params=_technique_kwargs(args),
+        level=args.level, items_per_thread=ipt, site=args.site,
+        seed=args.seed,
     )
-    res = app.run(args.device, regions, items_per_thread=ipt, seed=args.seed)
-    err = error(app.error_metric, baseline.qoi, res.qoi)
+    res = api.run_point(request=request, runner=runner)
+    if not res.feasible:
+        print(f"{args.technique}: infeasible — {res.note}")
+        return 1
     label = "kernel" if app.kernel_only else "end-to-end"
-    speedup = (
-        baseline.kernel_seconds / res.kernel_seconds
-        if app.kernel_only else baseline.seconds / res.seconds
-    )
     fracs = {n: s["approx_fraction"] for n, s in res.region_stats.items()}
-    print(f"{args.technique}: {speedup:.3f}x {label} speedup, "
-          f"{app.error_metric.upper()} {100 * err:.4f}%, approximated {fracs}")
+    print(f"{args.technique}: {res.reported_speedup:.3f}x {label} speedup, "
+          f"{app.error_metric.upper()} {res.error_percent:.4f}%, "
+          f"approximated {fracs}")
     return 0
 
 
@@ -118,11 +134,13 @@ def cmd_sweep(args) -> int:
     from repro import api
     from repro.harness.config import SweepConfig
     from repro.harness.database import ResultsDB
-    from repro.harness.figures import candidates
     from repro.harness.reporting import format_record, format_records_table
 
-    points = candidates(args.app, args.technique, args.effort)
-    if not points:
+    request = api.SweepRequest(
+        app=args.app, device=args.device, technique=args.technique,
+        effort=args.effort, seed=args.seed,
+    )
+    if not request.resolve_points():
         print(f"no candidate grid for {args.app}/{args.technique}",
               file=sys.stderr)
         return 1
@@ -140,9 +158,7 @@ def cmd_sweep(args) -> int:
         prune=(float(args.max_error) if args.prune else False),
         order=args.order, variant_cache=vcache,
     )
-    report = api.sweep(
-        args.app, args.device, points=points, config=config, seed=args.seed
-    )
+    report = api.execute(request, config=config)
     if vcache is not None:
         vcache.save()
     db = ResultsDB()
@@ -174,11 +190,14 @@ def cmd_search(args) -> int:
     from repro.harness.config import SweepConfig
     from repro.harness.reporting import format_record, format_records_table
 
-    result = api.search(
-        args.app, args.device,
+    request = api.SearchRequest(
+        app=args.app, device=args.device,
         technique=args.technique, strategy=args.strategy,
         budget=args.budget, max_error=args.max_error,
         population=args.population, seed=args.seed,
+    )
+    result = api.execute(
+        request,
         config=SweepConfig(workers=max(1, args.parallel), order=args.order),
     )
     print(format_records_table(
@@ -323,9 +342,10 @@ def cmd_figures(args) -> int:
     # One engine across every requested figure: shared baselines, one
     # process pool, and overlapping grids (Fig 6 / Fig 7 share LULESH
     # points) evaluate once.
-    out = api.figures(
-        args.names or None, parallel=args.parallel, seed=args.seed
+    request = api.FiguresRequest(
+        names=tuple(args.names or ()), parallel=args.parallel, seed=args.seed
     )
+    out = api.execute(request)
     for name, r in out.results.items():
         if name == "fig3":
             print(f"Fig 3: V100 exhausted at 2^{r.exhaust_threads.bit_length() - 1} threads")
@@ -339,6 +359,80 @@ def cmd_figures(args) -> int:
     if out.stats.submitted:
         print(format_engine_stats(out.stats))
     return 0
+
+
+def cmd_campaign(args) -> int:
+    """Distributed campaign fabric: split / work / merge / status."""
+    from repro import api
+
+    if args.action == "split":
+        spec = api.CampaignSpec(
+            app=args.app, device=args.device, technique=args.technique,
+            effort=args.effort, site=args.site, seed=args.seed,
+        )
+        result = api.campaign_split(args.dir, spec, shards=args.shards)
+        if args.json:
+            print(result.render_json())
+            return result.exit_code
+        print(f"{args.dir}: split {result.points} point(s) into "
+              f"{result.shards} shard job(s) "
+              f"(spec {result.spec_hash[:12]}…)")
+        print("run workers with: python -m repro campaign work "
+              f"{args.dir} --owner <name>")
+        return result.exit_code
+    if args.action == "work":
+        result = api.campaign_work(
+            args.dir, args.owner, ttl=args.ttl, max_jobs=args.max_jobs
+        )
+        if args.json:
+            print(result.render_json())
+            return result.exit_code
+        print(f"{args.owner}: completed {result.jobs_done} job(s) — "
+              f"{result.evaluated} point(s) evaluated, "
+              f"{result.reemitted} re-emitted from a dead worker, "
+              f"{result.leases_lost} lease(s) lost")
+        return result.exit_code
+    if args.action == "merge":
+        result = api.campaign_merge(
+            args.dir, args.output, strict=not args.partial
+        )
+        if args.json:
+            print(result.render_json())
+            return result.exit_code
+        s = result.stats
+        print(f"{result.output}: merged {result.merged} record(s) from "
+              f"{len(result.shards_merged)} shard(s) "
+              f"({s.identical} identical duplicate(s), "
+              f"{s.conflicts} conflict(s), "
+              f"{result.rejected_stale} stale fenced-out record(s))")
+        if result.shards_skipped:
+            print(f"partial merge: {len(result.shards_skipped)} "
+                  f"unfinished shard(s) skipped, "
+                  f"{len(result.missing)} label(s) uncovered")
+        return result.exit_code
+    if args.action == "status":
+        result = api.campaign_status(args.dir)
+        if args.json:
+            print(result.render_json())
+            return result.exit_code
+        p = result.progress
+        print(f"{args.dir} (spec {result.spec_hash[:12]}…): "
+              f"{p['done']} done / {p['leased']} leased / "
+              f"{p['expired']} expired / {p['pending']} pending "
+              f"shard(s); {p['records']}/{p['total_points']} record(s)")
+        for job, entry in sorted(result.shards.items()):
+            state = result.lease_table.get(job, {})
+            line = (f"  {job}: {state.get('state', '?'):<8} "
+                    f"{entry['points']} point(s)")
+            if state.get("reclaims"):
+                line += f", reclaimed {state['reclaims']}x"
+            lease = state.get("lease")
+            if lease:
+                line += f", held by {lease['owner']} (fence {lease['fence']})"
+            print(line)
+        return result.exit_code
+    print(f"unknown campaign action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_checkpoint(args) -> int:
@@ -506,6 +600,66 @@ def main(argv: list[str] | None = None) -> int:
                             "(1 = in-process; figures share one batch "
                             "engine either way)")
     p_fig.set_defaults(fn=cmd_figures)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="distributed campaign fabric: split a sweep into shard jobs, "
+             "work them from any number of machines under leases, merge "
+             "the shards back byte-identically",
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+
+    pc_split = camp_sub.add_parser(
+        "split", help="partition a sweep's point space into shard jobs"
+    )
+    pc_split.add_argument("dir", help="campaign directory (created)")
+    pc_split.add_argument("--app", required=True)
+    pc_split.add_argument("--device", default="v100_small")
+    pc_split.add_argument("--technique", required=True,
+                          choices=["taf", "iact", "perfo"])
+    pc_split.add_argument("--effort", default="quick",
+                          choices=["quick", "full", "paper"])
+    pc_split.add_argument("--shards", type=int, default=2,
+                          help="shard jobs to partition the grid into")
+    pc_split.add_argument("--site", default=None)
+    pc_split.add_argument("--json", action="store_true")
+    pc_split.set_defaults(fn=cmd_campaign)
+
+    pc_work = camp_sub.add_parser(
+        "work", help="claim and evaluate shard jobs until the queue drains"
+    )
+    pc_work.add_argument("dir", help="campaign directory")
+    pc_work.add_argument("--owner", required=True,
+                         help="worker identity recorded in leases and "
+                              "record tags")
+    pc_work.add_argument("--ttl", type=float, default=None,
+                         help="lease TTL in seconds: how long this "
+                              "worker's silence is trusted before its "
+                              "shard is reclaimed (default 60)")
+    pc_work.add_argument("--max-jobs", type=int, default=None,
+                         help="stop after completing N shard jobs")
+    pc_work.add_argument("--json", action="store_true")
+    pc_work.set_defaults(fn=cmd_campaign)
+
+    pc_merge = camp_sub.add_parser(
+        "merge", help="fold shard files into one canonical checkpoint "
+                      "(byte-identical to a serial sweep)"
+    )
+    pc_merge.add_argument("dir", help="campaign directory")
+    pc_merge.add_argument("--output", default=None,
+                          help="merged JSONL (default: DIR/merged.jsonl)")
+    pc_merge.add_argument("--partial", action="store_true",
+                          help="merge completed shards even while others "
+                               "are unfinished (exit 1 when incomplete)")
+    pc_merge.add_argument("--json", action="store_true")
+    pc_merge.set_defaults(fn=cmd_campaign)
+
+    pc_status = camp_sub.add_parser(
+        "status", help="shard states, leases, and progress from the ledger"
+    )
+    pc_status.add_argument("dir", help="campaign directory")
+    pc_status.add_argument("--json", action="store_true")
+    pc_status.set_defaults(fn=cmd_campaign)
 
     p_ckpt = sub.add_parser("checkpoint", help="checkpoint file maintenance")
     p_ckpt.add_argument("action", choices=["compact"],

@@ -1,24 +1,43 @@
-"""Stable library facade: the six entry points the CLI wraps.
+"""Stable library facade: typed requests in, typed results out.
 
 PR 2 and PR 4 each grew ``python -m repro`` flags the library had no
-single equivalent for — lint and sanitize logic lived *in* the CLI, so
-scripts had to shell out or copy it.  This module is the contract between
-the two: six functions — :func:`run_point`, :func:`sweep`,
-:func:`search`, :func:`figures`, :func:`sanitize`, :func:`lint` — taking
-the same config objects the engine layer uses
-(:class:`~repro.harness.config.SweepConfig`, a persistent
-:class:`~repro.harness.batch.BatchEngine`), with every ``python -m
-repro`` subcommand a thin renderer over them, so the CLI and library can
-no longer drift.
+single equivalent for; PR 5 gave the facade its first function-per-
+subcommand shape.  This PR restructures it around **frozen, versioned
+request objects** and a uniform response protocol, so the CLI, scripts,
+and the campaign fabric all speak the same vocabulary:
 
-Everything here imports lazily so ``import repro.api`` stays cheap and
-cycle-free; the deeper modules remain importable directly for power use
-(streams, sessions, custom executors).
+* Requests — :class:`PointRequest`, :class:`SweepRequest`,
+  :class:`SearchRequest`, :class:`FiguresRequest`, and (for distributed
+  runs) :class:`~repro.harness.campaign.CampaignSpec` — are frozen
+  dataclasses carrying a ``version`` stamp.  Build one, pass it to the
+  matching function (``sweep(request=...)``) or to :func:`execute`,
+  which dispatches on type.  The loose per-function keywords still work:
+  each function folds them into a request internally, so there is
+  exactly one resolution path.
+* Results all implement the :class:`ApiResult` protocol —
+  ``.exit_code`` (what the CLI exits with), ``.to_payload()`` (a pure-
+  JSON document), ``.render_json()`` (stable-key-order dump) — while
+  *delegating* unknown attributes to the engine-layer object they wrap,
+  so ``api.sweep(...).records`` and friends read exactly as before.
+
+Execution **policy** stays out of requests on purpose: a
+:class:`~repro.harness.config.SweepConfig` (workers, checkpoint,
+preflight, ...) or a persistent :class:`~repro.harness.batch.BatchEngine`
+is passed alongside, because the same request must produce byte-identical
+records under any policy — the invariant the campaign fabric's
+split/merge round-trip is tested against.
+
+Keyword-style calls into the engine layer (``max_workers=`` etc.) remain
+accepted through the single :func:`~repro.harness.config.resolve_config`
+shim with a :class:`DeprecationWarning`; see the README's "Migrating to
+request objects" table.  Everything imports lazily so ``import
+repro.api`` stays cheap and cycle-free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -26,20 +45,260 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.harness.config import SweepConfig
     from repro.harness.executor import SweepReport
     from repro.harness.runner import ExperimentRunner, RunRecord
-    from repro.harness.search import SearchResult
     from repro.harness.sweep import SweepPoint
 
-
-def _point(technique, params, level, items_per_thread) -> "SweepPoint":
-    from repro.harness.sweep import SweepPoint
-
-    return SweepPoint(technique, dict(params or {}), level, items_per_thread)
+#: Version stamp carried by every request dataclass in this module.
+API_VERSION = 1
 
 
+def _json_safe(obj):
+    """Payload scrubber: sentinel-encode non-finite floats (checkpoint
+    convention) so every ``to_payload`` result is strict JSON."""
+    from repro.harness.database import _encode
+
+    return _encode(obj)
+
+
+class ApiResult:
+    """Uniform response protocol every facade result implements.
+
+    ``exit_code`` is what the CLI process should exit with (0 unless the
+    result itself encodes failure — lint errors, incomplete merges);
+    ``to_payload()`` is a pure-JSON document for ``--json`` output;
+    ``render_json()`` is its stable-key-order rendering.  Subclasses
+    wrapping an engine-layer object also delegate unknown attribute reads
+    to it, so the pre-redesign access patterns keep working."""
+
+    @property
+    def exit_code(self) -> int:
+        return 0
+
+    def to_payload(self):
+        raise NotImplementedError
+
+    def render_json(self) -> str:
+        return json.dumps(
+            self.to_payload(), indent=2, sort_keys=True, default=str
+        )
+
+
+class _Wraps:
+    """Mixin: fall through to the wrapped object named by ``_inner``."""
+
+    _inner = "inner"
+
+    def __getattr__(self, name: str):
+        try:
+            inner = object.__getattribute__(
+                self, object.__getattribute__(self, "_inner")
+            )
+        except AttributeError:
+            raise AttributeError(name) from None
+        return getattr(inner, name)
+
+
+def _check_version(request) -> None:
+    if request.version != API_VERSION:
+        raise ValueError(
+            f"{type(request).__name__} version {request.version!r} is not "
+            f"supported (this build speaks {API_VERSION})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Request objects.
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PointRequest:
+    """One configuration evaluation (the ``run`` subcommand's input)."""
+
+    app: str
+    device: str = "v100_small"
+    technique: str | None = None
+    params: dict | None = None
+    level: str = "thread"
+    items_per_thread: int = 8
+    site: str | None = None
+    problems: dict | None = None
+    seed: int = 2023
+    sanitize: bool = False
+    version: int = API_VERSION
+
+    def __post_init__(self) -> None:
+        _check_version(self)
+
+    def resolve_point(self) -> "SweepPoint":
+        if self.technique is None:
+            raise ValueError("run_point needs point= or technique=")
+        from repro.harness.sweep import SweepPoint
+
+        return SweepPoint(
+            self.technique,
+            dict(self.params or {}),
+            self.level,
+            self.items_per_thread,
+        )
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One DSE sweep for one app/device (the ``sweep`` subcommand's input).
+
+    ``points`` pins the grid explicitly (a tuple of
+    :class:`~repro.harness.sweep.SweepPoint`); otherwise the curated
+    ``technique`` candidate grid at ``effort`` (quick/full/paper)."""
+
+    app: str
+    device: str = "v100_small"
+    technique: str | None = None
+    points: tuple = ()
+    effort: str = "quick"
+    site: str | None = None
+    problems: dict | None = None
+    seed: int = 2023
+    version: int = API_VERSION
+
+    def __post_init__(self) -> None:
+        _check_version(self)
+        if isinstance(self.points, list):
+            object.__setattr__(self, "points", tuple(self.points))
+
+    def resolve_points(self) -> "list[SweepPoint]":
+        if self.points:
+            return list(self.points)
+        if self.technique is None:
+            raise ValueError("sweep needs points= or technique=")
+        from repro.harness.figures import candidates
+
+        return candidates(self.app, self.technique, self.effort)
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One budgeted smart search (the ``search`` subcommand's input)."""
+
+    app: str
+    device: str = "v100_small"
+    technique: str = "taf"
+    strategy: str = "random"
+    budget: int = 20
+    max_error: float = 0.10
+    population: int = 3
+    threshold_scale: float = 1.0
+    space: tuple | None = None
+    seed: int = 7
+    problems: dict | None = None
+    checkpoint: str | None = None
+    version: int = API_VERSION
+
+    def __post_init__(self) -> None:
+        _check_version(self)
+        if isinstance(self.space, list):
+            object.__setattr__(self, "space", tuple(self.space))
+
+
+@dataclass(frozen=True)
+class FiguresRequest:
+    """One figure-regeneration batch (the ``figures`` subcommand's input)."""
+
+    names: tuple = ()
+    effort: str = "quick"
+    parallel: int = 0
+    seed: int = 2023
+    version: int = API_VERSION
+
+    def __post_init__(self) -> None:
+        _check_version(self)
+        if isinstance(self.names, list):
+            object.__setattr__(self, "names", tuple(self.names))
+
+
+# ---------------------------------------------------------------------------
+# Results.
+# ---------------------------------------------------------------------------
+@dataclass
+class PointResult(_Wraps, ApiResult):
+    """One evaluated configuration; delegates to its :class:`RunRecord`."""
+
+    _inner = "record"
+
+    record: "RunRecord"
+    request: PointRequest | None = None
+
+    def to_payload(self) -> dict:
+        return _json_safe(self.record.to_dict())
+
+
+@dataclass
+class SweepResult(_Wraps, ApiResult):
+    """One finished sweep; delegates to its :class:`SweepReport`."""
+
+    _inner = "report"
+
+    report: "SweepReport"
+    request: SweepRequest | None = None
+
+    def to_payload(self) -> dict:
+        return _json_safe(
+            {
+                "evaluated": self.report.evaluated,
+                "skipped": self.report.skipped,
+                "pruned": self.report.pruned,
+                "feasible": self.report.feasible,
+                "infeasible": self.report.infeasible,
+                "elapsed": self.report.elapsed,
+                "checkpoint": self.report.checkpoint,
+                "records": [r.to_dict() for r in self.report.records],
+            }
+        )
+
+
+@dataclass
+class SearchResult(_Wraps, ApiResult):
+    """One finished search; delegates to the engine-layer result
+    (:class:`repro.harness.search.SearchResult`: ``best``, ``db``,
+    ``evaluations``, ``best_speedup``)."""
+
+    _inner = "result"
+
+    result: object
+    request: SearchRequest | None = None
+
+    def to_payload(self) -> dict:
+        best = self.result.best
+        return _json_safe(
+            {
+                "evaluations": self.result.evaluations,
+                "best": None if best is None else best.to_dict(),
+                "records": [r.to_dict() for r in self.result.db],
+            }
+        )
+
+
+@dataclass
+class FiguresResult(ApiResult):
+    """Outcome of one :func:`figures` call."""
+
+    #: name -> that figure's result object (Fig6Result, ScatterResult, ...).
+    results: dict
+    #: The engine's session counters (pool spawns, cache hits, ...).
+    stats: "EngineStats"
+    request: FiguresRequest | None = None
+
+    def to_payload(self) -> dict:
+        out = {}
+        for name, res in self.results.items():
+            to_dict = getattr(res, "to_dict", None)
+            out[name] = to_dict() if callable(to_dict) else repr(res)
+        return _json_safe(out)
+
+
+# ---------------------------------------------------------------------------
 def run_point(
-    app: str,
+    app: str | None = None,
     device: str = "v100_small",
     *,
+    request: PointRequest | None = None,
     point: "SweepPoint | None" = None,
     technique: str | None = None,
     params: dict | None = None,
@@ -50,25 +309,47 @@ def run_point(
     problems: dict | None = None,
     seed: int = 2023,
     sanitize: bool = False,
-) -> "RunRecord":
-    """Evaluate one configuration; returns its :class:`RunRecord`.
+) -> PointResult:
+    """Evaluate one configuration; returns a :class:`PointResult`.
 
-    Pass a ready :class:`~repro.harness.sweep.SweepPoint`, or build one
-    inline from ``technique``/``params``/``level``/``items_per_thread``."""
+    Pass a :class:`PointRequest`, a ready
+    :class:`~repro.harness.sweep.SweepPoint`, or build one inline from
+    ``technique``/``params``/``level``/``items_per_thread``.  The result
+    delegates to its :class:`~repro.harness.runner.RunRecord`, so
+    ``.feasible`` / ``.to_dict()`` read as before."""
     from repro.harness.runner import ExperimentRunner
 
-    if point is None:
-        if technique is None:
-            raise ValueError("run_point needs point= or technique=")
-        point = _point(technique, params, level, items_per_thread)
-    runner = runner or ExperimentRunner(problems=problems, seed=seed)
-    return runner.run_point(app, device, point, site=site, sanitize=sanitize)
+    if request is None:
+        if app is None:
+            raise ValueError("run_point needs app= or request=")
+        request = PointRequest(
+            app=app,
+            device=device,
+            technique=technique,
+            params=params,
+            level=level,
+            items_per_thread=items_per_thread,
+            site=site,
+            problems=problems,
+            seed=seed,
+            sanitize=sanitize,
+        )
+    pt = point if point is not None else request.resolve_point()
+    runner = runner or ExperimentRunner(
+        problems=request.problems, seed=request.seed
+    )
+    record = runner.run_point(
+        request.app, request.device, pt,
+        site=request.site, sanitize=request.sanitize,
+    )
+    return PointResult(record=record, request=request)
 
 
 def sweep(
-    app: str,
+    app: str | None = None,
     device: str = "v100_small",
     *,
+    request: SweepRequest | None = None,
     technique: str | None = None,
     points: "list[SweepPoint] | None" = None,
     effort: str = "quick",
@@ -77,32 +358,47 @@ def sweep(
     engine: "BatchEngine | None" = None,
     problems: dict | None = None,
     seed: int = 2023,
-) -> "SweepReport":
-    """Run a DSE campaign for one app/device; returns its SweepReport.
+) -> SweepResult:
+    """Run a DSE sweep for one app/device; returns a :class:`SweepResult`.
 
-    ``points`` gives the grid explicitly; otherwise the curated
-    ``technique`` candidate grid at ``effort`` (quick/full/paper) is used.
-    ``config`` carries the execution policy (workers, checkpoint, retries,
-    progress, preflight, ...); ``engine`` routes the campaign through a
-    persistent :class:`~repro.harness.batch.BatchEngine`."""
+    The *what* lives in ``request`` (or the loose keywords, folded into
+    one internally); the *how* — workers, checkpoint, retries, progress,
+    preflight — lives in ``config``/``engine`` and never changes the
+    records.  The result delegates to its
+    :class:`~repro.harness.executor.SweepReport`."""
     from repro.harness.executor import run_sweep_parallel
 
-    if points is None:
-        if technique is None:
-            raise ValueError("sweep needs points= or technique=")
-        from repro.harness.figures import candidates
-
-        points = candidates(app, technique, effort)
-    return run_sweep_parallel(
-        app, device, points,
-        site=site, problems=problems, seed=seed, config=config, engine=engine,
+    if request is None:
+        if app is None:
+            raise ValueError("sweep needs app= or request=")
+        request = SweepRequest(
+            app=app,
+            device=device,
+            technique=technique,
+            points=tuple(points) if points else (),
+            effort=effort,
+            site=site,
+            problems=problems,
+            seed=seed,
+        )
+    report = run_sweep_parallel(
+        request.app,
+        request.device,
+        request.resolve_points(),
+        site=request.site,
+        problems=request.problems,
+        seed=request.seed,
+        config=config,
+        engine=engine,
     )
+    return SweepResult(report=report, request=request)
 
 
 def search(
-    app: str,
+    app: str | None = None,
     device: str = "v100_small",
     *,
+    request: SearchRequest | None = None,
     technique: str = "taf",
     strategy: str = "random",
     budget: int = 20,
@@ -116,7 +412,7 @@ def search(
     runner: "ExperimentRunner | None" = None,
     problems: dict | None = None,
     checkpoint: str | None = None,
-) -> "SearchResult":
+) -> SearchResult:
     """Budgeted smart search over the Table-2 grid (§4.2).
 
     ``strategy`` is ``"random"`` (uniform without replacement) or
@@ -128,43 +424,56 @@ def search(
     from repro.harness.runner import ExperimentRunner
     from repro.harness.search import evolutionary_search, random_search
 
-    runner = runner or ExperimentRunner(problems=problems)
+    if request is None:
+        if app is None:
+            raise ValueError("search needs app= or request=")
+        request = SearchRequest(
+            app=app,
+            device=device,
+            technique=technique,
+            strategy=strategy,
+            budget=budget,
+            max_error=max_error,
+            population=population,
+            threshold_scale=threshold_scale,
+            space=tuple(space) if space else None,
+            seed=seed,
+            problems=problems,
+            checkpoint=checkpoint,
+        )
+    runner = runner or ExperimentRunner(problems=request.problems)
     workers = config.workers if config is not None else 1
     order = bool(config.order) if config is not None else False
-    if strategy == "random":
-        return random_search(
-            runner, app, device, technique,
-            budget=budget, max_error=max_error,
-            threshold_scale=threshold_scale, seed=seed, space=space,
-            max_workers=workers,
-            checkpoint=(config.checkpoint if config is not None else checkpoint),
+    space_list = list(request.space) if request.space else None
+    if request.strategy == "random":
+        inner = random_search(
+            runner, request.app, request.device, request.technique,
+            budget=request.budget, max_error=request.max_error,
+            threshold_scale=request.threshold_scale, seed=request.seed,
+            space=space_list, max_workers=workers,
+            checkpoint=(
+                config.checkpoint if config is not None else request.checkpoint
+            ),
             engine=engine, order=order,
         )
-    if strategy == "evolutionary":
-        return evolutionary_search(
-            runner, app, device, technique,
-            budget=budget, max_error=max_error,
-            threshold_scale=threshold_scale, population=population,
-            seed=seed, space=space, engine=engine, max_workers=workers,
+    elif request.strategy == "evolutionary":
+        inner = evolutionary_search(
+            runner, request.app, request.device, request.technique,
+            budget=request.budget, max_error=request.max_error,
+            threshold_scale=request.threshold_scale,
+            population=request.population, seed=request.seed,
+            space=space_list, engine=engine, max_workers=workers,
             order=order,
         )
-    raise ValueError(f"unknown search strategy {strategy!r}")
-
-
-# ---------------------------------------------------------------------------
-@dataclass
-class FiguresResult:
-    """Outcome of one :func:`figures` call."""
-
-    #: name -> that figure's result object (Fig6Result, ScatterResult, ...).
-    results: dict
-    #: The engine's session counters (pool spawns, cache hits, ...).
-    stats: "EngineStats"
+    else:
+        raise ValueError(f"unknown search strategy {request.strategy!r}")
+    return SearchResult(result=inner, request=request)
 
 
 def figures(
     names: Iterable[str] | None = None,
     *,
+    request: FiguresRequest | None = None,
     effort: str = "quick",
     parallel: int = 0,
     config: "SweepConfig | None" = None,
@@ -184,6 +493,13 @@ def figures(
     from repro.harness.config import SweepConfig
     from repro.harness.runner import ExperimentRunner
 
+    if request is None:
+        request = FiguresRequest(
+            names=tuple(names or ()),
+            effort=effort,
+            parallel=parallel,
+            seed=seed,
+        )
     sim_figs = {
         "fig6": F.fig6_best_speedup,
         "fig7": F.fig7_lulesh,
@@ -193,17 +509,17 @@ def figures(
         "fig11": F.fig11_lavamd,
         "fig12": F.fig12_kmeans,
     }
-    wanted = list(names or ["fig3", "fig4", "fig6"])
+    wanted = list(request.names or ("fig3", "fig4", "fig6"))
     unknown = [n for n in wanted if n not in sim_figs and n not in ("fig3", "fig4")]
     if unknown:
         raise ValueError(f"unknown figure(s): {', '.join(unknown)}")
     owned = False
     if engine is None:
         cfg = config if config is not None else SweepConfig(
-            workers=max(1, int(parallel))
+            workers=max(1, int(request.parallel))
         )
         engine = BatchEngine(
-            config=cfg, runner=runner or ExperimentRunner(seed=seed)
+            config=cfg, runner=runner or ExperimentRunner(seed=request.seed)
         )
         owned = True
     out: dict = {}
@@ -214,11 +530,178 @@ def figures(
             elif name == "fig4":
                 out[name] = F.fig4_taf_variants()
             else:
-                out[name] = sim_figs[name](effort=effort, engine=engine)
+                out[name] = sim_figs[name](
+                    effort=request.effort, engine=engine
+                )
     finally:
         if owned:
             engine.close()
-    return FiguresResult(results=out, stats=engine.stats)
+    return FiguresResult(results=out, stats=engine.stats, request=request)
+
+
+def execute(
+    request,
+    *,
+    config: "SweepConfig | None" = None,
+    engine: "BatchEngine | None" = None,
+):
+    """Dispatch one request object to its entry point by type.
+
+    The CLI's subcommands are thin renderers over this: build a request,
+    ``execute`` it, print ``render_json()`` or the human rendering, exit
+    with ``exit_code``."""
+    if isinstance(request, PointRequest):
+        return run_point(request=request)
+    if isinstance(request, SweepRequest):
+        return sweep(request=request, config=config, engine=engine)
+    if isinstance(request, SearchRequest):
+        return search(request=request, config=config, engine=engine)
+    if isinstance(request, FiguresRequest):
+        return figures(request=request, config=config, engine=engine)
+    raise TypeError(
+        f"execute() takes a request dataclass, not {type(request).__name__} "
+        f"(campaign specs go through campaign_split/campaign_work/"
+        f"campaign_merge, which need a directory)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Distributed campaigns (see repro.harness.campaign).
+# ---------------------------------------------------------------------------
+@dataclass
+class CampaignSplitResult(_Wraps, ApiResult):
+    """Outcome of :func:`campaign_split`; delegates to the fabric's
+    :class:`~repro.harness.campaign.SplitResult`."""
+
+    _inner = "result"
+
+    result: object
+    spec: object = None
+
+    def to_payload(self) -> dict:
+        return _json_safe(asdict(self.result))
+
+
+@dataclass
+class CampaignWorkResult(_Wraps, ApiResult):
+    """Outcome of :func:`campaign_work`; delegates to the fabric's
+    :class:`~repro.harness.campaign.WorkerReport`."""
+
+    _inner = "report"
+
+    report: object
+
+    def to_payload(self) -> dict:
+        return _json_safe(asdict(self.report))
+
+
+@dataclass
+class CampaignMergeResult(_Wraps, ApiResult):
+    """Outcome of :func:`campaign_merge`; delegates to the fabric's
+    :class:`~repro.harness.campaign.MergeResult`."""
+
+    _inner = "result"
+
+    result: object
+
+    @property
+    def exit_code(self) -> int:
+        """1 for a partial merge (skipped shards / uncovered labels)."""
+        return 0 if self.result.complete else 1
+
+    def to_payload(self) -> dict:
+        payload = asdict(self.result)
+        payload["complete"] = self.result.complete
+        return _json_safe(payload)
+
+
+@dataclass
+class CampaignStatusResult(_Wraps, ApiResult):
+    """Outcome of :func:`campaign_status`; delegates to the fabric's
+    :class:`~repro.harness.campaign.CampaignStatus`."""
+
+    _inner = "status"
+
+    status: object
+
+    def to_payload(self) -> dict:
+        payload = asdict(self.status)
+        payload["complete"] = self.status.complete
+        return _json_safe(payload)
+
+
+def campaign_split(
+    directory: str,
+    spec: "object | None" = None,
+    *,
+    shards: int = 2,
+    app: str | None = None,
+    device: str = "v100_small",
+    technique: str | None = None,
+    effort: str = "quick",
+    site: str | None = None,
+    problems: dict | None = None,
+    seed: int = 2023,
+) -> CampaignSplitResult:
+    """Partition a sweep's point space into shard jobs under ``directory``.
+
+    Pass a ready :class:`~repro.harness.campaign.CampaignSpec` or the
+    loose keywords to build one.  See the campaign package docs for the
+    lease/heartbeat/merge contract."""
+    from repro.harness.campaign import CampaignSpec, split_campaign
+
+    if spec is None:
+        if app is None:
+            raise ValueError("campaign_split needs spec= or app=")
+        spec = CampaignSpec(
+            app=app, device=device, technique=technique, effort=effort,
+            site=site, problems=problems, seed=seed,
+        )
+    return CampaignSplitResult(
+        result=split_campaign(directory, spec, shards=shards), spec=spec
+    )
+
+
+def campaign_work(
+    directory: str,
+    owner: str,
+    *,
+    ttl: float | None = None,
+    max_jobs: int | None = None,
+    engine: "BatchEngine | None" = None,
+) -> CampaignWorkResult:
+    """Run one worker loop against a campaign until its queue drains."""
+    from repro.harness.campaign import DEFAULT_TTL, run_worker
+
+    report = run_worker(
+        directory, owner,
+        ttl=DEFAULT_TTL if ttl is None else ttl,
+        max_jobs=max_jobs, engine=engine,
+    )
+    return CampaignWorkResult(report=report)
+
+
+def campaign_merge(
+    directory: str,
+    output: str | None = None,
+    *,
+    strict: bool = True,
+) -> CampaignMergeResult:
+    """Fold a campaign's shard files into one canonical checkpoint —
+    byte-identical to a serial sweep of the same spec (stale fences
+    rejected, duplicates deduplicated, conflicts counted)."""
+    from repro.harness.campaign import merge_campaign
+
+    return CampaignMergeResult(
+        result=merge_campaign(directory, output, strict=strict)
+    )
+
+
+def campaign_status(directory: str) -> CampaignStatusResult:
+    """Snapshot a campaign's ledger: shard states, leases, progress."""
+    from repro.harness.campaign import campaign_status as _status
+
+    return CampaignStatusResult(status=_status(directory))
 
 
 # ---------------------------------------------------------------------------
@@ -247,7 +730,7 @@ class AppSanitizeReport:
 
 
 @dataclass
-class SanitizeResult:
+class SanitizeResult(ApiResult):
     """Outcome of one :func:`sanitize` call across apps."""
 
     reports: list[AppSanitizeReport]
@@ -278,12 +761,6 @@ class SanitizeResult:
                 entry["report"] = r.report.to_dict()
             payload.append(entry)
         return payload
-
-    def render_json(self) -> str:
-        """One JSON document, stable key order, nothing else on stdout."""
-        import json
-
-        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
 
 
 def sanitize(
@@ -335,7 +812,7 @@ def sanitize(
 
 # ---------------------------------------------------------------------------
 @dataclass
-class InferResult:
+class InferResult(ApiResult):
     """Outcome of one :func:`infer_contracts` call across apps."""
 
     #: AppInference per app (see :mod:`repro.analysis.infer`).
@@ -361,11 +838,6 @@ class InferResult:
 
     def to_payload(self) -> list[dict]:
         return [inf.to_dict() for inf in self.inferences]
-
-    def render_json(self) -> str:
-        import json
-
-        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
 
 
 def infer_contracts(
@@ -413,7 +885,7 @@ def infer_contracts(
 
 # ---------------------------------------------------------------------------
 @dataclass
-class LintResult:
+class LintResult(ApiResult):
     """Outcome of one :func:`lint` call."""
 
     diagnostics: list
@@ -423,6 +895,9 @@ class LintResult:
         from repro.analysis import exit_code
 
         return exit_code(self.diagnostics)
+
+    def to_payload(self) -> list[dict]:
+        return [d.to_json() for d in self.diagnostics]
 
 
 def lint(
@@ -473,12 +948,41 @@ def lint(
     return LintResult(diagnostics=diags)
 
 
+def __getattr__(name: str):
+    # Lazy re-export: ``repro.api.CampaignSpec`` without importing the
+    # campaign fabric (and the engine layer under it) at module load.
+    if name == "CampaignSpec":
+        from repro.harness.campaign import CampaignSpec
+
+        return CampaignSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "API_VERSION",
+    "ApiResult",
     "AppSanitizeReport",
+    "CampaignMergeResult",
+    "CampaignSpec",
+    "CampaignSplitResult",
+    "CampaignStatusResult",
+    "CampaignWorkResult",
+    "FiguresRequest",
     "FiguresResult",
     "InferResult",
     "LintResult",
+    "PointRequest",
+    "PointResult",
     "SanitizeResult",
+    "SearchRequest",
+    "SearchResult",
+    "SweepRequest",
+    "SweepResult",
+    "campaign_merge",
+    "campaign_split",
+    "campaign_status",
+    "campaign_work",
+    "execute",
     "figures",
     "infer_contracts",
     "lint",

@@ -930,15 +930,7 @@ def run_batch(
     serial_runner: ExperimentRunner | None = None,
     runner_factory: Callable[..., ExperimentRunner] | None = None,
     factory_args: tuple | None = None,
-    max_workers=UNSET,
-    chunk_size=UNSET,
-    target_chunk_seconds=UNSET,
-    checkpoint=UNSET,
-    retries=UNSET,
-    progress=UNSET,
-    preflight=UNSET,
-    share_baselines=UNSET,
-    sanitize=UNSET,
+    **legacy,
 ) -> BatchReport:
     """Execute heterogeneous ``jobs``, in parallel, resumably, deduplicated.
 
@@ -961,13 +953,7 @@ def run_batch(
     processes stay warm afterwards); without one, ``config.workers > 1``
     spins up a transient pool for this call only.
     """
-    cfg = resolve_config(
-        config, "run_batch",
-        max_workers=max_workers, chunk_size=chunk_size,
-        target_chunk_seconds=target_chunk_seconds, checkpoint=checkpoint,
-        retries=retries, progress=progress, preflight=preflight,
-        share_baselines=share_baselines, sanitize=sanitize,
-    )
+    cfg = resolve_config(config, "run_batch", **legacy)
     return BatchStream(
         jobs,
         problems=problems,
@@ -1034,22 +1020,9 @@ class BatchEngine:
         seed: int = 2023,
         config: SweepConfig | None = None,
         runner: ExperimentRunner | None = None,
-        max_workers=UNSET,
-        chunk_size=UNSET,
-        target_chunk_seconds=UNSET,
-        checkpoint=UNSET,
-        retries=UNSET,
-        progress=UNSET,
-        preflight=UNSET,
-        idle_ttl=UNSET,
+        **legacy,
     ) -> None:
-        self.config = resolve_config(
-            config, "BatchEngine",
-            max_workers=max_workers, chunk_size=chunk_size,
-            target_chunk_seconds=target_chunk_seconds, checkpoint=checkpoint,
-            retries=retries, progress=progress, preflight=preflight,
-            idle_ttl=idle_ttl,
-        )
+        self.config = resolve_config(config, "BatchEngine", **legacy)
         self.runner = runner or ExperimentRunner(problems=problems, seed=seed)
         self.stats = EngineStats()
         self.variant_cache = None

@@ -1,0 +1,227 @@
+"""Campaign workers: claim shards, evaluate points, write fenced records.
+
+A worker is a plain :class:`~repro.harness.batch.BatchEngine` session
+pointed at a campaign directory.  It loops: claim a shard job from the
+queue, evaluate that shard's points, append each record to the shard's
+JSONL tagged with the claim's fencing token, heartbeat between points,
+and mark the job done.  Nothing about the evaluation itself is
+campaign-specific — the engine runs the exact serial path a local sweep
+runs, so the records are byte-identical to a serial sweep's (the
+equivalence the merge asserts).
+
+Crash tolerance is the lease protocol's job, not the worker's:
+
+* a worker that dies mid-shard simply stops heartbeating; after the TTL
+  the next claimer steals the lease under a higher fence, **re-emits**
+  the dead worker's already-written records under its own fence (content
+  byte-identical — only the tag differs), evaluates the remainder, and
+  completes;
+* a worker that *stalls* (GC pause, NFS hang) and wakes after its lease
+  was stolen may keep appending to the shard file — harmlessly.  Its
+  next heartbeat raises :class:`~repro.harness.campaign.lease.LeaseLost`
+  and the records it wrote meanwhile carry a superseded fence, which the
+  merge rejects against the job's completion fence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.harness.batch import BatchEngine, BatchJob
+from repro.harness.campaign.lease import LeaseLost
+from repro.harness.campaign.manifest import (
+    CampaignError,
+    CampaignManifest,
+    load_campaign,
+    shard_path,
+)
+from repro.harness.campaign.queue import Claim, FileQueue
+from repro.harness.config import SweepConfig
+from repro.harness.database import CheckpointWriter, ResultsDB
+from repro.harness.runner import RunRecord
+from repro.harness.sweep import SweepPoint
+
+#: Default lease TTL (seconds): how long a silent worker is trusted.
+DEFAULT_TTL = 60.0
+
+
+class WorkerKilled(RuntimeError):
+    """Raised by ``on_point`` hooks to simulate a worker dying mid-shard.
+
+    Deliberately *not* caught by :meth:`CampaignWorker.run`: a killed
+    worker neither releases nor completes its claim, so the lease stalls
+    until the TTL expires and another worker reclaims the shard — the
+    exact crash the fabric must absorb."""
+
+
+def tag_record(record: RunRecord, fence: int, job: str, owner: str) -> RunRecord:
+    """Copy of ``record`` carrying the campaign fence tag.
+
+    The tag is appended as the **last** key of ``extra`` (any stale tag
+    is stripped first), so popping it at merge time restores the
+    original key order — and therefore the original serialized bytes
+    (:func:`~repro.harness.database.dumps_record` preserves insertion
+    order).  The input record is never mutated: engine record caches
+    share record objects across callers."""
+    data = record.to_dict()
+    data["extra"].pop("campaign", None)
+    data["extra"]["campaign"] = {"fence": fence, "job": job, "worker": owner}
+    return RunRecord(**data)
+
+
+def strip_tag(record: RunRecord) -> tuple[RunRecord, dict | None]:
+    """Inverse of :func:`tag_record`: (untagged copy, the tag or None)."""
+    data = record.to_dict()
+    tag = data["extra"].pop("campaign", None)
+    return RunRecord(**data), tag
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`CampaignWorker.run` loop accomplished."""
+
+    owner: str
+    jobs_done: int = 0
+    evaluated: int = 0
+    #: Records inherited from a dead predecessor and re-issued under our
+    #: fence (content-identical, new tag).
+    reemitted: int = 0
+    records_written: int = 0
+    leases_lost: int = 0
+    jobs: list = field(default_factory=list)
+
+
+class CampaignWorker:
+    """One worker process's view of a campaign (see module docstring).
+
+    ``engine`` defaults to a fresh single-process
+    :class:`~repro.harness.batch.BatchEngine` built from the campaign
+    spec's ``problems``/``seed``/``sanitize`` — the configuration a serial
+    sweep of the same spec would use, which is what keeps worker records
+    byte-identical to serial ones.  ``clock`` and ``on_point`` exist for
+    tests: ``on_point(worker, claim, label)`` runs after each point's
+    record is written (raise :class:`WorkerKilled` there to simulate a
+    mid-shard crash)."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        owner: str,
+        *,
+        ttl: float = DEFAULT_TTL,
+        engine: BatchEngine | None = None,
+        clock=None,
+        on_point=None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.owner = owner
+        self.ttl = float(ttl)
+        self.manifest: CampaignManifest = load_campaign(directory, clock=clock)
+        self.spec = self.manifest.spec
+        self.queue: FileQueue = self.manifest.queue()
+        self.on_point = on_point
+        self.engine = engine or BatchEngine(
+            problems=self.spec.problems,
+            seed=self.spec.seed,
+            config=SweepConfig(workers=1, sanitize=self.spec.sanitize),
+        )
+        self._owns_engine = engine is None
+
+    # ------------------------------------------------------------------
+    def _points_of(self, payload: dict) -> list[SweepPoint]:
+        if payload.get("spec_hash") != self.spec.spec_hash():
+            raise CampaignError(
+                f"{payload.get('job')}: shard was split from a different "
+                f"spec than {self.manifest.path} now holds"
+            )
+        return [
+            SweepPoint(
+                p["technique"],
+                dict(p["params"]),
+                level=p.get("level", "thread"),
+                items_per_thread=p.get("items_per_thread", 8),
+            )
+            for p in payload["points"]
+        ]
+
+    def _prior_records(self, job: str) -> dict[str, RunRecord]:
+        """Latest record per label already in the shard file (any fence)."""
+        path = shard_path(self.directory, job)
+        if not path.exists():
+            return {}
+        prior: dict[str, RunRecord] = {}
+        for rec in ResultsDB.load(path).records:
+            prior[SweepPoint.of_record(rec).label()] = rec
+        return prior
+
+    def process(self, claim: Claim, report: WorkerReport) -> int:
+        """Evaluate one claimed shard; returns records written.
+
+        Points whose labels the shard file already holds (a predecessor's
+        work) are re-emitted under our fence without re-running; the rest
+        go through the engine.  The lease is heartbeated after every
+        point, so a healthy worker's liveness window never depends on
+        point runtime × shard size."""
+        points = self._points_of(claim.payload)
+        prior = self._prior_records(claim.job)
+        written = 0
+        with CheckpointWriter(shard_path(self.directory, claim.job)) as out:
+            for point in points:
+                label = point.label()
+                held = prior.get(label)
+                if held is not None:
+                    record, _ = strip_tag(held)
+                    report.reemitted += 1
+                else:
+                    record = self.engine.run_point(
+                        self.spec.app,
+                        self.spec.device,
+                        point,
+                        site=self.spec.site,
+                    )
+                    report.evaluated += 1
+                out.write(
+                    tag_record(
+                        record, claim.lease.fence, claim.job, self.owner
+                    )
+                )
+                written += 1
+                report.records_written += 1
+                if self.on_point is not None:
+                    self.on_point(self, claim, label)
+                claim = self.queue.heartbeat(claim)
+        return written
+
+    def run(self, max_jobs: int | None = None) -> WorkerReport:
+        """Claim-and-process until the queue is drained (or ``max_jobs``).
+
+        A lost lease abandons the current shard (its successor re-emits
+        whatever we wrote) and moves on to the next claim; any other
+        exception propagates — a genuinely crashed worker must *not*
+        release its lease, that is the TTL's job."""
+        report = WorkerReport(owner=self.owner)
+        while max_jobs is None or report.jobs_done < max_jobs:
+            claim = self.queue.claim(self.owner, self.ttl)
+            if claim is None:
+                break
+            try:
+                written = self.process(claim, report)
+                self.queue.complete(claim, records=written)
+            except LeaseLost:
+                report.leases_lost += 1
+                continue
+            report.jobs_done += 1
+            report.jobs.append(claim.job)
+            self.manifest.refresh(queue=self.queue)
+        return report
+
+    def close(self) -> None:
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "CampaignWorker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

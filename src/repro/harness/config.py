@@ -112,6 +112,22 @@ class SweepConfig:
 #: differs from the unified one.
 LEGACY_ALIASES = {"max_workers": "workers", "parallel": "workers"}
 
+#: Every keyword the shimmed entry points may still receive loosely: the
+#: config fields themselves plus the renamed aliases.  ``resolve_config``
+#: rejects anything else, so the ``**legacy`` catch-alls the entry points
+#: now use keep the typo protection their old explicit signatures had.
+LEGACY_KEYWORDS = frozenset(
+    f.name for f in fields(SweepConfig)
+) | frozenset(LEGACY_ALIASES)
+
+#: Appended to every shim warning.  The loose keywords have been
+#: deprecated since PR 5; one release after the typed request/response
+#: facade (PR 10) they go away entirely.
+REMOVAL_NOTE = (
+    "these shims will be removed in repro 2.0 — "
+    "see README \"Migrating to request objects\""
+)
+
 
 def resolve_config(
     config: SweepConfig | None,
@@ -122,22 +138,33 @@ def resolve_config(
 ) -> SweepConfig:
     """Build the effective :class:`SweepConfig` for a shimmed entry point.
 
-    ``legacy`` holds the caller's deprecated keywords, each defaulting to
-    :data:`UNSET`; any keyword actually passed is overlaid onto ``config``
-    (or a default config) after a :class:`DeprecationWarning` that names
-    the replacement field.  With no legacy keywords passed, ``config`` is
-    returned as-is (or the default policy when ``None``).
+    This is the *single* shim path: every entry point that still accepts
+    the PR-1/PR-3/PR-5 loose keywords (``run_batch``, ``BatchEngine``,
+    ``run_sweep_parallel``, ``ExperimentRunner.run_sweep``) forwards its
+    ``**legacy`` catch-all here.  Any keyword actually passed (the entry
+    points' old explicit parameters defaulted to :data:`UNSET`; catch-all
+    callers just pass what they got) is overlaid onto ``config`` (or a
+    default config) after one :class:`DeprecationWarning` naming the
+    replacement field and the removal deadline.  Unknown keywords raise
+    ``TypeError`` exactly like a mistyped parameter name used to.  With no
+    legacy keywords passed, ``config`` is returned as-is (or the default
+    policy when ``None``).
     """
     passed = {k: v for k, v in legacy.items() if v is not UNSET}
     if not passed:
         return config if config is not None else SweepConfig()
+    unknown = sorted(set(passed) - LEGACY_KEYWORDS)
+    if unknown:
+        raise TypeError(
+            f"{caller}: unexpected keyword argument(s) {', '.join(unknown)}"
+        )
     renames = {k: LEGACY_ALIASES.get(k, k) for k in passed}
     hints = ", ".join(
         f"{old}= (use SweepConfig({new}=...))" for old, new in sorted(renames.items())
     )
     warnings.warn(
         f"{caller}: loose keyword(s) are deprecated — {hints}; "
-        f"pass config=SweepConfig(...) instead",
+        f"pass config=SweepConfig(...) instead ({REMOVAL_NOTE})",
         DeprecationWarning,
         stacklevel=stacklevel,
     )

@@ -15,6 +15,7 @@ import json
 import math
 import os
 from collections import OrderedDict
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Callable, Iterable
 
@@ -162,6 +163,36 @@ def record_status(record: RunRecord) -> str:
     return "infeasible"
 
 
+#: Merge preference between two records for the same (app, device, label):
+#: higher wins.  Evaluated rows outrank everything — ``ok`` first, then
+#: ``infeasible`` (the simulator genuinely ran the configuration and
+#: rejected it); rows that never entered the simulator (static
+#: ``preflight`` veto, lattice ``pruned``) outrank only ``error`` rows,
+#: which reflect machine state rather than the configuration.
+STATUS_PRIORITY = {"ok": 4, "infeasible": 3, "preflight": 2, "pruned": 1, "error": 0}
+
+
+@dataclass
+class MergeStats:
+    """Outcome counters for one :meth:`ResultsDB.merge` call."""
+
+    #: Labels seen for the first time (appended).
+    added: int = 0
+    #: Duplicate labels whose records were byte-identical (dropped).
+    identical: int = 0
+    #: Duplicate labels with *differing* records (status or content).
+    conflicts: int = 0
+    #: Conflicts where the incoming record won (higher status priority).
+    replaced: int = 0
+    #: Conflicts resolved in favour of the already-held record.
+    kept: int = 0
+
+    def __iadd__(self, other: "MergeStats") -> "MergeStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+
 class ResultsDB:
     """In-memory collection of run records with query helpers."""
 
@@ -220,6 +251,57 @@ class ResultsDB:
                 continue
             out.append(r)
         return out
+
+    def merge(self, other: "ResultsDB | Iterable[RunRecord]") -> MergeStats:
+        """Fold ``other``'s records in, deduplicating by checkpoint identity.
+
+        Identity is ``(app, device, point label)`` — the same key the
+        checkpoint resume path and the campaign shard manifests use.  When
+        both sides hold a record for one identity the winner is chosen
+        *deterministically* by :data:`STATUS_PRIORITY`, never by file
+        order: an evaluated (``ok``) record beats a ``pruned`` or
+        ``preflight`` row from another shard (one shard may have
+        lattice-pruned a point a different shard actually simulated), and
+        ``error`` rows — worker crashes, not properties of the point —
+        lose to everything.  Ties on priority keep the record already
+        held (first-seen order), so merging A then B and B then A disagree
+        only on genuinely ambiguous pairs, which are counted as conflicts
+        either way.  Byte-identical duplicates are dropped silently into
+        the ``identical`` counter.
+
+        The held record's list position is preserved on replacement, so a
+        merge never reorders ``self.records``."""
+        from repro.harness.sweep import SweepPoint
+
+        def key_of(rec: RunRecord) -> tuple:
+            return (rec.app, rec.device, SweepPoint.of_record(rec).label())
+
+        stats = MergeStats()
+        index: dict[tuple, int] = {
+            key_of(rec): i for i, rec in enumerate(self.records)
+        }
+        records = other.records if isinstance(other, ResultsDB) else other
+        for rec in records:
+            key = key_of(rec)
+            held_at = index.get(key)
+            if held_at is None:
+                index[key] = len(self.records)
+                self.records.append(rec)
+                stats.added += 1
+                continue
+            held = self.records[held_at]
+            if held.to_dict() == rec.to_dict():
+                stats.identical += 1
+                continue
+            stats.conflicts += 1
+            if STATUS_PRIORITY[record_status(rec)] > STATUS_PRIORITY[
+                record_status(held)
+            ]:
+                self.records[held_at] = rec
+                stats.replaced += 1
+            else:
+                stats.kept += 1
+        return stats
 
     def status_counts(self, **filters) -> dict[str, int]:
         """Row count per :data:`RECORD_STATUSES` class (campaign triage)."""

@@ -94,15 +94,7 @@ def run_sweep_parallel(
     engine=None,
     runner_factory: Callable[..., ExperimentRunner] | None = None,
     factory_args: tuple | None = None,
-    max_workers=UNSET,
-    chunk_size=UNSET,
-    target_chunk_seconds=UNSET,
-    checkpoint=UNSET,
-    retries=UNSET,
-    progress=UNSET,
-    preflight=UNSET,
-    share_baselines=UNSET,
-    sanitize=UNSET,
+    **legacy,
 ) -> SweepReport:
     """Execute ``points`` for one app/device, in parallel, resumably.
 
@@ -148,13 +140,7 @@ def run_sweep_parallel(
     disable baseline sharing (the factory may not build an
     :class:`ExperimentRunner` at all).
     """
-    cfg = resolve_config(
-        config, "run_sweep_parallel",
-        max_workers=max_workers, chunk_size=chunk_size,
-        target_chunk_seconds=target_chunk_seconds, checkpoint=checkpoint,
-        retries=retries, progress=progress, preflight=preflight,
-        share_baselines=share_baselines, sanitize=sanitize,
-    )
+    cfg = resolve_config(config, "run_sweep_parallel", **legacy)
     if cfg.prune:
         # Lattice pruning reorders evaluation into ancestor-first waves —
         # a different driver entirely (see repro.harness.pruning).  The

@@ -201,12 +201,7 @@ class ExperimentRunner:
         *,
         config: "SweepConfig | None" = None,
         engine=None,
-        parallel=UNSET,
-        checkpoint=UNSET,
-        progress=UNSET,
-        retries=UNSET,
-        preflight=UNSET,
-        sanitize=UNSET,
+        **legacy,
     ) -> list[RunRecord]:
         """Run a list of sweep points, returning all records in input order.
 
@@ -224,11 +219,7 @@ class ExperimentRunner:
         :class:`~repro.harness.batch.BatchEngine`.  The PR-1 loose keywords
         (``parallel=``, ``checkpoint=``, ...) remain accepted with a
         :class:`DeprecationWarning`."""
-        cfg = resolve_config(
-            config, "ExperimentRunner.run_sweep",
-            parallel=parallel, checkpoint=checkpoint, progress=progress,
-            retries=retries, preflight=preflight, sanitize=sanitize,
-        )
+        cfg = resolve_config(config, "ExperimentRunner.run_sweep", **legacy)
         if engine is not None or cfg.workers > 1 or cfg.checkpoint is not None or cfg.preflight:
             from repro.harness.executor import run_sweep_parallel
 

@@ -1,0 +1,324 @@
+"""Campaign fabric tests: queue/lease protocol, crash recovery, and the
+byte-identity contract between a distributed campaign and a serial sweep."""
+
+import json
+
+import pytest
+
+from repro.harness.campaign import (
+    CampaignError,
+    CampaignSpec,
+    FileQueue,
+    LeaseLost,
+    WorkerKilled,
+    campaign_paths,
+    campaign_status,
+    init_campaign,
+    load_campaign,
+    merge_campaign,
+    run_worker,
+    shard_path,
+    split_campaign,
+    tag_record,
+)
+from repro.harness.database import CheckpointWriter, ResultsDB
+from repro.harness.runner import ExperimentRunner
+
+PROBLEMS = {"blackscholes": {"num_options": 2048, "num_runs": 2}}
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        app="blackscholes", technique="taf", effort="quick", problems=PROBLEMS
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class FakeClock:
+    """Deterministic, manually advanced time source for lease tests."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def serial_checkpoint(spec, path):
+    """The reference: a serial sweep's checkpoint of the spec's points."""
+    runner = ExperimentRunner(problems=spec.problems, seed=spec.seed)
+    with CheckpointWriter(path) as w:
+        for pt in spec.resolve_points():
+            w.write(
+                runner.run_point(spec.app, spec.device, pt, site=spec.site)
+            )
+
+
+# ---------------------------------------------------------------------------
+class TestFileQueue:
+    def test_claim_is_exclusive(self, tmp_path):
+        q = FileQueue(tmp_path, clock=FakeClock())
+        q.add("j0", {"x": 1})
+        a = q.claim("a", ttl=10.0)
+        assert a is not None and a.lease.owner == "a" and a.lease.fence == 1
+        assert q.claim("b", ttl=10.0) is None  # held, not expired
+
+    def test_expired_lease_is_stolen_with_higher_fence(self, tmp_path):
+        clock = FakeClock()
+        q = FileQueue(tmp_path, clock=clock)
+        q.add("j0", {})
+        a = q.claim("a", ttl=10.0)
+        clock.advance(11.0)
+        b = q.claim("b", ttl=10.0)
+        assert b is not None and b.lease.owner == "b"
+        assert b.lease.fence == a.lease.fence + 1
+        # The dead claim can no longer heartbeat or complete.
+        with pytest.raises(LeaseLost):
+            q.heartbeat(a)
+        with pytest.raises(LeaseLost):
+            q.complete(a)
+
+    def test_heartbeat_extends_the_window(self, tmp_path):
+        clock = FakeClock()
+        q = FileQueue(tmp_path, clock=clock)
+        q.add("j0", {})
+        a = q.claim("a", ttl=10.0)
+        clock.advance(8.0)
+        a = q.heartbeat(a)
+        clock.advance(8.0)  # 16s after grant, 8s after heartbeat: alive
+        assert q.state_of("j0") == "leased"
+        assert q.claim("b", ttl=10.0) is None
+
+    def test_complete_fences_out_late_claims(self, tmp_path):
+        clock = FakeClock()
+        q = FileQueue(tmp_path, clock=clock)
+        q.add("j0", {})
+        a = q.claim("a", ttl=10.0)
+        q.complete(a, records=3)
+        assert q.state_of("j0") == "done"
+        assert q.done_fence("j0") == a.lease.fence
+        assert q.claim("b", ttl=10.0) is None  # done jobs are never re-issued
+
+    def test_fences_stay_monotonic_across_steals(self, tmp_path):
+        clock = FakeClock()
+        q = FileQueue(tmp_path, clock=clock)
+        q.add("j0", {})
+        fences = []
+        for owner in ("a", "b", "c"):
+            claim = q.claim(owner, ttl=5.0)
+            fences.append(claim.lease.fence)
+            clock.advance(6.0)
+        assert fences == [1, 2, 3]
+
+    def test_release_returns_job_with_fence_bump(self, tmp_path):
+        q = FileQueue(tmp_path, clock=FakeClock())
+        q.add("j0", {})
+        a = q.claim("a", ttl=10.0)
+        q.release(a)
+        b = q.claim("b", ttl=10.0)
+        assert b is not None and b.lease.fence == a.lease.fence + 1
+
+    def test_reclaim_expired_reports_jobs(self, tmp_path):
+        clock = FakeClock()
+        q = FileQueue(tmp_path, clock=clock)
+        q.add("j0", {})
+        q.add("j1", {})
+        q.claim("a", ttl=5.0, job="j0")
+        assert q.reclaim_expired() == []
+        clock.advance(6.0)
+        assert q.reclaim_expired() == ["j0"]
+        assert q.state_of("j0") == "pending"
+
+
+class TestSplitAndManifest:
+    def test_split_partitions_all_points(self, tmp_path):
+        spec = make_spec()
+        res = split_campaign(tmp_path / "c", spec, shards=2)
+        assert res.points == len(spec.resolve_points())
+        assert res.shards == 2 and res.jobs == ["shard-0000", "shard-0001"]
+        manifest = load_campaign(tmp_path / "c")
+        labels = []
+        q = manifest.queue()
+        for job in q.jobs():
+            payload = q.payload(job)
+            assert payload["spec_hash"] == spec.spec_hash()
+            labels.extend(payload["labels"])
+        assert labels == [p.label() for p in spec.resolve_points()]
+
+    def test_double_split_is_an_error(self, tmp_path):
+        split_campaign(tmp_path / "c", make_spec())
+        with pytest.raises(CampaignError, match="already initialised"):
+            split_campaign(tmp_path / "c", make_spec())
+
+    def test_edited_spec_hash_is_rejected(self, tmp_path):
+        split_campaign(tmp_path / "c", make_spec())
+        path = campaign_paths(tmp_path / "c")[0]
+        data = json.loads(path.read_text())
+        data["spec"]["seed"] = 9999  # tampered after split
+        path.write_text(json.dumps(data))
+        with pytest.raises(CampaignError, match="hash mismatch"):
+            load_campaign(tmp_path / "c")
+
+    def test_spec_needs_points_or_technique(self):
+        with pytest.raises(CampaignError, match="points= or technique="):
+            CampaignSpec(app="blackscholes")
+
+    def test_spec_version_gate(self):
+        with pytest.raises(CampaignError, match="version"):
+            make_spec(version=99)
+
+
+# ---------------------------------------------------------------------------
+class TestCampaignEquivalence:
+    """The tentpole contract: a 2-worker campaign with one worker killed
+    mid-shard merges to bytes identical to a serial sweep."""
+
+    def test_kill_reclaim_merge_byte_identity(self, tmp_path):
+        spec = make_spec()
+        serial = tmp_path / "serial.jsonl"
+        serial_checkpoint(spec, serial)
+
+        camp = tmp_path / "camp"
+        clock = FakeClock()
+        split_campaign(camp, spec, shards=2, clock=clock)
+
+        # Worker A dies after writing its second record: no release, no
+        # complete — the lease just goes silent.
+        state = {"points": 0}
+
+        def kill_after_two(worker, claim, label):
+            state["points"] += 1
+            if state["points"] >= 2:
+                raise WorkerKilled("simulated crash")
+
+        with pytest.raises(WorkerKilled):
+            run_worker(camp, "worker-a", ttl=10.0, clock=clock,
+                       on_point=kill_after_two)
+        status = campaign_status(camp, clock=clock)
+        assert status.progress["done"] == 0
+        assert status.progress["leased"] == 1
+        # Strict merge refuses while shards are outstanding.
+        with pytest.raises(CampaignError, match="not completed"):
+            merge_campaign(camp, clock=clock)
+
+        # TTL passes; worker B reclaims the dead shard, re-emits A's
+        # records under its own fence, and finishes the campaign.
+        clock.advance(60.0)
+        report = run_worker(camp, "worker-b", ttl=10.0, clock=clock)
+        assert report.jobs_done == 2
+        assert report.reemitted == 2  # A's two orphaned records
+        assert report.evaluated == len(spec.resolve_points()) - 2
+
+        result = merge_campaign(camp, clock=clock)
+        assert result.complete
+        # A's fence-1 records are fenced out, B's fence-2 records land.
+        assert result.rejected_stale == 2
+        assert result.stats.conflicts == 0
+        assert (
+            (tmp_path / "camp" / "merged.jsonl").read_bytes()
+            == serial.read_bytes()
+        )
+
+    def test_clean_two_worker_campaign_matches_serial(self, tmp_path):
+        spec = make_spec()
+        serial = tmp_path / "serial.jsonl"
+        serial_checkpoint(spec, serial)
+        camp = tmp_path / "camp"
+        split_campaign(camp, spec, shards=2)
+        a = run_worker(camp, "a", max_jobs=1)
+        b = run_worker(camp, "b")
+        assert a.jobs_done == 1 and b.jobs_done == 1
+        result = merge_campaign(camp)
+        assert result.rejected_stale == 0 and result.complete
+        assert (camp / "merged.jsonl").read_bytes() == serial.read_bytes()
+        # Resuming a finished campaign is a no-op.
+        assert run_worker(camp, "c").jobs_done == 0
+
+
+class TestLateWriterFencing:
+    """Satellite regression: a worker that heartbeats, stalls past its
+    TTL, and then writes anyway must have those records rejected."""
+
+    def test_stalled_workers_late_records_are_fenced_out(self, tmp_path):
+        spec = make_spec()
+        serial = tmp_path / "serial.jsonl"
+        serial_checkpoint(spec, serial)
+        camp = tmp_path / "camp"
+        clock = FakeClock()
+        split_campaign(camp, spec, shards=1, clock=clock)
+
+        manifest = load_campaign(camp, clock=clock)
+        queue = manifest.queue()
+        stalled = queue.claim("stalled", ttl=10.0)
+        assert stalled is not None and stalled.lease.fence == 1
+        stalled = queue.heartbeat(stalled)  # alive... then a long pause.
+        clock.advance(30.0)
+
+        # A healthy worker reclaims and completes the whole campaign.
+        report = run_worker(camp, "healthy", ttl=10.0, clock=clock)
+        assert report.jobs_done == 1
+
+        # The stalled worker wakes with no idea it was superseded and
+        # appends its records under the old fence.
+        runner = ExperimentRunner(problems=spec.problems, seed=spec.seed)
+        points = spec.resolve_points()
+        with CheckpointWriter(shard_path(camp, stalled.job)) as w:
+            for pt in points[:2]:
+                rec = runner.run_point(spec.app, spec.device, pt)
+                w.write(
+                    tag_record(rec, stalled.lease.fence, stalled.job,
+                               "stalled")
+                )
+        # Its heartbeat (and completion) now fail — the fence moved on.
+        with pytest.raises(LeaseLost):
+            queue.heartbeat(stalled)
+        with pytest.raises(LeaseLost):
+            queue.complete(stalled)
+
+        result = merge_campaign(camp, clock=clock)
+        assert result.rejected_stale == 2  # the late fence-1 records
+        assert result.merged == len(points) and result.complete
+        assert (camp / "merged.jsonl").read_bytes() == serial.read_bytes()
+
+    def test_untagged_records_are_rejected(self, tmp_path):
+        spec = make_spec()
+        camp = tmp_path / "camp"
+        split_campaign(camp, spec, shards=1)
+        run_worker(camp, "a")
+        # Someone hand-appends an untagged record to the shard file.
+        db = ResultsDB.load(shard_path(camp, "shard-0000"))
+        from repro.harness.campaign.worker import strip_tag
+
+        clean, _ = strip_tag(db.records[0])
+        with CheckpointWriter(shard_path(camp, "shard-0000")) as w:
+            w.write(clean)
+        result = merge_campaign(camp)
+        assert result.rejected_stale == 1
+        assert result.merged == len(spec.resolve_points())
+
+
+class TestPartialMerge:
+    def test_partial_merge_of_incomplete_campaign(self, tmp_path):
+        spec = make_spec()
+        camp = tmp_path / "camp"
+        split_campaign(camp, spec, shards=2)
+        run_worker(camp, "a", max_jobs=1)
+        result = merge_campaign(camp, strict=False)
+        assert not result.complete
+        assert result.shards_skipped == ["shard-0001"]
+        assert result.merged > 0
+        assert len(result.missing) == len(spec.resolve_points()) - result.merged
+
+    def test_merge_to_explicit_output(self, tmp_path):
+        spec = make_spec()
+        camp = tmp_path / "camp"
+        split_campaign(camp, spec, shards=2)
+        run_worker(camp, "a")
+        out = tmp_path / "elsewhere.jsonl"
+        result = merge_campaign(camp, out)
+        assert result.output == str(out) and out.exists()
+        assert len(ResultsDB.load(out)) == len(spec.resolve_points())

@@ -1,0 +1,90 @@
+"""ResultsDB.merge: checkpoint-identity dedupe with deterministic
+status-priority conflict resolution (the campaign merge's substrate)."""
+
+from repro.harness.database import MergeStats, ResultsDB, record_status
+from repro.harness.runner import RunRecord
+
+
+def rec(psize=4, *, feasible=True, note="", speedup=1.0, app="blackscholes"):
+    return RunRecord(
+        app=app, device="dev", technique="taf",
+        params={"hsize": 1, "psize": psize, "threshold": 0.3},
+        level="thread", items_per_thread=2,
+        feasible=feasible, note=note, speedup=speedup,
+    )
+
+
+class TestMergeDedupe:
+    def test_disjoint_labels_append_in_order(self):
+        db = ResultsDB([rec(4)])
+        stats = db.merge([rec(8), rec(16)])
+        assert stats.added == 2 and stats.conflicts == 0
+        assert [r.params["psize"] for r in db.records] == [4, 8, 16]
+
+    def test_identical_duplicates_are_dropped_silently(self):
+        db = ResultsDB([rec(4)])
+        stats = db.merge([rec(4)])
+        assert stats.identical == 1 and stats.conflicts == 0
+        assert len(db) == 1
+
+    def test_merge_accepts_another_db(self):
+        db = ResultsDB([rec(4)])
+        stats = db.merge(ResultsDB([rec(4), rec(8)]))
+        assert stats.identical == 1 and stats.added == 1
+
+
+class TestMergeConflicts:
+    def test_evaluated_beats_error_row(self):
+        """The satellite fix: same label, different status — the
+        evaluated record must win deterministically, not last-writer."""
+        crashed = rec(4, feasible=False, note="WorkerCrash: pool died")
+        good = rec(4, speedup=2.0)
+        db = ResultsDB([crashed])
+        stats = db.merge([good])
+        assert stats.conflicts == 1 and stats.replaced == 1
+        assert db.records[0].feasible and db.records[0].speedup == 2.0
+        # ... and in the other merge order the held record survives.
+        db2 = ResultsDB([good])
+        stats2 = db2.merge([crashed])
+        assert stats2.conflicts == 1 and stats2.kept == 1
+        assert db2.records[0].feasible
+
+    def test_ok_beats_pruned_and_preflight(self):
+        pruned = rec(4, feasible=False, note="pruned: ancestor taf(...)")
+        vetoed = rec(8, feasible=False, note="preflight HPAC010: too big")
+        db = ResultsDB([pruned, vetoed])
+        stats = db.merge([rec(4, speedup=3.0), rec(8, speedup=4.0)])
+        assert stats.replaced == 2
+        assert all(r.feasible for r in db.records)
+
+    def test_infeasible_beats_static_rows(self):
+        """A simulator-evaluated infeasible row outranks a static veto."""
+        vetoed = rec(4, feasible=False, note="preflight HPAC010: too big")
+        dynamic = rec(4, feasible=False, note="SharedMemoryError: 96 KB")
+        assert record_status(vetoed) == "preflight"
+        assert record_status(dynamic) == "infeasible"
+        db = ResultsDB([vetoed])
+        assert db.merge([dynamic]).replaced == 1
+        assert db.records[0].note.startswith("SharedMemoryError")
+
+    def test_priority_tie_keeps_first_seen(self):
+        a = rec(4, speedup=1.5)
+        b = rec(4, speedup=2.5)  # same label, same status, different row
+        db = ResultsDB([a])
+        stats = db.merge([b])
+        assert stats.conflicts == 1 and stats.kept == 1
+        assert db.records[0].speedup == 1.5
+
+    def test_replacement_preserves_position(self):
+        crashed = rec(8, feasible=False, note="WorkerError after 2 attempts")
+        db = ResultsDB([rec(4), crashed, rec(16)])
+        db.merge([rec(8, speedup=9.0)])
+        assert [r.params["psize"] for r in db.records] == [4, 8, 16]
+        assert db.records[1].speedup == 9.0
+
+    def test_stats_accumulate(self):
+        total = MergeStats()
+        db = ResultsDB()
+        total += db.merge([rec(4)])
+        total += db.merge([rec(4), rec(8)])
+        assert (total.added, total.identical) == (2, 1)
